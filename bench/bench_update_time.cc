@@ -1,0 +1,208 @@
+// Update-time microbenchmarks (google-benchmark).
+//
+// The paper claims O(1) worst-case update for its algorithms (Section
+// 3.1): non-sampled items cost a single skip decrement, and sampled-item
+// work is spread.  These benchmarks measure per-insert latency for the
+// paper's algorithms and every baseline on identical Zipf streams, plus
+// reporting time.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/bdw_optimal.h"
+#include "core/bdw_simple.h"
+#include "core/epsilon_maximum.h"
+#include "core/epsilon_minimum.h"
+#include "stream/stream_generator.h"
+#include "summary/count_min_sketch.h"
+#include "summary/count_sketch.h"
+#include "summary/lossy_counting.h"
+#include "summary/misra_gries.h"
+#include "summary/space_saving.h"
+#include "summary/sticky_sampling.h"
+
+namespace l1hh {
+namespace {
+
+constexpr uint64_t kUniverse = uint64_t{1} << 24;
+constexpr uint64_t kStreamLen = uint64_t{1} << 18;
+
+const std::vector<uint64_t>& SharedStream() {
+  static const std::vector<uint64_t> stream =
+      MakeZipfStream(kUniverse, 1.1, kStreamLen, 42);
+  return stream;
+}
+
+void BM_BdwSimpleInsert(benchmark::State& state) {
+  const auto& stream = SharedStream();
+  BdwSimple::Options opt;
+  opt.epsilon = 1.0 / state.range(0);
+  opt.phi = 0.1;
+  opt.universe_size = kUniverse;
+  opt.stream_length = kStreamLen * 64;  // realistic sampling rate
+  BdwSimple sketch(opt, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Insert(stream[i]);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BdwSimpleInsert)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BdwOptimalInsert(benchmark::State& state) {
+  const auto& stream = SharedStream();
+  BdwOptimal::Options opt;
+  opt.epsilon = 1.0 / state.range(0);
+  opt.phi = 0.1;
+  opt.universe_size = kUniverse;
+  opt.stream_length = kStreamLen * 64;
+  BdwOptimal sketch(opt, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Insert(stream[i]);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BdwOptimalInsert)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_EpsilonMaximumInsert(benchmark::State& state) {
+  const auto& stream = SharedStream();
+  EpsilonMaximum::Options opt;
+  opt.epsilon = 1.0 / state.range(0);
+  opt.universe_size = kUniverse;
+  opt.stream_length = kStreamLen * 64;
+  EpsilonMaximum sketch(opt, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Insert(stream[i]);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpsilonMaximumInsert)->Arg(64);
+
+void BM_EpsilonMinimumInsert(benchmark::State& state) {
+  EpsilonMinimum::Options opt;
+  opt.epsilon = 1.0 / state.range(0);
+  opt.universe_size = static_cast<uint64_t>(state.range(0) / 2);
+  opt.stream_length = kStreamLen * 64;
+  EpsilonMinimum sketch(opt, 4);
+  Rng rng(5);
+  const uint64_t n = opt.universe_size;
+  std::vector<uint64_t> stream(1 << 16);
+  for (auto& x : stream) x = rng.UniformU64(n);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Insert(stream[i]);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpsilonMinimumInsert)->Arg(64);
+
+void BM_MisraGriesInsert(benchmark::State& state) {
+  const auto& stream = SharedStream();
+  MisraGries mg(static_cast<size_t>(state.range(0)), 24);
+  size_t i = 0;
+  for (auto _ : state) {
+    mg.Insert(stream[i]);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MisraGriesInsert)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SpaceSavingInsert(benchmark::State& state) {
+  const auto& stream = SharedStream();
+  SpaceSaving ss(static_cast<size_t>(state.range(0)), 24);
+  size_t i = 0;
+  for (auto _ : state) {
+    ss.Insert(stream[i]);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingInsert)->Arg(64);
+
+void BM_CountMinInsert(benchmark::State& state) {
+  const auto& stream = SharedStream();
+  CountMinSketch cms(CountMinSketch::Options{1024, 4, false}, 6);
+  size_t i = 0;
+  for (auto _ : state) {
+    cms.Insert(stream[i]);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinInsert);
+
+void BM_CountSketchInsert(benchmark::State& state) {
+  const auto& stream = SharedStream();
+  CountSketch cs(1024, 5, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    cs.Insert(stream[i]);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountSketchInsert);
+
+void BM_LossyCountingInsert(benchmark::State& state) {
+  const auto& stream = SharedStream();
+  LossyCounting lc(0.01, 24);
+  size_t i = 0;
+  for (auto _ : state) {
+    lc.Insert(stream[i]);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LossyCountingInsert);
+
+void BM_StickySamplingInsert(benchmark::State& state) {
+  const auto& stream = SharedStream();
+  StickySampling st(0.01, 0.05, 0.1, 8, 24);
+  size_t i = 0;
+  for (auto _ : state) {
+    st.Insert(stream[i]);
+    i = (i + 1) % stream.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StickySamplingInsert);
+
+void BM_BdwOptimalReport(benchmark::State& state) {
+  const auto& stream = SharedStream();
+  BdwOptimal::Options opt;
+  opt.epsilon = 0.02;
+  opt.phi = 0.1;
+  opt.universe_size = kUniverse;
+  opt.stream_length = kStreamLen;
+  BdwOptimal sketch(opt, 9);
+  for (const uint64_t x : stream) sketch.Insert(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Report());
+  }
+}
+BENCHMARK(BM_BdwOptimalReport);
+
+void BM_BdwSimpleReport(benchmark::State& state) {
+  const auto& stream = SharedStream();
+  BdwSimple::Options opt;
+  opt.epsilon = 0.02;
+  opt.phi = 0.1;
+  opt.universe_size = kUniverse;
+  opt.stream_length = kStreamLen;
+  BdwSimple sketch(opt, 10);
+  for (const uint64_t x : stream) sketch.Insert(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Report());
+  }
+}
+BENCHMARK(BM_BdwSimpleReport);
+
+}  // namespace
+}  // namespace l1hh

@@ -1,0 +1,46 @@
+// Shared table-printing helpers for the Table 1 reproduction benches.
+//
+// Every bench binary prints self-describing fixed-width tables: one row per
+// parameter setting, with measured space/accuracy next to the paper's
+// formula evaluated at the same parameters, so EXPERIMENTS.md can quote the
+// output verbatim.
+#ifndef L1HH_BENCH_BENCH_UTIL_H_
+#define L1HH_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace l1hh::bench {
+
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& columns) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (const auto& c : columns) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) std::printf("%16s", "----");
+  std::printf("\n");
+}
+
+inline void PrintCell(double v) {
+  if (v == static_cast<int64_t>(v) && std::abs(v) < 1e15) {
+    std::printf("%16lld", static_cast<long long>(v));
+  } else {
+    std::printf("%16.3f", v);
+  }
+}
+
+inline void PrintRow(const std::vector<double>& cells) {
+  for (const double v : cells) PrintCell(v);
+  std::printf("\n");
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("   %s\n", note.c_str());
+}
+
+}  // namespace l1hh::bench
+
+#endif  // L1HH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,43 @@
+// Quickstart: find the l1-heavy hitters of a skewed stream in a few lines.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/bdw_optimal.h"
+#include "stream/stream_generator.h"
+
+int main() {
+  using namespace l1hh;
+
+  // A million draws from a Zipf(1.2) distribution over 2^24 items.
+  const uint64_t m = 1 << 20;
+  const auto stream = MakeZipfStream(/*n=*/1 << 24, /*alpha=*/1.2, m,
+                                     /*seed=*/2024);
+
+  // Ask for every item above 5% of the stream, with 1% slack: items above
+  // 5% are guaranteed in, items below 4% are guaranteed out, and every
+  // reported count is within 1% of m of the truth.
+  BdwOptimal::Options opt;
+  opt.epsilon = 0.01;
+  opt.phi = 0.05;
+  opt.universe_size = uint64_t{1} << 24;
+  opt.stream_length = m;
+
+  BdwOptimal sketch(opt, /*seed=*/1);
+  for (const uint64_t item : stream) {
+    sketch.Insert(item);  // O(1) per item
+  }
+
+  std::printf("heavy hitters (phi=5%%, eps=1%%):\n");
+  std::printf("%12s %14s %10s\n", "item", "est. count", "est. %");
+  for (const HeavyHitter& hh : sketch.Report()) {
+    std::printf("%12llu %14.0f %9.2f%%\n",
+                static_cast<unsigned long long>(hh.item),
+                hh.estimated_count, 100.0 * hh.estimated_fraction);
+  }
+  std::printf("\nsketch state: %zu bits (stream was %llu items)\n",
+              sketch.SpaceBits(), static_cast<unsigned long long>(m));
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "comm/greater_than_game.h"
+
+#include "core/bdw_simple.h"
+#include "core/unknown_length.h"
+#include "util/bit_stream.h"
+#include "util/random.h"
+
+namespace l1hh {
+
+GameResult RunGreaterThanGame(const GreaterThanParams& p, uint64_t seed) {
+  GameResult result;
+  Rng rng(seed);
+  const int max_e = p.max_exponent < 2 ? 2 : p.max_exponent;
+  int x = 1 + static_cast<int>(rng.UniformU64(static_cast<uint64_t>(max_e)));
+  int y = 1 + static_cast<int>(rng.UniformU64(static_cast<uint64_t>(max_e)));
+  while (y == x) {
+    y = 1 + static_cast<int>(rng.UniformU64(static_cast<uint64_t>(max_e)));
+  }
+
+  // Protocol constants (known to both parties).
+  BdwSimple::Options base;
+  base.epsilon = 0.05;
+  base.phi = 0.6;  // majority side has frequency >= 2/3 since |x-y| >= 1
+  base.delta = 0.02;
+  base.universe_size = 2;
+  const uint64_t max_m = uint64_t{1} << (max_e + 1);
+
+  auto alice = MakeUnknownLengthListHeavyHitters(base, max_m,
+                                                 Mix64(seed ^ 0xa11ceULL));
+  const uint64_t alice_copies = uint64_t{1} << x;
+  for (uint64_t c = 0; c < alice_copies; ++c) alice.Insert(uint64_t{1});
+
+  BitWriter message;
+  alice.Serialize(message);
+
+  // Bob rebuilds with the same protocol constants.
+  const double window = 1.0 / base.epsilon;
+  auto factory = [base, window, seed](uint64_t assumed) {
+    BdwSimple::Options opt = base;
+    opt.stream_length = assumed;
+    opt.constants.hh_sample_factor *= window;
+    return BdwSimple(opt, Mix64(seed ^ assumed));
+  };
+  BitReader reader(message);
+  auto bob = UnknownLengthWrapper<BdwSimple>::Deserialize(
+      reader, factory, window, base.delta, max_m, Mix64(seed ^ 0xb0bULL));
+  const uint64_t bob_copies = uint64_t{1} << y;
+  for (uint64_t c = 0; c < bob_copies; ++c) bob.Insert(uint64_t{0});
+
+  bool one_is_heavy = false;
+  for (const HeavyHitter& hh : bob.Reporter().Report()) {
+    if (hh.item == 1) one_is_heavy = true;
+  }
+  result.success = one_is_heavy == (x > y);
+  result.message_bits = message.size_bits();
+  return result;
+}
+
+}  // namespace l1hh

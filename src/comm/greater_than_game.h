@@ -1,0 +1,27 @@
+// Theorem 14: the Greater-than_m reduction showing EVERY problem in the
+// paper needs Omega(log log m) bits, even over a universe of size two.
+//
+// Alice holds x, Bob holds y (both in [log2 m_max]).  Alice streams 2^x
+// copies of item 1 — without knowing the eventual stream length, so her
+// sketch must be an unknown-length one (this is precisely where the Morris
+// counter's O(log log m) bits become unavoidable).  Bob appends 2^y copies
+// of item 0 and reports whether 1 is a heavy hitter: it is iff x > y.
+#ifndef L1HH_COMM_GREATER_THAN_GAME_H_
+#define L1HH_COMM_GREATER_THAN_GAME_H_
+
+#include <cstdint>
+
+#include "comm/one_way_protocol.h"
+
+namespace l1hh {
+
+struct GreaterThanParams {
+  /// Exponent range: x, y drawn from [1, max_exponent], x != y.
+  int max_exponent = 20;
+};
+
+GameResult RunGreaterThanGame(const GreaterThanParams& p, uint64_t seed);
+
+}  // namespace l1hh
+
+#endif  // L1HH_COMM_GREATER_THAN_GAME_H_

@@ -1,0 +1,65 @@
+// Indexing reductions: Theorems 9, 10 and 11 of the paper.
+//
+//   * Theorem 9:  Indexing_{1/(2(phi-eps)), 1/(2 eps)} -> (eps,phi)-heavy
+//     hitters, giving Omega(eps^-1 log phi^-1) bits.
+//   * Theorem 10: Indexing_{1/eps, 1/eps} -> eps-Maximum, giving
+//     Omega(eps^-1 log eps^-1) bits.
+//   * Theorem 11: Indexing_{2, 5/eps} -> eps-Minimum, giving
+//     Omega(eps^-1) bits.
+//
+// In every game Alice encodes her string as item frequencies, sends the
+// sketch, Bob appends "column i" items and decodes x_i from the report.
+#ifndef L1HH_COMM_INDEXING_GAME_H_
+#define L1HH_COMM_INDEXING_GAME_H_
+
+#include <cstdint>
+
+#include "comm/one_way_protocol.h"
+
+namespace l1hh {
+
+struct HeavyHittersIndexingParams {
+  double epsilon = 0.05;  // game epsilon; phi > 2 eps required
+  double phi = 0.25;
+  uint64_t stream_length = 200000;  // target m (actual within rounding)
+  bool use_optimal = true;          // Algorithm 2 vs Algorithm 1 as carrier
+};
+
+/// One run of the Theorem 9 game with a random string and index.
+GameResult RunHeavyHittersIndexingGame(const HeavyHittersIndexingParams& p,
+                                       uint64_t seed);
+
+struct MaximumIndexingParams {
+  double epsilon = 0.1;
+  uint64_t stream_length = 200000;
+};
+
+/// One run of the Theorem 10 game.
+GameResult RunMaximumIndexingGame(const MaximumIndexingParams& p,
+                                  uint64_t seed);
+
+struct MinimumIndexingParams {
+  double epsilon = 0.1;  // game epsilon; t = 5/eps bits in Alice's string
+};
+
+/// One run of the Theorem 11 game.
+GameResult RunMinimumIndexingGame(const MinimumIndexingParams& p,
+                                  uint64_t seed);
+
+/// Repeats a game `trials` times with distinct seeds.
+template <typename Params, typename Fn>
+GameStats RepeatGame(const Fn& fn, const Params& p, int trials,
+                     uint64_t seed) {
+  GameStats stats;
+  for (int t = 0; t < trials; ++t) {
+    const GameResult r = fn(p, seed + static_cast<uint64_t>(t) * 7919);
+    ++stats.trials;
+    if (r.success) ++stats.successes;
+    stats.message_bits = r.message_bits;
+  }
+  return stats;
+}
+
+}  // namespace l1hh
+
+#endif  // L1HH_COMM_INDEXING_GAME_H_

@@ -1,0 +1,117 @@
+#include "comm/maximin_game.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/maximin.h"
+#include "util/bit_stream.h"
+#include "util/bit_util.h"
+#include "util/random.h"
+#include "votes/ranking.h"
+
+namespace l1hh {
+
+GameResult RunMaximinGame(const MaximinGameParams& p, uint64_t seed) {
+  GameResult result;
+  Rng rng(seed);
+  const uint32_t n = std::max<uint32_t>(p.n, 4);
+  const uint32_t gamma = std::max<uint32_t>(p.gamma, 16);
+  const uint32_t candidates = 2 * n;
+
+  // The queried pair and the indexed bit.
+  const uint32_t i = static_cast<uint32_t>(rng.UniformU64(n / 2));
+  const uint32_t j =
+      n / 2 + static_cast<uint32_t>(rng.UniformU64(n - n / 2));
+  const bool bit = (rng.NextU64() & 1) != 0;
+
+  // Plant P: all rows uniform; row j = row i XOR Bernoulli(q) with
+  // q = 1/2 + 2/sqrt(gamma) (bit=1, "far") or 1/2 - 2/sqrt(gamma) (bit=0).
+  const double flip = 0.5 + (bit ? 2.0 : -2.0) /
+                                std::sqrt(static_cast<double>(gamma));
+  std::vector<std::vector<uint8_t>> P(n, std::vector<uint8_t>(gamma, 0));
+  for (uint32_t r = 0; r < n; ++r) {
+    if (r == j) continue;
+    for (uint32_t v = 0; v < gamma; ++v) {
+      P[r][v] = static_cast<uint8_t>(rng.NextU64() & 1);
+    }
+  }
+  for (uint32_t v = 0; v < gamma; ++v) {
+    P[j][v] = P[i][v] ^ static_cast<uint8_t>(rng.Bernoulli(flip) ? 1 : 0);
+  }
+
+  // Alice's votes: column v ranks {c : P'[c][v] = 1} (ascending) on top.
+  // P' rows 0..n-1 are P; rows n..2n-1 are the complement.
+  StreamingMaximin::Options opt;
+  opt.epsilon = 1.0 / (4.0 * std::sqrt(static_cast<double>(gamma)));
+  opt.delta = 0.1;
+  opt.num_candidates = candidates;
+  opt.stream_length = 2 * gamma;
+  StreamingMaximin alice(opt, Mix64(seed ^ 0xa11ceULL));
+  for (uint32_t v = 0; v < gamma; ++v) {
+    std::vector<uint32_t> order;
+    order.reserve(candidates);
+    for (uint32_t c = 0; c < n; ++c) {
+      if (P[c][v] != 0) order.push_back(c);
+    }
+    for (uint32_t c = 0; c < n; ++c) {
+      if (P[c][v] == 0) order.push_back(n + c);  // complement rows' ones
+    }
+    for (uint32_t c = 0; c < n; ++c) {
+      if (P[c][v] == 0) order.push_back(c);
+    }
+    for (uint32_t c = 0; c < n; ++c) {
+      if (P[c][v] != 0) order.push_back(n + c);
+    }
+    alice.InsertVote(Ranking(std::move(order)));
+  }
+
+  BitWriter message;
+  alice.Serialize(message);
+  // Alice also sends every row's Hamming weight (2n * log gamma bits).
+  for (uint32_t r = 0; r < n; ++r) {
+    uint64_t w = 0;
+    for (uint32_t v = 0; v < gamma; ++v) w += P[r][v];
+    message.WriteBits(w, BitWidth(gamma));
+    message.WriteBits(gamma - w, BitWidth(gamma));  // complement row weight
+  }
+
+  // Bob: gamma votes with i first, j second.
+  BitReader reader(message);
+  StreamingMaximin bob =
+      StreamingMaximin::Deserialize(reader, Mix64(seed ^ 0xb0bULL));
+  std::vector<uint32_t> bob_order;
+  bob_order.reserve(candidates);
+  bob_order.push_back(i);
+  bob_order.push_back(j);
+  for (uint32_t c = 0; c < candidates; ++c) {
+    if (c != i && c != j) bob_order.push_back(c);
+  }
+  const Ranking bob_vote(std::move(bob_order));
+  for (uint32_t v = 0; v < gamma; ++v) bob.InsertVote(bob_vote);
+
+  // j's maximin score = #{Alice votes where j beats i} = D_S(j, i); all
+  // other opponents give j at least gamma (Bob's votes).
+  const double score_j = bob.Scores()[j] *
+                         static_cast<double>(bob.samples_taken()) /
+                         static_cast<double>(opt.stream_length);
+  // Read the weights back (Bob's side of the message).
+  // (reader position is already past the sketch.)
+  uint64_t wi = 0, wj = 0;
+  for (uint32_t r = 0; r < n; ++r) {
+    const uint64_t w = reader.ReadBits(BitWidth(gamma));
+    reader.ReadBits(BitWidth(gamma));  // complement weight (unused here)
+    if (r == i) wi = w;
+    if (r == j) wj = w;
+  }
+  // D(j, i) = |{v: P_i=0, P_j=1}| = (Delta + |P_j| - |P_i|) / 2.
+  const double delta_hat = 2.0 * score_j -
+                           static_cast<double>(wj) +
+                           static_cast<double>(wi);
+  const bool decoded = delta_hat > static_cast<double>(gamma) / 2.0;
+  result.success = decoded == bit;
+  result.message_bits = message.size_bits();
+  return result;
+}
+
+}  // namespace l1hh

@@ -1,0 +1,37 @@
+// Theorem 13: the Indexing-via-Hamming-distance reduction showing
+// eps-Maximin needs Omega(n / eps^2) bits.
+//
+// Alice's string is encoded (through [VWWZ15]'s Lemma 8, see below) as a
+// matrix P in {0,1}^{n x gamma}, gamma = 1/eps^2, such that for the pair
+// (i, j) Bob queries, the Hamming distance Delta(P_i, P_j) lands
+// gamma/2 + sqrt(gamma) or gamma/2 - sqrt(gamma) depending on the indexed
+// bit (with constant probability).  P's columns become gamma votes over 2n
+// candidates (P adjoined with its complement, so every column has exactly
+// n ones).  Bob's extra votes force candidate j's maximin score to equal
+// #{Alice votes where j defeats i}, from which Delta — and hence the bit —
+// follows, given the row Hamming weights Alice also sends.
+//
+// Substitution (DESIGN.md #3): Lemma 8's public-randomness encoder is cited
+// from [VWWZ15], not reproved in the paper; the harness plants a matrix
+// satisfying the lemma's CONCLUSION for the queried pair (row j is row i
+// XOR Bernoulli(1/2 +- 2 eps) noise).  Everything downstream — the votes,
+// the sketch, Bob's decoding through the maximin score — runs verbatim.
+#ifndef L1HH_COMM_MAXIMIN_GAME_H_
+#define L1HH_COMM_MAXIMIN_GAME_H_
+
+#include <cstdint>
+
+#include "comm/one_way_protocol.h"
+
+namespace l1hh {
+
+struct MaximinGameParams {
+  uint32_t n = 32;      // P has n rows; the election has 2n candidates
+  uint32_t gamma = 64;  // 1/eps^2 columns (one vote each)
+};
+
+GameResult RunMaximinGame(const MaximinGameParams& p, uint64_t seed);
+
+}  // namespace l1hh
+
+#endif  // L1HH_COMM_MAXIMIN_GAME_H_

@@ -1,0 +1,40 @@
+// One-way communication game framework for the paper's Section 4 lower
+// bounds.
+//
+// A lower bound cannot be "measured", but every reduction in Section 4 is
+// an algorithm, and these games run it end to end: Alice builds her half of
+// the instance as a stream, runs the sketch, and Serialize()s it — the
+// serialized bits ARE the one-way message whose size the Omega(.) bounds
+// constrain.  Bob Deserialize()s, appends his half of the stream, and
+// decodes.  Tests assert the decoding succeeds with at least the paper's
+// probability; the lower-bound bench charts message bits against the
+// Omega(.) formulas.
+#ifndef L1HH_COMM_ONE_WAY_PROTOCOL_H_
+#define L1HH_COMM_ONE_WAY_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace l1hh {
+
+struct GameResult {
+  bool success = false;
+  /// Exact size of Alice's message in bits.
+  size_t message_bits = 0;
+};
+
+/// Aggregate of repeated game trials.
+struct GameStats {
+  int trials = 0;
+  int successes = 0;
+  size_t message_bits = 0;  // of the last trial (deterministic given params)
+
+  double success_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes) / trials;
+  }
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_COMM_ONE_WAY_PROTOCOL_H_

@@ -1,0 +1,97 @@
+#include "comm/perm_game.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/borda.h"
+#include "util/bit_stream.h"
+#include "util/random.h"
+#include "votes/ranking.h"
+
+namespace l1hh {
+
+GameResult RunPermGame(const PermGameParams& p, uint64_t seed) {
+  GameResult result;
+  Rng rng(seed);
+  const uint32_t n = p.n;
+  const uint32_t blocks = std::max<uint32_t>(1, p.blocks);
+  const uint32_t bs = n / blocks;  // sigma items per block
+  const uint32_t total_items = 3 * n;  // [n] sigma items + 2n dummies
+
+  // Alice's random permutation sigma over [n]; dummies are n .. 3n-1.
+  std::vector<uint32_t> sigma(n);
+  std::iota(sigma.begin(), sigma.end(), 0u);
+  for (uint32_t i = n; i > 1; --i) {
+    std::swap(sigma[i - 1], sigma[rng.UniformU64(i)]);
+  }
+
+  // Build Alice's vote: per block, bs dummies > bs sigma items > bs dummies.
+  std::vector<uint32_t> order;
+  order.reserve(total_items);
+  uint32_t next_dummy = n;
+  for (uint32_t b = 0; b < blocks; ++b) {
+    for (uint32_t k = 0; k < bs; ++k) order.push_back(next_dummy++);
+    for (uint32_t k = 0; k < bs; ++k) order.push_back(sigma[b * bs + k]);
+    for (uint32_t k = 0; k < bs; ++k) order.push_back(next_dummy++);
+  }
+  const Ranking alice_vote(std::move(order));
+
+  // Positions (for scoring the ground truth block).
+  std::vector<uint32_t> pos(total_items);
+  for (uint32_t q = 0; q < total_items; ++q) pos[alice_vote.At(q)] = q;
+
+  // eps_alg small enough that the +-eps*m*n score error is below half a
+  // block's width in positions; with m = 5 votes this stays exact unless
+  // blocks is enormous.
+  const double eps_alg = 1.0 / (32.0 * static_cast<double>(blocks));
+  StreamingBorda::Options opt;
+  opt.epsilon = eps_alg;
+  opt.delta = 0.05;
+  opt.num_candidates = total_items;
+  opt.stream_length = 5;
+  StreamingBorda alice(opt, Mix64(seed ^ 0xa11ceULL));
+  alice.InsertVote(alice_vote);
+
+  BitWriter message;
+  alice.Serialize(message);
+
+  // Bob.
+  const uint32_t i = static_cast<uint32_t>(rng.UniformU64(n));
+  BitReader reader(message);
+  StreamingBorda bob = StreamingBorda::Deserialize(reader,
+                                                   Mix64(seed ^ 0xb0bULL));
+  std::vector<uint32_t> fwd;
+  fwd.reserve(total_items);
+  fwd.push_back(i);
+  for (uint32_t c = 0; c < total_items; ++c) {
+    if (c != i) fwd.push_back(c);
+  }
+  std::vector<uint32_t> rev;
+  rev.reserve(total_items);
+  rev.push_back(i);
+  for (uint32_t c = total_items; c-- > 0;) {
+    if (c != i) rev.push_back(c);
+  }
+  const Ranking vote_fwd(std::move(fwd));
+  const Ranking vote_rev(std::move(rev));
+  bob.InsertVote(vote_fwd);
+  bob.InsertVote(vote_fwd);
+  bob.InsertVote(vote_rev);
+  bob.InsertVote(vote_rev);
+
+  // Decode: score(i) = 4 (3n - 1) from Bob's votes + (3n - 1 - pos_i) from
+  // Alice's vote; invert for pos_i, then the block.
+  const double s_hat = bob.Scores()[i];
+  const double base = 4.0 * (static_cast<double>(total_items) - 1.0);
+  const double q_hat =
+      (static_cast<double>(total_items) - 1.0) - (s_hat - base);
+  const auto block_hat = static_cast<int64_t>(
+      std::llround(q_hat) / static_cast<int64_t>(3 * bs));
+  const int64_t block_true = pos[i] / (3 * bs);
+  result.success = block_hat == block_true;
+  result.message_bits = message.size_bits();
+  return result;
+}
+
+}  // namespace l1hh

@@ -1,0 +1,28 @@
+// Theorem 12: the eps-Perm reduction showing eps-Borda needs
+// Omega(n log(1/eps)) bits.
+//
+// Alice holds a permutation sigma of [n], partitioned into `blocks`
+// contiguous blocks (blocks = 1/eps in the paper).  She builds ONE vote
+// over 3n items — each sigma-block sandwiched between runs of dummy items
+// exactly as in the paper's construction — and sends her Borda sketch.
+// Bob appends four votes that catapult his item i to the top, then reads
+// i's approximate Borda score, which pins down sigma's block containing i.
+#ifndef L1HH_COMM_PERM_GAME_H_
+#define L1HH_COMM_PERM_GAME_H_
+
+#include <cstdint>
+
+#include "comm/one_way_protocol.h"
+
+namespace l1hh {
+
+struct PermGameParams {
+  uint32_t n = 64;       // size of sigma's domain; universe is 3n items
+  uint32_t blocks = 8;   // 1/eps blocks; must divide n
+};
+
+GameResult RunPermGame(const PermGameParams& p, uint64_t seed);
+
+}  // namespace l1hh
+
+#endif  // L1HH_COMM_PERM_GAME_H_

@@ -1,0 +1,265 @@
+#include "core/bdw_optimal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bit_util.h"
+
+namespace l1hh {
+
+namespace {
+
+uint64_t ExpectedSamples(const BdwOptimal::Options& opt) {
+  const double l =
+      opt.constants.opt_sample_factor / (opt.epsilon * opt.epsilon);
+  return std::max<uint64_t>(64, static_cast<uint64_t>(std::ceil(l)));
+}
+
+}  // namespace
+
+BdwOptimal::BdwOptimal(const Options& opt, uint64_t seed)
+    : opt_(opt),
+      rng_(seed),
+      t1_(static_cast<size_t>(std::ceil(opt.constants.opt_t1_factor /
+                                        opt.phi)),
+          UniverseBits(opt.universe_size)),
+      epoch_scale_(opt.constants.opt_epoch_scale) {
+  const uint64_t l = ExpectedSamples(opt_);
+  const double p = std::min(
+      1.0, static_cast<double>(l) /
+               static_cast<double>(std::max<uint64_t>(opt_.stream_length, 1)));
+  sampler_ = GeometricSkipSampler::FromProbability(p, rng_);
+
+  rows_ = static_cast<size_t>(
+      std::ceil(opt_.constants.opt_rows_factor / opt_.epsilon));
+  rows_ = std::max<size_t>(rows_, 4);
+
+  size_t reps = static_cast<size_t>(std::ceil(
+      opt_.constants.opt_rep_factor * std::log2(12.0 / opt_.phi)));
+  reps = std::max<size_t>(reps,
+                          static_cast<size_t>(opt_.constants.opt_min_reps));
+  reps_ = reps | 1;  // odd, so the median is well defined
+
+  eps_exp_ = ProbabilityToPow2Exponent(opt_.epsilon);
+
+  // Highest epoch a T2 cell can reach: T2 <= eps * 10 l (whp); clamp there.
+  const double t2_max = std::max(
+      2.0 * epoch_scale_,
+      10.0 * opt_.epsilon * static_cast<double>(l));
+  max_epoch_ = std::max(
+      1, static_cast<int>(std::ceil(2.0 * std::log2(t2_max / epoch_scale_))));
+
+  Rng hash_rng(Mix64(seed) ^ 0x5bd1e9955bd1e995ULL);
+  hashes_.reserve(reps_);
+  for (size_t j = 0; j < reps_; ++j) {
+    hashes_.push_back(UniversalHash::Draw(hash_rng, rows_));
+  }
+  t2_.Reset(rows_ * reps_);
+  t3_.Reset(rows_ * reps_ * static_cast<size_t>(max_epoch_ + 1));
+}
+
+int BdwOptimal::EpochFor(uint64_t v) const {
+  if (static_cast<double>(v) < epoch_scale_) return -1;
+  const int t = static_cast<int>(std::floor(
+      2.0 * std::log2(static_cast<double>(v) / epoch_scale_)));
+  return std::min(t, max_epoch_);
+}
+
+void BdwOptimal::Insert(ItemId item) {
+  ++position_;
+  if (!sampler_.Offer(rng_)) return;
+  ++sampled_;
+  t1_.Insert(item);
+  for (size_t j = 0; j < reps_; ++j) {
+    const size_t i = static_cast<size_t>(hashes_[j](item));
+    const size_t cell = T2Cell(i, j);
+    if (rng_.AllZeroBits(eps_exp_)) {
+      t2_.Increment(cell);
+    }
+    const int t = EpochFor(t2_.Get(cell));
+    if (t >= 0) {
+      // Count with probability min(eps * 2^t, 1) = 2^{-(eps_exp - t)}.
+      const int k = std::max(eps_exp_ - t, 0);
+      if (rng_.AllZeroBits(k)) {
+        t3_.Increment(T3Cell(i, j, t));
+      }
+    }
+  }
+}
+
+double BdwOptimal::EstimateRep(ItemId item, size_t rep) const {
+  const size_t i = static_cast<size_t>(hashes_[rep](item));
+  double estimate = 0;
+  for (int t = 0; t <= max_epoch_; ++t) {
+    const uint64_t c = t3_.Get(T3Cell(i, rep, t));
+    if (c == 0) continue;
+    const int k = std::max(eps_exp_ - t, 0);
+    estimate += static_cast<double>(c) * std::ldexp(1.0, k);  // c * 2^k
+  }
+  if (opt_.constants.opt_bias_correction) {
+    // Arrivals before the cell's first epoch opened are invisible to T3;
+    // they number ~min(T2, epoch_scale)/eps.  Estimate them from T2.
+    const double v = static_cast<double>(t2_.Get(T2Cell(i, rep)));
+    estimate += std::min(v, epoch_scale_) * std::ldexp(1.0, eps_exp_);
+  }
+  return estimate;
+}
+
+std::vector<HeavyHitter> BdwOptimal::Report() const {
+  std::vector<HeavyHitter> out;
+  if (sampled_ == 0) return out;
+  const double scale = static_cast<double>(opt_.stream_length) /
+                       static_cast<double>(sampled_);
+  const double threshold = (opt_.phi - opt_.epsilon / 2.0) *
+                           static_cast<double>(sampled_);
+  std::vector<double> reps(reps_);
+  for (const auto& entry : t1_.Entries()) {
+    for (size_t j = 0; j < reps_; ++j) {
+      reps[j] = EstimateRep(entry.item, j);
+    }
+    std::nth_element(reps.begin(), reps.begin() + reps_ / 2, reps.end());
+    const double med = reps[reps_ / 2];
+    if (med >= threshold) {
+      HeavyHitter hh;
+      hh.item = entry.item;
+      hh.estimated_count = med * scale;
+      hh.estimated_fraction =
+          hh.estimated_count / static_cast<double>(opt_.stream_length);
+      out.push_back(hh);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.estimated_count > b.estimated_count;
+            });
+  return out;
+}
+
+std::vector<HeavyHitter> BdwOptimal::TopK(size_t k) const {
+  std::vector<HeavyHitter> out;
+  if (sampled_ == 0) return out;
+  const double scale = static_cast<double>(opt_.stream_length) /
+                       static_cast<double>(sampled_);
+  std::vector<double> reps(reps_);
+  for (const auto& entry : t1_.Entries()) {
+    for (size_t j = 0; j < reps_; ++j) {
+      reps[j] = EstimateRep(entry.item, j);
+    }
+    std::nth_element(reps.begin(), reps.begin() + reps_ / 2, reps.end());
+    HeavyHitter hh;
+    hh.item = entry.item;
+    hh.estimated_count = reps[reps_ / 2] * scale;
+    hh.estimated_fraction =
+        hh.estimated_count / static_cast<double>(opt_.stream_length);
+    out.push_back(hh);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.estimated_count > b.estimated_count;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+double BdwOptimal::EstimateCount(ItemId item) const {
+  if (sampled_ == 0) return 0;
+  std::vector<double> reps(reps_);
+  for (size_t j = 0; j < reps_; ++j) reps[j] = EstimateRep(item, j);
+  std::nth_element(reps.begin(), reps.begin() + reps_ / 2, reps.end());
+  const double scale = static_cast<double>(opt_.stream_length) /
+                       static_cast<double>(sampled_);
+  return reps[reps_ / 2] * scale;
+}
+
+size_t BdwOptimal::SpaceBits() const {
+  size_t bits = t1_.SpaceBits();
+  bits += t2_.SpaceBits();
+  // Sparse T3 accounting (the paper's Claim 3): a cell's epoch list only
+  // exists up to the highest epoch it ever opened.
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < reps_; ++j) {
+      int top = -1;
+      for (int t = max_epoch_; t >= 0; --t) {
+        if (t3_.Get(T3Cell(i, j, t)) != 0) {
+          top = t;
+          break;
+        }
+      }
+      for (int t = 0; t <= top; ++t) {
+        const uint64_t c = t3_.Get(T3Cell(i, j, t));
+        bits += c == 0 ? 1 : static_cast<size_t>(CounterBits(c));
+      }
+    }
+  }
+  for (const auto& h : hashes_) bits += static_cast<size_t>(h.SeedBits());
+  bits += static_cast<size_t>(sampler_.SpaceBits());
+  bits += BitWidth(sampled_);
+  return bits;
+}
+
+void BdwOptimal::Serialize(BitWriter& out) const {
+  out.WriteDouble(opt_.epsilon);
+  out.WriteDouble(opt_.phi);
+  out.WriteDouble(opt_.delta);
+  out.WriteU64(opt_.universe_size);
+  out.WriteU64(opt_.stream_length);
+  out.WriteDouble(opt_.constants.opt_sample_factor);
+  out.WriteDouble(opt_.constants.opt_t1_factor);
+  out.WriteDouble(opt_.constants.opt_rep_factor);
+  out.WriteBits(static_cast<uint64_t>(opt_.constants.opt_min_reps), 16);
+  out.WriteDouble(opt_.constants.opt_rows_factor);
+  out.WriteDouble(opt_.constants.opt_epoch_scale);
+  out.WriteBool(opt_.constants.opt_bias_correction);
+  out.WriteCounter(position_);
+  out.WriteCounter(sampled_);
+  sampler_.Serialize(out);
+  for (const auto& h : hashes_) h.Serialize(out);
+  t1_.Serialize(out);
+  t2_.Serialize(out);
+  t3_.Serialize(out);
+}
+
+BdwOptimal BdwOptimal::Deserialize(BitReader& in, uint64_t seed) {
+  Options opt;
+  opt.epsilon = in.ReadDouble();
+  opt.phi = in.ReadDouble();
+  opt.delta = in.ReadDouble();
+  opt.universe_size = in.ReadU64();
+  opt.stream_length = in.ReadU64();
+  opt.constants.opt_sample_factor = in.ReadDouble();
+  opt.constants.opt_t1_factor = in.ReadDouble();
+  opt.constants.opt_rep_factor = in.ReadDouble();
+  opt.constants.opt_min_reps = static_cast<int>(in.ReadBits(16));
+  opt.constants.opt_rows_factor = in.ReadDouble();
+  opt.constants.opt_epoch_scale = in.ReadDouble();
+  opt.constants.opt_bias_correction = in.ReadBool();
+  SanitizeWireParams(opt.epsilon, opt.phi, opt.delta, opt.universe_size,
+                     opt.stream_length);
+  // The constants also size allocations; clamp them to sane ranges.
+  const Constants defaults;
+  auto clamp = [](double& v, double lo, double hi, double fallback) {
+    if (!(v >= lo && v <= hi)) v = fallback;
+  };
+  clamp(opt.constants.opt_sample_factor, 1.0, 1e7,
+        defaults.opt_sample_factor);
+  clamp(opt.constants.opt_t1_factor, 0.5, 100.0, defaults.opt_t1_factor);
+  clamp(opt.constants.opt_rep_factor, 0.5, 1e3, defaults.opt_rep_factor);
+  if (opt.constants.opt_min_reps < 1 || opt.constants.opt_min_reps > 4096) {
+    opt.constants.opt_min_reps = defaults.opt_min_reps;
+  }
+  clamp(opt.constants.opt_rows_factor, 1.0, 1e4,
+        defaults.opt_rows_factor);
+  clamp(opt.constants.opt_epoch_scale, 2.0, 1e6,
+        defaults.opt_epoch_scale);
+  BdwOptimal out(opt, seed);
+  out.position_ = in.ReadCounter();
+  out.sampled_ = in.ReadCounter();
+  out.sampler_.Deserialize(in);
+  for (auto& h : out.hashes_) h = UniversalHash::Deserialize(in);
+  out.t1_ = MisraGries::Deserialize(in);
+  out.t2_.Deserialize(in);
+  out.t3_.Deserialize(in);
+  return out;
+}
+
+}  // namespace l1hh

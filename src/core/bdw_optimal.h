@@ -1,0 +1,114 @@
+// Algorithm 2 of the paper (Theorem 2): the space-optimal
+// (eps, phi)-List heavy hitters algorithm.
+//
+// Structure, mirroring the pseudocode:
+//   * Bernoulli sample of ~l = O(eps^-2) items (geometric-skip, O(1) w.c.);
+//   * T1: Misra–Gries over *true* ids with O(1/phi) counters — the
+//     candidate set (every phi-heavy item of the sample survives);
+//   * for each of R = O(log(1/phi)) repetitions j, a universal hash h_j
+//     into O(1/eps) rows;
+//   * T2[i][j]: eps-subsampled running count of hashed id i — a factor-4
+//     tracker of f_i used to decide the current *epoch*;
+//   * T3[i][j][t]: the "accelerated counters": an arrival in epoch t is
+//     counted with probability min(eps 2^t, 1), so counting probability
+//     grows as Theta(eps^2 f_i) and each estimator has O(eps^-2) variance;
+//   * estimate = median over j of sum_t T3[i][j][t] / min(eps 2^t, 1);
+//     report T1 candidates whose estimate clears (phi - eps/2) * sample.
+//
+// Space: O(eps^-1 log phi^-1 + phi^-1 log n + log log m) bits — optimal by
+// the paper's Theorems 9 and 14.
+#ifndef L1HH_CORE_BDW_OPTIMAL_H_
+#define L1HH_CORE_BDW_OPTIMAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/common.h"
+#include "count/compact_counter_array.h"
+#include "hash/universal_hash.h"
+#include "sampling/geometric_skip.h"
+#include "summary/misra_gries.h"
+#include "util/bit_stream.h"
+#include "util/random.h"
+
+namespace l1hh {
+
+class BdwOptimal {
+ public:
+  struct Options {
+    double epsilon = 0.01;
+    double phi = 0.05;
+    double delta = 0.1;  // the paper states Theorem 2 for constant delta
+    uint64_t universe_size = uint64_t{1} << 32;
+    uint64_t stream_length = 0;
+    Constants constants = Constants::Practical();
+
+    Status Validate() const {
+      return ValidateHeavyHitterParams(epsilon, phi, delta, universe_size,
+                                       stream_length);
+    }
+  };
+
+  BdwOptimal(const Options& options, uint64_t seed);
+
+  /// Processes one stream item.  O(R) on the (rare) sampled items, O(1)
+  /// worst-case after the paper's spreading argument; O(1) always for
+  /// non-sampled items.
+  void Insert(ItemId item);
+
+  std::vector<HeavyHitter> Report() const;
+
+  /// The k candidates with the highest median estimates, unthresholded.
+  std::vector<HeavyHitter> TopK(size_t k) const;
+
+  /// Median accelerated-counter estimate for an arbitrary item, rescaled
+  /// to full-stream units.
+  double EstimateCount(ItemId item) const;
+
+  uint64_t samples_taken() const { return sampled_; }
+  uint64_t items_processed() const { return position_; }
+  size_t repetitions() const { return hashes_.size(); }
+  size_t rows() const { return rows_; }
+  const Options& options() const { return opt_; }
+
+  /// Paper-style accounting: T1 + T2 (content) + T3 (sparse: only epochs
+  /// actually opened per cell are charged) + hash seeds + sampler.
+  size_t SpaceBits() const;
+
+  void Serialize(BitWriter& out) const;
+  static BdwOptimal Deserialize(BitReader& in, uint64_t seed);
+
+ private:
+  size_t T2Cell(size_t row, size_t rep) const { return row * reps_ + rep; }
+  size_t T3Cell(size_t row, size_t rep, int epoch) const {
+    return (row * reps_ + rep) * static_cast<size_t>(max_epoch_ + 1) +
+           static_cast<size_t>(epoch);
+  }
+
+  /// Epoch for a T2 value v: floor(2 log2(v / epoch_scale)), clamped to
+  /// [-1, max_epoch_]; -1 means "pre-epoch" (no T3 counting yet).
+  int EpochFor(uint64_t v) const;
+
+  /// Per-repetition estimate of the sampled-stream frequency of item's
+  /// hashed id.
+  double EstimateRep(ItemId item, size_t rep) const;
+
+  Options opt_;
+  Rng rng_;
+  GeometricSkipSampler sampler_;
+  MisraGries t1_;
+  std::vector<UniversalHash> hashes_;
+  size_t rows_ = 0;
+  size_t reps_ = 0;
+  int eps_exp_ = 0;    // T2 subsampling probability = 2^{-eps_exp}
+  int max_epoch_ = 0;
+  double epoch_scale_ = 8.0;
+  CompactCounterArray t2_;
+  CompactCounterArray t3_;
+  uint64_t position_ = 0;
+  uint64_t sampled_ = 0;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_CORE_BDW_OPTIMAL_H_

@@ -1,0 +1,126 @@
+#include "core/borda.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bit_util.h"
+
+namespace l1hh {
+
+StreamingBorda::StreamingBorda(const Options& opt, uint64_t seed)
+    : opt_(opt), rng_(seed), acc_(opt.num_candidates, 0) {
+  const double l = opt_.constants.borda_sample_factor *
+                   std::log(6.0 * opt_.num_candidates / opt_.delta) /
+                   (opt_.epsilon * opt_.epsilon);
+  const double p = std::min(
+      1.0, l / static_cast<double>(std::max<uint64_t>(opt_.stream_length, 1)));
+  sampler_ = GeometricSkipSampler::FromProbability(p, rng_);
+}
+
+void StreamingBorda::InsertVote(const Ranking& vote) {
+  ++position_;
+  if (!sampler_.Offer(rng_)) return;
+  ++sampled_;
+  const uint32_t n = opt_.num_candidates;
+  for (uint32_t p = 0; p < n && p < vote.size(); ++p) {
+    acc_[vote.At(p)] += n - 1 - p;
+  }
+}
+
+std::vector<double> StreamingBorda::Scores() const {
+  std::vector<double> out(opt_.num_candidates, 0.0);
+  if (sampled_ == 0) return out;
+  const double scale = static_cast<double>(opt_.stream_length) /
+                       static_cast<double>(sampled_);
+  for (uint32_t i = 0; i < opt_.num_candidates; ++i) {
+    out[i] = static_cast<double>(acc_[i]) * scale;
+  }
+  return out;
+}
+
+std::vector<HeavyHitter> StreamingBorda::ListAbove() const {
+  const std::vector<double> scores = Scores();
+  const double mn = static_cast<double>(opt_.stream_length) *
+                    static_cast<double>(opt_.num_candidates);
+  const double threshold = (opt_.phi - opt_.epsilon / 2.0) * mn;
+  std::vector<HeavyHitter> out;
+  for (uint32_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] >= threshold) {
+      out.push_back({i, scores[i], scores[i] / mn});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.estimated_count > b.estimated_count;
+            });
+  return out;
+}
+
+HeavyHitter StreamingBorda::MaxScore() const {
+  const std::vector<double> scores = Scores();
+  uint32_t best = 0;
+  for (uint32_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) best = i;
+  }
+  const double mn = static_cast<double>(opt_.stream_length) *
+                    static_cast<double>(opt_.num_candidates);
+  return {best, scores.empty() ? 0 : scores[best],
+          scores.empty() ? 0 : scores[best] / mn};
+}
+
+StreamingBorda StreamingBorda::Merge(const StreamingBorda& a,
+                                     const StreamingBorda& b) {
+  StreamingBorda merged = a;
+  if (b.acc_.size() != merged.acc_.size()) return merged;
+  for (size_t i = 0; i < merged.acc_.size(); ++i) {
+    merged.acc_[i] += b.acc_[i];
+  }
+  merged.position_ += b.position_;
+  merged.sampled_ += b.sampled_;
+  return merged;
+}
+
+size_t StreamingBorda::SpaceBits() const {
+  size_t bits = BitWidth(sampled_) + sampler_.SpaceBits();
+  for (const uint64_t a : acc_) {
+    bits += static_cast<size_t>(CounterBits(a));
+  }
+  return bits;
+}
+
+void StreamingBorda::Serialize(BitWriter& out) const {
+  out.WriteDouble(opt_.epsilon);
+  out.WriteDouble(opt_.phi);
+  out.WriteDouble(opt_.delta);
+  out.WriteU32(opt_.num_candidates);
+  out.WriteU64(opt_.stream_length);
+  out.WriteCounter(position_);
+  out.WriteCounter(sampled_);
+  sampler_.Serialize(out);
+  for (const uint64_t a : acc_) out.WriteCounter(a);
+}
+
+StreamingBorda StreamingBorda::Deserialize(BitReader& in, uint64_t seed) {
+  Options opt;
+  opt.epsilon = in.ReadDouble();
+  opt.phi = in.ReadDouble();
+  opt.delta = in.ReadDouble();
+  opt.num_candidates = in.ReadU32();
+  opt.stream_length = in.ReadU64();
+  // phi = 0 is a legal "no threshold" setting here; sanitize the rest.
+  if (!(opt.epsilon > 1e-12 && opt.epsilon < 1.0)) opt.epsilon = 0.25;
+  if (!(opt.phi >= 0.0 && opt.phi <= 1.0)) opt.phi = 0.0;
+  if (!(opt.delta > 1e-12 && opt.delta < 1.0)) opt.delta = 0.5;
+  if (opt.stream_length == 0) opt.stream_length = 1;
+  // Each candidate owns at least one counter bit in the payload.
+  opt.num_candidates = static_cast<uint32_t>(std::min<uint64_t>(
+      opt.num_candidates, in.remaining_bits() + 64));
+  StreamingBorda out(opt, seed);
+  out.position_ = in.ReadCounter();
+  out.sampled_ = in.ReadCounter();
+  out.sampler_.Deserialize(in);
+  for (auto& a : out.acc_) a = in.ReadCounter();
+  return out;
+}
+
+}  // namespace l1hh

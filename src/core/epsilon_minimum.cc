@@ -1,0 +1,263 @@
+#include "core/epsilon_minimum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bit_util.h"
+
+namespace l1hh {
+
+EpsilonMinimum::EpsilonMinimum(const Options& options, uint64_t seed)
+    : opt_(options), rng_(seed) {
+  const double eps = opt_.epsilon;
+  const double delta = opt_.delta;
+  const double m = static_cast<double>(std::max<uint64_t>(
+      opt_.stream_length, 1));
+
+  const double universe_cutoff = 1.0 / ((1.0 - delta) * eps);
+  if (static_cast<double>(opt_.universe_size) > universe_cutoff) {
+    large_universe_ = true;
+    const uint64_t prefix = std::max<uint64_t>(
+        1, static_cast<uint64_t>(universe_cutoff));
+    random_item_ = rng_.UniformU64(std::min(prefix, opt_.universe_size));
+    return;
+  }
+
+  const uint64_t n = opt_.universe_size;
+  const double ln_eps_inv = std::max(1.0, std::log(1.0 / eps));
+  const Constants& c = opt_.constants;
+
+  const double l1 = c.min_s1_factor * std::log(6.0 / (eps * delta)) / eps;
+  const double l2 =
+      c.min_s2_factor * std::log(6.0 / delta) / (eps * eps);
+  const double lg = std::log(6.0 / (eps * delta));
+  const double l3 = c.min_s3_factor * lg * lg * lg / eps;
+
+  const double p1 = std::min(1.0, 6.0 * l1 / m);
+  p2_ = std::min(1.0, 6.0 * l2 / m);
+  p3_ = std::min(1.0, 6.0 * l3 / m);
+  s1_sampler_ = GeometricSkipSampler::FromProbability(p1, rng_);
+  s2_sampler_ = GeometricSkipSampler::FromProbability(p2_, rng_);
+  s3_sampler_ = GeometricSkipSampler::FromProbability(p3_, rng_);
+  // Footnote-3 rounding: remember the probabilities actually used.
+  p2_ = s2_sampler_.probability();
+  p3_ = s3_sampler_.probability();
+
+  distinct_threshold_ = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             1.0 / (c.min_distinct_factor * eps * ln_eps_inv)));
+  // Counters of S3 only matter below ~p3 * (eps m ln(1/eps)); cap at 4x.
+  const double cap = 4.0 * p3_ * m * eps * ln_eps_inv;
+  cap_ = std::max<uint64_t>(16, static_cast<uint64_t>(std::ceil(cap)));
+
+  seen_.assign(n, false);
+  s1_bits_.assign(n, false);
+}
+
+void EpsilonMinimum::Insert(ItemId item) {
+  ++position_;
+  if (large_universe_) return;
+  if (item >= opt_.universe_size) return;  // out-of-universe items ignored
+
+  if (!seen_[item]) {
+    seen_[item] = true;
+    ++distinct_;
+    if (s2_active_ && distinct_ > distinct_threshold_) {
+      s2_active_ = false;
+      s2_.clear();  // "we stop" — reclaim the space (paper, 3.3 overview)
+    }
+  }
+  if (s1_sampler_.Offer(rng_)) {
+    s1_bits_[item] = true;
+  }
+  if (s2_active_ && s2_sampler_.Offer(rng_)) {
+    ++s2_[item];
+  }
+  if (s3_sampler_.Offer(rng_)) {
+    uint64_t& c3 = s3_[item];
+    if (c3 < cap_) ++c3;
+  }
+}
+
+EpsilonMinimum::Result EpsilonMinimum::Report() const {
+  Result r;
+  if (large_universe_) {
+    r.item = random_item_;
+    r.branch = ReportBranch::kLargeUniverse;
+    r.estimated_count = 0;
+    return r;
+  }
+  const uint64_t n = opt_.universe_size;
+
+  // Branch 2: an item that never entered S1 has frequency < eps*m whp.
+  for (uint64_t x = 0; x < n; ++x) {
+    if (!s1_bits_[x]) {
+      r.item = x;
+      r.branch = ReportBranch::kUnsampledItem;
+      r.estimated_count = 0;
+      return r;
+    }
+  }
+
+  // Branch 3: few distinct items — S2's exact sampled counts decide.
+  if (s2_active_) {
+    ItemId best = 0;
+    uint64_t best_count = UINT64_MAX;
+    for (uint64_t x = 0; x < n; ++x) {
+      const auto it = s2_.find(x);
+      const uint64_t cnt = it == s2_.end() ? 0 : it->second;
+      if (cnt < best_count) {
+        best_count = cnt;
+        best = x;
+      }
+    }
+    r.item = best;
+    r.branch = ReportBranch::kFewDistinct;
+    r.estimated_count = static_cast<double>(best_count) / p2_;
+    return r;
+  }
+
+  // Branch 4: truncated counters.
+  ItemId best = 0;
+  uint64_t best_count = UINT64_MAX;
+  for (uint64_t x = 0; x < n; ++x) {
+    const auto it = s3_.find(x);
+    const uint64_t cnt = it == s3_.end() ? 0 : it->second;
+    if (cnt < best_count) {
+      best_count = cnt;
+      best = x;
+    }
+  }
+  r.item = best;
+  r.branch = ReportBranch::kTruncatedCounters;
+  r.estimated_count = static_cast<double>(best_count) / p3_;
+  return r;
+}
+
+size_t EpsilonMinimum::SpaceBits() const {
+  if (large_universe_) {
+    return static_cast<size_t>(UniverseBits(opt_.universe_size));
+  }
+  const auto id_bits = static_cast<size_t>(UniverseBits(opt_.universe_size));
+  size_t bits = seen_.size() + s1_bits_.size() + BitWidth(distinct_);
+  bits += static_cast<size_t>(s1_sampler_.SpaceBits()) +
+          static_cast<size_t>(s2_sampler_.SpaceBits()) +
+          static_cast<size_t>(s3_sampler_.SpaceBits());
+  for (const auto& [id, cnt] : s2_) {
+    (void)id;
+    bits += id_bits + static_cast<size_t>(CounterBits(cnt));
+  }
+  // S3 counters are truncated, so each costs only log2(cap) bits.
+  bits += s3_.size() * (id_bits + static_cast<size_t>(BitWidth(cap_)));
+  return bits;
+}
+
+void EpsilonMinimum::Serialize(BitWriter& out) const {
+  out.WriteDouble(opt_.epsilon);
+  out.WriteDouble(opt_.delta);
+  out.WriteU64(opt_.universe_size);
+  out.WriteU64(opt_.stream_length);
+  out.WriteCounter(position_);
+  out.WriteBool(large_universe_);
+  if (large_universe_) {
+    out.WriteU64(random_item_);
+    return;
+  }
+  s1_sampler_.Serialize(out);
+  s2_sampler_.Serialize(out);
+  s3_sampler_.Serialize(out);
+  out.WriteCounter(distinct_);
+  out.WriteBool(s2_active_);
+  for (uint64_t x = 0; x < opt_.universe_size; ++x) {
+    out.WriteBool(seen_[x]);
+    out.WriteBool(s1_bits_[x]);
+  }
+  const int id_bits = UniverseBits(opt_.universe_size);
+  out.WriteGamma(s2_.size() + 1);
+  for (const auto& [id, cnt] : s2_) {
+    out.WriteBits(id, id_bits);
+    out.WriteCounter(cnt);
+  }
+  out.WriteGamma(s3_.size() + 1);
+  for (const auto& [id, cnt] : s3_) {
+    out.WriteBits(id, id_bits);
+    out.WriteCounter(cnt);
+  }
+}
+
+EpsilonMinimum EpsilonMinimum::Deserialize(BitReader& in, uint64_t seed) {
+  Options opt;
+  opt.epsilon = in.ReadDouble();
+  opt.delta = in.ReadDouble();
+  opt.universe_size = in.ReadU64();
+  opt.stream_length = in.ReadU64();
+  // Corruption guards.  Reject non-finite parameters, and — for the
+  // small-universe mode only, whose message carries 2 bits per universe
+  // item and whose constructor allocates universe-sized vectors — reject a
+  // universe larger than the remaining message could describe.  (A genuine
+  // large-universe message stores just one id, so it is exempt.)
+  bool hostile = !(opt.epsilon > 0.0 && opt.epsilon < 1.0) ||
+                 !(opt.delta > 0.0 && opt.delta < 1.0);
+  if (!hostile) {
+    const double cutoff = 1.0 / ((1.0 - opt.delta) * opt.epsilon);
+    if (static_cast<double>(opt.universe_size) <= cutoff &&
+        opt.universe_size > in.remaining_bits() + 64) {
+      hostile = true;
+    }
+  }
+  if (hostile) {
+    opt.epsilon = 0.5;
+    opt.delta = 0.5;
+    opt.universe_size = 1;
+    opt.stream_length = 1;
+    EpsilonMinimum bad(opt, seed);
+    return bad;
+  }
+  EpsilonMinimum out(opt, seed);
+  out.position_ = in.ReadCounter();
+  out.large_universe_ = in.ReadBool();
+  if (out.large_universe_) {
+    out.random_item_ = in.ReadU64();
+    return out;
+  }
+  // The wire flag is authoritative: if a corrupted header made the
+  // constructor pick large-universe mode, the small-universe vectors were
+  // never allocated — create them, but only if the payload could plausibly
+  // describe that universe (2 bits per item).
+  if (opt.universe_size > in.remaining_bits() / 2 + 64) {
+    Options tiny;
+    tiny.epsilon = 0.5;
+    tiny.delta = 0.5;
+    tiny.universe_size = 1;
+    tiny.stream_length = 1;
+    return EpsilonMinimum(tiny, seed);
+  }
+  out.large_universe_ = false;
+  out.seen_.assign(opt.universe_size, false);
+  out.s1_bits_.assign(opt.universe_size, false);
+  out.s1_sampler_.Deserialize(in);
+  out.s2_sampler_.Deserialize(in);
+  out.s3_sampler_.Deserialize(in);
+  out.distinct_ = in.ReadCounter();
+  out.s2_active_ = in.ReadBool();
+  for (uint64_t x = 0; x < opt.universe_size; ++x) {
+    out.seen_[x] = in.ReadBool();
+    out.s1_bits_[x] = in.ReadBool();
+  }
+  const int id_bits = UniverseBits(opt.universe_size);
+  const size_t n2 = in.CheckedCount(in.ReadGamma() - 1);
+  out.s2_.clear();
+  for (size_t i = 0; i < n2; ++i) {
+    const uint64_t id = in.ReadBits(id_bits);
+    out.s2_[id] = in.ReadCounter();
+  }
+  const size_t n3 = in.CheckedCount(in.ReadGamma() - 1);
+  out.s3_.clear();
+  for (size_t i = 0; i < n3; ++i) {
+    const uint64_t id = in.ReadBits(id_bits);
+    out.s3_[id] = in.ReadCounter();
+  }
+  return out;
+}
+
+}  // namespace l1hh

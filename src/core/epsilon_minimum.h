@@ -1,0 +1,105 @@
+// Algorithm 3 of the paper (Theorem 4): the eps-Minimum problem — find an
+// item whose frequency is within eps*m of the minimum over the whole
+// universe (items that never occur count as frequency zero).
+//
+// Space O(eps^-1 log log(1/(eps delta)) + log log m) bits via a four-way
+// case analysis, mirrored exactly by Report():
+//   1. |U| > 1/((1-delta) eps): a random item among the first
+//      1/((1-delta)eps) ids is correct whp (at most 1/eps items can be
+//      eps-heavy) — no stream state at all;
+//   2. some item never entered the S1 Bernoulli sample (rate ~l1 =
+//      O(log(1/(eps delta))/eps)): that item's frequency is < eps*m whp;
+//   3. few distinct items (<= 1/(eps ln(1/eps))): S2 keeps exact counts of
+//      an O(eps^-2)-rate sample — return its minimum;
+//   4. otherwise the minimum frequency lies in
+//      [eps m / ln(1/eps), eps m ln(1/eps)]: S3's truncated counters (cap =
+//      polylog(1/(eps delta)) => O(log log) bits each) resolve it.
+#ifndef L1HH_CORE_EPSILON_MINIMUM_H_
+#define L1HH_CORE_EPSILON_MINIMUM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/common.h"
+#include "sampling/geometric_skip.h"
+#include "util/bit_stream.h"
+#include "util/random.h"
+
+namespace l1hh {
+
+class EpsilonMinimum {
+ public:
+  struct Options {
+    double epsilon = 0.05;
+    double delta = 0.1;
+    uint64_t universe_size = 0;  // must be set; minimum is universe-relative
+    uint64_t stream_length = 0;
+    Constants constants = Constants::Practical();
+
+    Status Validate() const {
+      if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+        return Status::InvalidArgument("epsilon must be in (0, 1)");
+      }
+      if (universe_size == 0 || stream_length == 0) {
+        return Status::InvalidArgument("universe and stream must be nonempty");
+      }
+      return Status::Ok();
+    }
+  };
+
+  /// Which case of the paper's REPORT procedure fired (for tests/benches).
+  enum class ReportBranch {
+    kLargeUniverse,
+    kUnsampledItem,
+    kFewDistinct,
+    kTruncatedCounters,
+  };
+
+  struct Result {
+    ItemId item = 0;
+    /// Estimated frequency of `item` over the full stream (may be 0).
+    double estimated_count = 0;
+    ReportBranch branch = ReportBranch::kLargeUniverse;
+  };
+
+  EpsilonMinimum(const Options& options, uint64_t seed);
+
+  void Insert(ItemId item);
+
+  Result Report() const;
+
+  uint64_t items_processed() const { return position_; }
+  uint64_t distinct_items() const { return distinct_; }
+  const Options& options() const { return opt_; }
+  uint64_t truncation_cap() const { return cap_; }
+
+  size_t SpaceBits() const;
+
+  void Serialize(BitWriter& out) const;
+  static EpsilonMinimum Deserialize(BitReader& in, uint64_t seed);
+
+ private:
+  Options opt_;
+  Rng rng_;
+
+  bool large_universe_ = false;
+  ItemId random_item_ = 0;  // branch-1 answer, fixed at construction
+
+  // Small-universe state.
+  GeometricSkipSampler s1_sampler_, s2_sampler_, s3_sampler_;
+  double p2_ = 0, p3_ = 0;
+  uint64_t distinct_threshold_ = 0;
+  uint64_t cap_ = 0;
+  std::vector<bool> seen_;     // exact distinct tracking over U
+  uint64_t distinct_ = 0;
+  std::vector<bool> s1_bits_;  // B1: which items entered sample S1
+  bool s2_active_ = true;
+  std::unordered_map<ItemId, uint64_t> s2_;  // exact counts of sample S2
+  std::unordered_map<ItemId, uint64_t> s3_;  // truncated counts of S3
+  uint64_t position_ = 0;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_CORE_EPSILON_MINIMUM_H_

@@ -1,0 +1,134 @@
+#include "core/maximin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bit_util.h"
+#include "votes/election.h"
+
+namespace l1hh {
+
+StreamingMaximin::StreamingMaximin(const Options& opt, uint64_t seed)
+    : opt_(opt), rng_(seed) {
+  const double l = opt_.constants.maximin_sample_factor *
+                   std::log(6.0 * opt_.num_candidates / opt_.delta) /
+                   (opt_.epsilon * opt_.epsilon);
+  const double p = std::min(
+      1.0, l / static_cast<double>(std::max<uint64_t>(opt_.stream_length, 1)));
+  sampler_ = GeometricSkipSampler::FromProbability(p, rng_);
+}
+
+void StreamingMaximin::InsertVote(const Ranking& vote) {
+  ++position_;
+  if (!sampler_.Offer(rng_)) return;
+  sampled_votes_.push_back(vote);
+}
+
+std::vector<double> StreamingMaximin::Scores() const {
+  const uint32_t n = opt_.num_candidates;
+  std::vector<double> out(n, 0.0);
+  if (sampled_votes_.empty()) return out;
+  Election tally(n);
+  for (const Ranking& v : sampled_votes_) tally.AddVote(v);
+  const std::vector<uint64_t> mm = tally.MaximinScores();
+  const double scale = static_cast<double>(opt_.stream_length) /
+                       static_cast<double>(sampled_votes_.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(mm[i]) * scale;
+  }
+  return out;
+}
+
+std::vector<HeavyHitter> StreamingMaximin::ListAbove() const {
+  const std::vector<double> scores = Scores();
+  const double m = static_cast<double>(opt_.stream_length);
+  const double threshold = (opt_.phi - opt_.epsilon / 2.0) * m;
+  std::vector<HeavyHitter> out;
+  for (uint32_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] >= threshold) {
+      out.push_back({i, scores[i], scores[i] / m});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.estimated_count > b.estimated_count;
+            });
+  return out;
+}
+
+HeavyHitter StreamingMaximin::MaxScore() const {
+  const std::vector<double> scores = Scores();
+  uint32_t best = 0;
+  for (uint32_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[best]) best = i;
+  }
+  const double m = static_cast<double>(opt_.stream_length);
+  return {best, scores.empty() ? 0 : scores[best],
+          scores.empty() ? 0 : scores[best] / m};
+}
+
+uint64_t StreamingMaximin::SampledPairwise(uint32_t x, uint32_t y) const {
+  uint64_t count = 0;
+  for (const Ranking& v : sampled_votes_) {
+    if (v.Prefers(x, y)) ++count;
+  }
+  return count;
+}
+
+StreamingMaximin StreamingMaximin::Merge(const StreamingMaximin& a,
+                                         const StreamingMaximin& b) {
+  StreamingMaximin merged = a;
+  if (b.opt_.num_candidates != merged.opt_.num_candidates) return merged;
+  merged.sampled_votes_.insert(merged.sampled_votes_.end(),
+                               b.sampled_votes_.begin(),
+                               b.sampled_votes_.end());
+  merged.position_ += b.position_;
+  return merged;
+}
+
+size_t StreamingMaximin::SpaceBits() const {
+  const size_t per_vote = static_cast<size_t>(opt_.num_candidates) *
+                          static_cast<size_t>(CeilLog2(
+                              std::max<uint64_t>(opt_.num_candidates, 2)));
+  return sampled_votes_.size() * per_vote + sampler_.SpaceBits() +
+         BitWidth(static_cast<uint64_t>(sampled_votes_.size()));
+}
+
+void StreamingMaximin::Serialize(BitWriter& out) const {
+  out.WriteDouble(opt_.epsilon);
+  out.WriteDouble(opt_.phi);
+  out.WriteDouble(opt_.delta);
+  out.WriteU32(opt_.num_candidates);
+  out.WriteU64(opt_.stream_length);
+  out.WriteCounter(position_);
+  sampler_.Serialize(out);
+  out.WriteGamma(sampled_votes_.size() + 1);
+  for (const Ranking& v : sampled_votes_) v.CompactEncode(out);
+}
+
+StreamingMaximin StreamingMaximin::Deserialize(BitReader& in, uint64_t seed) {
+  Options opt;
+  opt.epsilon = in.ReadDouble();
+  opt.phi = in.ReadDouble();
+  opt.delta = in.ReadDouble();
+  opt.num_candidates = in.ReadU32();
+  opt.stream_length = in.ReadU64();
+  if (!(opt.epsilon > 1e-12 && opt.epsilon < 1.0)) opt.epsilon = 0.25;
+  if (!(opt.phi >= 0.0 && opt.phi <= 1.0)) opt.phi = 0.0;
+  if (!(opt.delta > 1e-12 && opt.delta < 1.0)) opt.delta = 0.5;
+  if (opt.stream_length == 0) opt.stream_length = 1;
+  opt.num_candidates = static_cast<uint32_t>(std::min<uint64_t>(
+      opt.num_candidates, in.remaining_bits() + 64));
+  StreamingMaximin out(opt, seed);
+  out.position_ = in.ReadCounter();
+  out.sampler_.Deserialize(in);
+  const size_t k = in.CheckedCount(in.ReadGamma() - 1);
+  out.sampled_votes_.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.sampled_votes_.push_back(
+        Ranking::CompactDecode(in, opt.num_candidates));
+  }
+  return out;
+}
+
+}  // namespace l1hh

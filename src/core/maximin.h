@@ -1,0 +1,89 @@
+// Theorem 6: (eps, phi)-List maximin / eps-Maximin on a stream of rankings.
+//
+// Sample ~l = O(eps^-2 log(n/delta)) votes and STORE them (each vote costs
+// n ceil(log2 n) bits, giving the O(n eps^-2 log^2 n) space of Table 1 row
+// 5 — provably near-optimal by Theorem 13's Omega(n eps^-2) bound, i.e.
+// maximin really is polynomially more expensive than Borda).  At report
+// time the pairwise-defeat matrix D_S(x, y) of the sample determines every
+// maximin score within eps*m/2 whp.
+#ifndef L1HH_CORE_MAXIMIN_H_
+#define L1HH_CORE_MAXIMIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/common.h"
+#include "sampling/geometric_skip.h"
+#include "util/bit_stream.h"
+#include "util/random.h"
+#include "votes/ranking.h"
+
+namespace l1hh {
+
+class StreamingMaximin {
+ public:
+  struct Options {
+    double epsilon = 0.1;
+    double phi = 0.0;  // used by ListAbove(); 0 disables
+    double delta = 0.1;
+    uint32_t num_candidates = 0;
+    uint64_t stream_length = 0;
+    Constants constants = Constants::Practical();
+
+    Status Validate() const {
+      if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+        return Status::InvalidArgument("epsilon must be in (0,1)");
+      }
+      if (num_candidates == 0 || stream_length == 0) {
+        return Status::InvalidArgument("empty election");
+      }
+      return Status::Ok();
+    }
+  };
+
+  StreamingMaximin(const Options& options, uint64_t seed);
+
+  void InsertVote(const Ranking& vote);
+  /// Alias so generic wrappers (unknown stream length) can treat votes
+  /// like items.
+  void Insert(const Ranking& vote) { InsertVote(vote); }
+
+  /// Estimated maximin score of every candidate, rescaled to the full
+  /// stream (in [0, m]).
+  std::vector<double> Scores() const;
+
+  /// Candidates with estimated maximin score >= (phi - eps/2) m
+  /// (Definition 8).
+  std::vector<HeavyHitter> ListAbove() const;
+
+  /// The eps-Maximin winner (Definition 9).
+  HeavyHitter MaxScore() const;
+
+  /// Pairwise defeats within the sample: D_S(x, y).
+  uint64_t SampledPairwise(uint32_t x, uint32_t y) const;
+
+  /// Distributed merge over disjoint vote substreams (same options/rate):
+  /// the vote samples concatenate.
+  static StreamingMaximin Merge(const StreamingMaximin& a,
+                                const StreamingMaximin& b);
+
+  uint64_t votes_processed() const { return position_; }
+  uint64_t samples_taken() const { return sampled_votes_.size(); }
+  const Options& options() const { return opt_; }
+
+  size_t SpaceBits() const;
+
+  void Serialize(BitWriter& out) const;
+  static StreamingMaximin Deserialize(BitReader& in, uint64_t seed);
+
+ private:
+  Options opt_;
+  Rng rng_;
+  GeometricSkipSampler sampler_;
+  std::vector<Ranking> sampled_votes_;
+  uint64_t position_ = 0;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_CORE_MAXIMIN_H_

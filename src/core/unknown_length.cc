@@ -1,0 +1,90 @@
+#include "core/unknown_length.h"
+
+#include <algorithm>
+
+namespace l1hh {
+
+namespace {
+
+double WindowFor(double epsilon, const Constants& constants) {
+  if (constants.unknown_window_factor >= 2.0) {
+    return constants.unknown_window_factor;
+  }
+  // The paper's choice: W = 1/eps (so the discarded prefix is <= eps m).
+  return std::max(4.0, 1.0 / epsilon);
+}
+
+}  // namespace
+
+UnknownLengthWrapper<BdwSimple> MakeUnknownLengthListHeavyHitters(
+    const BdwSimple::Options& base, uint64_t max_length_hint, uint64_t seed) {
+  const double window = WindowFor(base.epsilon, base.constants);
+  auto factory = [base, window, seed](uint64_t assumed) {
+    BdwSimple::Options opt = base;
+    opt.stream_length = assumed;
+    opt.constants.hh_sample_factor *= window;  // the eps^-3 oversampling
+    return BdwSimple(opt, Mix64(seed ^ assumed));
+  };
+  return UnknownLengthWrapper<BdwSimple>(factory, window, base.delta,
+                                         max_length_hint, seed);
+}
+
+UnknownLengthWrapper<EpsilonMaximum> MakeUnknownLengthMaximum(
+    const EpsilonMaximum::Options& base, uint64_t max_length_hint,
+    uint64_t seed) {
+  const double window = WindowFor(base.epsilon, base.constants);
+  auto factory = [base, window, seed](uint64_t assumed) {
+    EpsilonMaximum::Options opt = base;
+    opt.stream_length = assumed;
+    opt.constants.hh_sample_factor *= window;
+    return EpsilonMaximum(opt, Mix64(seed ^ assumed));
+  };
+  return UnknownLengthWrapper<EpsilonMaximum>(factory, window, base.delta,
+                                              max_length_hint, seed);
+}
+
+UnknownLengthWrapper<EpsilonMinimum> MakeUnknownLengthMinimum(
+    const EpsilonMinimum::Options& base, uint64_t max_length_hint,
+    uint64_t seed) {
+  const double window = WindowFor(base.epsilon, base.constants);
+  auto factory = [base, window, seed](uint64_t assumed) {
+    EpsilonMinimum::Options opt = base;
+    opt.stream_length = assumed;
+    opt.constants.min_s1_factor *= window;
+    opt.constants.min_s2_factor *= window;
+    opt.constants.min_s3_factor *= window;
+    return EpsilonMinimum(opt, Mix64(seed ^ assumed));
+  };
+  return UnknownLengthWrapper<EpsilonMinimum>(factory, window, base.delta,
+                                              max_length_hint, seed);
+}
+
+UnknownLengthWrapper<StreamingBorda> MakeUnknownLengthBorda(
+    const StreamingBorda::Options& base, uint64_t max_length_hint,
+    uint64_t seed) {
+  const double window = WindowFor(base.epsilon, base.constants);
+  auto factory = [base, window, seed](uint64_t assumed) {
+    StreamingBorda::Options opt = base;
+    opt.stream_length = assumed;
+    opt.constants.borda_sample_factor *= window;
+    return StreamingBorda(opt, Mix64(seed ^ assumed));
+  };
+  return UnknownLengthWrapper<StreamingBorda>(factory, window, base.delta,
+                                              max_length_hint, seed);
+}
+
+UnknownLengthWrapper<StreamingMaximin> MakeUnknownLengthMaximin(
+    const StreamingMaximin::Options& base, uint64_t max_length_hint,
+    uint64_t seed) {
+  const double window = WindowFor(base.epsilon, base.constants);
+  auto factory = [base, window, seed](uint64_t assumed) {
+    StreamingMaximin::Options opt = base;
+    opt.stream_length = assumed;
+    opt.constants.maximin_sample_factor *= window;
+    return StreamingMaximin(opt, Mix64(seed ^ assumed));
+  };
+  return UnknownLengthWrapper<StreamingMaximin>(factory, window, base.delta,
+                                                max_length_hint, seed);
+}
+
+}  // namespace l1hh

@@ -1,0 +1,60 @@
+#include "count/compact_counter_array.h"
+
+namespace l1hh {
+
+void CompactCounterArray::Reset(size_t n) {
+  size_ = n;
+  total_ = 0;
+  packed_.assign((n + 1) / 2, 0);
+  overflow_.clear();
+}
+
+void CompactCounterArray::Add(size_t i, uint64_t delta) {
+  if (delta == 0) return;
+  total_ += delta;
+  const uint8_t nib = Nibble(i);
+  if (nib < kNibbleMax) {
+    const uint64_t v = nib + delta;
+    if (v < kNibbleMax) {
+      SetNibble(i, static_cast<uint8_t>(v));
+      return;
+    }
+    SetNibble(i, kNibbleMax);
+    overflow_[i] += v - kNibbleMax;
+    return;
+  }
+  overflow_[i] += delta;
+}
+
+size_t CompactCounterArray::SpaceBits() const {
+  size_t bits = 0;
+  for (size_t i = 0; i < size_; ++i) {
+    const uint64_t v = Get(i);
+    bits += v == 0 ? 1 : static_cast<size_t>(CounterBits(v));
+  }
+  return bits;
+}
+
+size_t CompactCounterArray::HeapBytes() const {
+  // unordered_map node overhead approximated at 48 bytes per entry plus the
+  // bucket array.
+  return packed_.capacity() +
+         overflow_.size() * 48 + overflow_.bucket_count() * sizeof(void*);
+}
+
+void CompactCounterArray::Serialize(BitWriter& out) const {
+  out.WriteGamma(size_ + 1);
+  for (size_t i = 0; i < size_; ++i) {
+    out.WriteCounter(Get(i));
+  }
+}
+
+void CompactCounterArray::Deserialize(BitReader& in) {
+  const size_t n = in.CheckedCount(in.ReadGamma() - 1);
+  Reset(n);
+  for (size_t i = 0; i < n; ++i) {
+    Add(i, in.ReadCounter());
+  }
+}
+
+}  // namespace l1hh

@@ -1,0 +1,85 @@
+// A variable-length counter array in the spirit of Blandford–Blelloch
+// [BB08], which the paper invokes for its RAM model: "We store an integer C
+// using a variable length array which allows us to read and update C in O(1)
+// time and O(log C) bits of space" (Section 2.3).
+//
+// Layout: every counter owns a 4-bit nibble in a packed base array; counters
+// that outgrow their nibble spill into a small open-addressing overflow map
+// holding the high bits.  Reads and increments are O(1); the occupied space
+// is Theta(sum_i log c_i) + O(n) bits, matching the accounting the paper
+// needs for tables T2/T3 of Algorithm 2.  SpaceBits() reports the
+// information-theoretic gamma-code cost, which is what the benches chart;
+// HeapBytes() reports what this process actually allocated.
+#ifndef L1HH_COUNT_COMPACT_COUNTER_ARRAY_H_
+#define L1HH_COUNT_COMPACT_COUNTER_ARRAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bit_stream.h"
+#include "util/bit_util.h"
+
+namespace l1hh {
+
+class CompactCounterArray {
+ public:
+  explicit CompactCounterArray(size_t n = 0) { Reset(n); }
+
+  void Reset(size_t n);
+
+  size_t size() const { return size_; }
+
+  uint64_t Get(size_t i) const {
+    const uint8_t nib = Nibble(i);
+    if (nib < kNibbleMax) return nib;
+    const auto it = overflow_.find(i);
+    return (it == overflow_.end() ? 0 : it->second) + kNibbleMax;
+  }
+
+  /// counter[i] += delta.
+  void Add(size_t i, uint64_t delta);
+
+  void Increment(size_t i) { Add(i, 1); }
+
+  /// Sum of all counters.
+  uint64_t Total() const { return total_; }
+
+  /// Information-theoretic space: gamma-code cost of every nonzero counter
+  /// plus one bit per (empty) slot; this matches the paper's
+  /// "each entry can store an integer in [0, B]" tables when contents are
+  /// small and degrades gracefully (O(log C) per counter) when they grow.
+  size_t SpaceBits() const;
+
+  /// Actual process memory held by this structure.
+  size_t HeapBytes() const;
+
+  void Serialize(BitWriter& out) const;
+  void Deserialize(BitReader& in);
+
+ private:
+  static constexpr uint8_t kNibbleMax = 15;  // nibble value 15 == "spilled"
+
+  uint8_t Nibble(size_t i) const {
+    const uint8_t byte = packed_[i >> 1];
+    return (i & 1) != 0 ? (byte >> 4) : (byte & 0x0f);
+  }
+  void SetNibble(size_t i, uint8_t v) {
+    uint8_t& byte = packed_[i >> 1];
+    if ((i & 1) != 0) {
+      byte = static_cast<uint8_t>((byte & 0x0f) | (v << 4));
+    } else {
+      byte = static_cast<uint8_t>((byte & 0xf0) | v);
+    }
+  }
+
+  size_t size_ = 0;
+  uint64_t total_ = 0;
+  std::vector<uint8_t> packed_;                    // 2 counters per byte
+  std::unordered_map<size_t, uint64_t> overflow_;  // value - kNibbleMax
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_COUNT_COMPACT_COUNTER_ARRAY_H_

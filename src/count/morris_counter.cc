@@ -1,0 +1,19 @@
+#include "count/morris_counter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace l1hh {
+
+MorrisCounterEnsemble MorrisCounterEnsemble::ForStream(uint64_t max_length,
+                                                       double delta,
+                                                       uint64_t seed) {
+  // k = 2 log2(log2(m) / delta), as in the proof of Theorem 7.
+  const double log2m = std::max(1.0, std::log2(static_cast<double>(
+                                         std::max<uint64_t>(max_length, 2))));
+  const double k = 2.0 * std::log2(std::max(2.0, log2m / delta));
+  return MorrisCounterEnsemble(std::max(1, static_cast<int>(std::ceil(k))),
+                               2.0, seed);
+}
+
+}  // namespace l1hh

@@ -1,0 +1,125 @@
+// Morris approximate counting ([Mor78], analyzed by Flajolet [Fla85]).
+//
+// A Morris counter stores only an exponent c and increments it with
+// probability base^{-c}; the estimate (base^c - 1) / (base - 1) is unbiased.
+// State is O(log log m) bits for a stream of length m — this is the
+// `log log m` term in every row of the paper's Table 1, and the machinery
+// behind Theorem 7's unknown-stream-length algorithms: "the Morris counter
+// outputs correctly up to a factor of four at every position" after
+// amplification with k = 2 log2(log2 m / delta) extra bits.
+#ifndef L1HH_COUNT_MORRIS_COUNTER_H_
+#define L1HH_COUNT_MORRIS_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_stream.h"
+#include "util/bit_util.h"
+#include "util/random.h"
+
+namespace l1hh {
+
+class MorrisCounter {
+ public:
+  /// `base` > 1 controls the accuracy/space trade-off: relative standard
+  /// error is ~sqrt((base - 1) / 2) per counter.  base = 2 is the classic
+  /// Morris counter.
+  explicit MorrisCounter(double base = 2.0) : base_(base) {}
+
+  /// Returns true iff the stored exponent changed (rare: O(log m) times
+  /// over a length-m stream), letting callers do boundary checks only on
+  /// change without extra state.
+  bool Increment(Rng& rng) {
+    // Increment with probability base^{-exponent}.
+    if (exponent_ == 0 || rng.UniformDouble() < Pow(-exponent_)) {
+      ++exponent_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Unbiased estimate of the number of increments.
+  double Estimate() const {
+    if (exponent_ == 0) return 0.0;
+    return (Pow(exponent_) - 1.0) / (base_ - 1.0);
+  }
+
+  uint32_t exponent() const { return exponent_; }
+
+  /// Bits of state: the exponent only (log log m for base 2).
+  int SpaceBits() const { return BitWidth(exponent_); }
+
+  void Serialize(BitWriter& out) const { out.WriteCounter(exponent_); }
+  void Deserialize(BitReader& in) {
+    exponent_ = static_cast<uint32_t>(in.ReadCounter());
+  }
+
+ private:
+  double Pow(int e) const {
+    double r = 1.0;
+    double b = e >= 0 ? base_ : 1.0 / base_;
+    int n = e >= 0 ? e : -e;
+    while (n > 0) {
+      if (n & 1) r *= b;
+      b *= b;
+      n >>= 1;
+    }
+    return r;
+  }
+
+  double base_;
+  uint32_t exponent_ = 0;
+};
+
+/// k independent Morris counters, estimate = mean.  Choosing
+/// k = 2 log2(log2(m) / delta) (paper, proof of Theorem 7) makes the counter
+/// correct within a constant factor at every power-of-two position of the
+/// stream simultaneously with probability 1 - delta.
+class MorrisCounterEnsemble {
+ public:
+  MorrisCounterEnsemble(int k, double base, uint64_t seed)
+      : rng_(seed), counters_(static_cast<size_t>(k), MorrisCounter(base)) {}
+
+  /// Ensemble sized per the paper for streams up to `max_length`.
+  static MorrisCounterEnsemble ForStream(uint64_t max_length, double delta,
+                                         uint64_t seed);
+
+  /// Returns true iff any member counter's exponent changed.
+  bool Increment() {
+    bool changed = false;
+    for (auto& c : counters_) changed |= c.Increment(rng_);
+    return changed;
+  }
+
+  double Estimate() const {
+    double sum = 0;
+    for (const auto& c : counters_) sum += c.Estimate();
+    return counters_.empty() ? 0.0 : sum / static_cast<double>(counters_.size());
+  }
+
+  int k() const { return static_cast<int>(counters_.size()); }
+
+  int SpaceBits() const {
+    int bits = 0;
+    for (const auto& c : counters_) bits += c.SpaceBits();
+    return bits;
+  }
+
+  void Serialize(BitWriter& out) const {
+    out.WriteGamma(counters_.size() + 1);
+    for (const auto& c : counters_) c.Serialize(out);
+  }
+  void Deserialize(BitReader& in) {
+    const size_t k = in.CheckedCount(in.ReadGamma() - 1);
+    counters_.assign(k, MorrisCounter(2.0));
+    for (auto& c : counters_) c.Deserialize(in);
+  }
+
+ private:
+  Rng rng_;
+  std::vector<MorrisCounter> counters_;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_COUNT_MORRIS_COUNTER_H_

@@ -1,0 +1,38 @@
+// A counter truncated at a fixed cap.
+//
+// Algorithm 3 (epsilon-Minimum) truncates the counters of its third sample
+// S3 at 2 log^7(2 / (eps delta)): values above the cap cannot be the
+// minimum, so only O(log log) bits per counter are ever needed.
+#ifndef L1HH_COUNT_SATURATING_COUNTER_H_
+#define L1HH_COUNT_SATURATING_COUNTER_H_
+
+#include <cstdint>
+
+#include "util/bit_util.h"
+
+namespace l1hh {
+
+class SaturatingCounter {
+ public:
+  SaturatingCounter() = default;
+  explicit SaturatingCounter(uint64_t cap) : cap_(cap) {}
+
+  void Increment() {
+    if (value_ < cap_) ++value_;
+  }
+
+  uint64_t value() const { return value_; }
+  bool saturated() const { return value_ >= cap_; }
+  uint64_t cap() const { return cap_; }
+
+  /// Bits to store a value in [0, cap].
+  int SpaceBits() const { return BitWidth(cap_); }
+
+ private:
+  uint64_t cap_ = UINT64_MAX;
+  uint64_t value_ = 0;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_COUNT_SATURATING_COUNTER_H_

@@ -1,0 +1,65 @@
+// Dietzfelbinger et al. multiply-shift hashing ([DHKP97], the paper's cited
+// reference for its unit-cost RAM model).
+//
+// h_a(x) = (a * x) >> (64 - d) for odd a is 2-universal onto [2^d];
+// h_{a,b}(x) = (a*x + b) >> (64 - d) is strongly (2-wise independent)
+// universal.  One multiply + one shift: this is the hash used on the hot
+// paths of the baseline sketches (Count-Min, CountSketch) where speed
+// matters more than field structure.
+#ifndef L1HH_HASH_MULTIPLY_SHIFT_H_
+#define L1HH_HASH_MULTIPLY_SHIFT_H_
+
+#include <cstdint>
+
+#include "util/bit_stream.h"
+#include "util/random.h"
+
+namespace l1hh {
+
+class MultiplyShiftHash {
+ public:
+  MultiplyShiftHash() = default;
+  MultiplyShiftHash(uint64_t a, uint64_t b, int log2_range)
+      : a_(a | 1), b_(b), log2_range_(log2_range) {}
+
+  /// Draws a function with range [0, 2^log2_range).
+  static MultiplyShiftHash Draw(Rng& rng, int log2_range) {
+    return MultiplyShiftHash(rng.NextU64(), rng.NextU64(), log2_range);
+  }
+
+  uint64_t operator()(uint64_t x) const {
+    if (log2_range_ == 0) return 0;
+    return (a_ * x + b_) >> (64 - log2_range_);
+  }
+
+  uint64_t range() const { return uint64_t{1} << log2_range_; }
+  int log2_range() const { return log2_range_; }
+
+  int SeedBits() const { return 128 + 6; }
+
+  bool operator==(const MultiplyShiftHash& other) const {
+    return a_ == other.a_ && b_ == other.b_ &&
+           log2_range_ == other.log2_range_;
+  }
+
+  void Serialize(BitWriter& out) const {
+    out.WriteU64(a_);
+    out.WriteU64(b_);
+    out.WriteBits(static_cast<uint64_t>(log2_range_), 6);
+  }
+  static MultiplyShiftHash Deserialize(BitReader& in) {
+    const uint64_t a = in.ReadU64();
+    const uint64_t b = in.ReadU64();
+    const int d = static_cast<int>(in.ReadBits(6));
+    return MultiplyShiftHash(a, b, d);
+  }
+
+ private:
+  uint64_t a_ = 1;
+  uint64_t b_ = 0;
+  int log2_range_ = 0;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_HASH_MULTIPLY_SHIFT_H_

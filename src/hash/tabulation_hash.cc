@@ -1,0 +1,15 @@
+#include "hash/tabulation_hash.h"
+
+namespace l1hh {
+
+TabulationHash TabulationHash::Draw(Rng& rng) {
+  TabulationHash h;
+  for (auto& table : h.tables_) {
+    for (auto& entry : table) {
+      entry = rng.NextU64();
+    }
+  }
+  return h;
+}
+
+}  // namespace l1hh

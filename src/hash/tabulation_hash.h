@@ -1,0 +1,43 @@
+// Simple tabulation hashing (Zobrist / Patrascu–Thorup).
+//
+// 3-independent and much stronger in practice; we use it for CountSketch's
+// sign function and as a stress-test comparator for the algebraic families.
+// Seed cost is large (8 tables x 256 x 64 bits), so it is NOT used where the
+// paper's space accounting matters.
+#ifndef L1HH_HASH_TABULATION_HASH_H_
+#define L1HH_HASH_TABULATION_HASH_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace l1hh {
+
+class TabulationHash {
+ public:
+  TabulationHash() = default;
+
+  static TabulationHash Draw(Rng& rng);
+
+  uint64_t operator()(uint64_t x) const {
+    uint64_t h = 0;
+    for (int i = 0; i < 8; ++i) {
+      h ^= tables_[i][(x >> (8 * i)) & 0xff];
+    }
+    return h;
+  }
+
+  /// +1 / -1 sign derived from the low bit; 4-independent enough for
+  /// CountSketch's analysis in practice.
+  int Sign(uint64_t x) const { return ((*this)(x)&1) != 0 ? 1 : -1; }
+
+  int SeedBits() const { return 8 * 256 * 64; }
+
+ private:
+  std::array<std::array<uint64_t, 256>, 8> tables_ = {};
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_HASH_TABULATION_HASH_H_

@@ -1,0 +1,24 @@
+#include "hash/universal_hash.h"
+
+namespace l1hh {
+
+UniversalHash UniversalHash::Draw(Rng& rng, uint64_t range) {
+  const uint64_t a = 1 + rng.UniformU64(kPrime - 1);  // [1, p-1]
+  const uint64_t b = rng.UniformU64(kPrime);          // [0, p-1]
+  return UniversalHash(a, b, range);
+}
+
+void UniversalHash::Serialize(BitWriter& out) const {
+  out.WriteBits(a_, 61);
+  out.WriteBits(b_, 61);
+  out.WriteGamma(range_);
+}
+
+UniversalHash UniversalHash::Deserialize(BitReader& in) {
+  const uint64_t a = in.ReadBits(61);
+  const uint64_t b = in.ReadBits(61);
+  const uint64_t range = in.ReadGamma();
+  return UniversalHash(a, b, range == 0 ? 1 : range);
+}
+
+}  // namespace l1hh

@@ -1,0 +1,71 @@
+// Carter–Wegman universal hashing over the Mersenne prime 2^61 - 1.
+//
+// The paper (Section 2.4) assumes a universal family H = {h : [k] -> [l]}
+// with Pr[h(a) = h(b)] = 1/l for a != b, representable in O(log k) bits.
+// h(x) = ((a*x + b) mod p) mod r with p = 2^61 - 1, a in [1, p-1],
+// b in [0, p-1] is the textbook such family ([LRSC01]); it is in fact
+// 2-wise independent, which is what Lemma 2 (collision-freeness of sampled
+// ids) and Algorithm 2's variance analysis use.
+#ifndef L1HH_HASH_UNIVERSAL_HASH_H_
+#define L1HH_HASH_UNIVERSAL_HASH_H_
+
+#include <cstdint>
+
+#include "util/bit_stream.h"
+#include "util/random.h"
+
+namespace l1hh {
+
+class UniversalHash {
+ public:
+  static constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
+
+  UniversalHash() = default;
+  UniversalHash(uint64_t a, uint64_t b, uint64_t range)
+      : a_(a), b_(b), range_(range) {}
+
+  /// Draws a function uniformly from the family with the given range.
+  static UniversalHash Draw(Rng& rng, uint64_t range);
+
+  uint64_t operator()(uint64_t x) const {
+    return ModPrime(MulModPrime(a_, ModPrime(x)) + b_) % range_;
+  }
+
+  uint64_t range() const { return range_; }
+
+  /// Bits needed to describe a member of the family: a and b (2 * 61) plus
+  /// the range.  This is the O(log n) seed cost the paper charges per hash
+  /// function.
+  int SeedBits() const { return 2 * 61 + BitWidth(range_); }
+
+  void Serialize(BitWriter& out) const;
+  static UniversalHash Deserialize(BitReader& in);
+
+  bool operator==(const UniversalHash& other) const {
+    return a_ == other.a_ && b_ == other.b_ && range_ == other.range_;
+  }
+
+ private:
+  // x mod (2^61 - 1) for x < 2^62 + p (i.e., any sum of two reduced values).
+  static uint64_t ModPrime(uint64_t x) {
+    uint64_t r = (x & kPrime) + (x >> 61);
+    if (r >= kPrime) r -= kPrime;
+    return r;
+  }
+
+  // (x * y) mod (2^61 - 1) via 128-bit product.
+  static uint64_t MulModPrime(uint64_t x, uint64_t y) {
+    const __uint128_t prod = static_cast<__uint128_t>(x) * y;
+    const uint64_t lo = static_cast<uint64_t>(prod & kPrime);
+    const uint64_t hi = static_cast<uint64_t>(prod >> 61);
+    return ModPrime(lo + hi);
+  }
+
+  uint64_t a_ = 1;
+  uint64_t b_ = 0;
+  uint64_t range_ = 1;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_HASH_UNIVERSAL_HASH_H_

@@ -1,0 +1,5 @@
+#include "sampling/coin_flip_sampler.h"
+
+// Header-only logic; this translation unit pins the vtable-free class into
+// the library so that downstream users get ODR-clean symbols.
+namespace l1hh {}

@@ -1,0 +1,64 @@
+// Lemma 1 of the paper: "there is an algorithm for choosing an item with
+// probability 1/m that has space complexity O(log log m) bits and time
+// complexity O(1) in the unit-cost RAM model" — generate a (log2 m)-bit
+// integer uniformly at random and accept iff it is zero.
+//
+// Probabilities are powers of two per footnote 3: any target p is rounded
+// down to the largest 2^{-k} <= p.  State is just the exponent k, i.e.,
+// O(log k) = O(log log m) bits; Proposition 2 (Appendix B) shows this is
+// optimal and the bit-counting Rng lets tests check the randomness budget.
+#ifndef L1HH_SAMPLING_COIN_FLIP_SAMPLER_H_
+#define L1HH_SAMPLING_COIN_FLIP_SAMPLER_H_
+
+#include <cstdint>
+
+#include "util/bit_stream.h"
+#include "util/bit_util.h"
+#include "util/random.h"
+
+namespace l1hh {
+
+class CoinFlipSampler {
+ public:
+  CoinFlipSampler() = default;
+
+  /// Sampler with acceptance probability exactly 2^{-exponent}.
+  static CoinFlipSampler FromExponent(int exponent) {
+    CoinFlipSampler s;
+    s.exponent_ = exponent;
+    return s;
+  }
+
+  /// Sampler with acceptance probability RoundDownPow2(target_probability).
+  /// target_probability must be in (0, 1].
+  static CoinFlipSampler FromProbability(double target_probability) {
+    return FromExponent(ProbabilityToPow2Exponent(target_probability));
+  }
+
+  /// One Bernoulli(2^{-k}) trial: k fresh random bits, accept iff all zero.
+  bool Sample(Rng& rng) const { return rng.AllZeroBits(exponent_); }
+
+  int exponent() const { return exponent_; }
+  double probability() const {
+    double p = 1.0;
+    for (int i = 0; i < exponent_; ++i) p *= 0.5;
+    return p;
+  }
+
+  /// Persistent state is the exponent alone.
+  int SpaceBits() const { return BitWidth(static_cast<uint64_t>(exponent_)); }
+
+  void Serialize(BitWriter& out) const {
+    out.WriteCounter(static_cast<uint64_t>(exponent_));
+  }
+  void Deserialize(BitReader& in) {
+    exponent_ = static_cast<int>(in.ReadCounter());
+  }
+
+ private:
+  int exponent_ = 0;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_SAMPLING_COIN_FLIP_SAMPLER_H_

@@ -1,0 +1,3 @@
+#include "sampling/geometric_skip.h"
+
+namespace l1hh {}

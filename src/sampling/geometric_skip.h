@@ -1,0 +1,79 @@
+// Geometric skip sampling: instead of flipping a Bernoulli(p) coin per
+// stream item, draw the gap to the next success once, then count down.
+//
+// This is how every algorithm in the paper achieves O(1) *worst-case*
+// update time (Section 3.1): non-sampled items cost one decrement, and with
+// p <= O(eps^2) the expensive per-sample work provably has O(1/eps) slack
+// between samples to be spread over.
+#ifndef L1HH_SAMPLING_GEOMETRIC_SKIP_H_
+#define L1HH_SAMPLING_GEOMETRIC_SKIP_H_
+
+#include <cstdint>
+
+#include "util/bit_stream.h"
+#include "util/bit_util.h"
+#include "util/random.h"
+
+namespace l1hh {
+
+class GeometricSkipSampler {
+ public:
+  GeometricSkipSampler() = default;
+
+  /// Acceptance probability is 2^{-exponent} (footnote-3 rounding applied
+  /// by the caller or via FromProbability).
+  static GeometricSkipSampler FromExponent(int exponent, Rng& rng) {
+    GeometricSkipSampler s;
+    s.exponent_ = exponent;
+    s.ScheduleNext(rng);
+    return s;
+  }
+
+  static GeometricSkipSampler FromProbability(double p, Rng& rng) {
+    return FromExponent(ProbabilityToPow2Exponent(p), rng);
+  }
+
+  /// Called once per stream item; returns true iff this item is sampled.
+  /// O(1) worst case: one compare + decrement, plus one Geometric draw on
+  /// the (rare) sampled items.
+  bool Offer(Rng& rng) {
+    if (skip_ > 0) {
+      --skip_;
+      return false;
+    }
+    ScheduleNext(rng);
+    return true;
+  }
+
+  double probability() const {
+    double p = 1.0;
+    for (int i = 0; i < exponent_; ++i) p *= 0.5;
+    return p;
+  }
+  int exponent() const { return exponent_; }
+
+  /// State: the exponent and the remaining skip, which is geometric with
+  /// mean 2^k, i.e. O(log(1/p)) bits in expectation.
+  int SpaceBits() const {
+    return BitWidth(static_cast<uint64_t>(exponent_)) + CounterBits(skip_);
+  }
+
+  void Serialize(BitWriter& out) const {
+    out.WriteCounter(static_cast<uint64_t>(exponent_));
+    out.WriteCounter(skip_);
+  }
+  void Deserialize(BitReader& in) {
+    exponent_ = static_cast<int>(in.ReadCounter());
+    skip_ = in.ReadCounter();
+  }
+
+ private:
+  void ScheduleNext(Rng& rng) { skip_ = rng.Geometric(probability()); }
+
+  int exponent_ = 0;
+  uint64_t skip_ = 0;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_SAMPLING_GEOMETRIC_SKIP_H_

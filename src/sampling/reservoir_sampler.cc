@@ -1,0 +1,17 @@
+#include "sampling/reservoir_sampler.h"
+
+namespace l1hh {
+
+void ReservoirSampler::Offer(uint64_t item) {
+  ++seen_;
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(item);
+    return;
+  }
+  const uint64_t j = rng_.UniformU64(seen_);
+  if (j < capacity_) {
+    reservoir_[j] = item;
+  }
+}
+
+}  // namespace l1hh

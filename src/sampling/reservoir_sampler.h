@@ -1,0 +1,36 @@
+// Classic reservoir sampling (Vitter's Algorithm R).
+//
+// Not part of the paper's algorithms — it keeps a *fixed-size* uniform
+// sample, whereas the paper needs Bernoulli samples whose size concentrates
+// via Chernoff.  We use it as a reference sampler in tests and as a
+// comparison point in the sampling benches.
+#ifndef L1HH_SAMPLING_RESERVOIR_SAMPLER_H_
+#define L1HH_SAMPLING_RESERVOIR_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace l1hh {
+
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(size_t capacity, uint64_t seed)
+      : rng_(seed), capacity_(capacity) {}
+
+  void Offer(uint64_t item);
+
+  const std::vector<uint64_t>& sample() const { return reservoir_; }
+  uint64_t items_seen() const { return seen_; }
+
+ private:
+  Rng rng_;
+  size_t capacity_;
+  uint64_t seen_ = 0;
+  std::vector<uint64_t> reservoir_;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_SAMPLING_RESERVOIR_SAMPLER_H_

@@ -1,0 +1,101 @@
+#include "stream/stream_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace l1hh {
+
+PlantedStream MakePlantedStream(const PlantedSpec& spec, uint64_t seed) {
+  Rng rng(seed);
+  PlantedStream out;
+  const uint64_t m = spec.stream_length;
+  const uint64_t n = spec.universe_size;
+
+  // Choose distinct planted ids.
+  std::unordered_set<uint64_t> chosen;
+  for (size_t i = 0; i < spec.planted_fractions.size(); ++i) {
+    uint64_t id = rng.UniformU64(n);
+    while (chosen.count(id) != 0) id = rng.UniformU64(n);
+    chosen.insert(id);
+    out.planted_ids.push_back(id);
+  }
+
+  uint64_t planted_total = 0;
+  for (const double frac : spec.planted_fractions) {
+    const auto count = static_cast<uint64_t>(
+        std::llround(frac * static_cast<double>(m)));
+    out.planted_counts.push_back(count);
+    planted_total += count;
+  }
+
+  out.items.reserve(m);
+  for (size_t i = 0; i < out.planted_ids.size(); ++i) {
+    for (uint64_t c = 0; c < out.planted_counts[i]; ++c) {
+      out.items.push_back(out.planted_ids[i]);
+    }
+  }
+  // Background: uniform over non-planted ids.
+  const uint64_t background = m > planted_total ? m - planted_total : 0;
+  for (uint64_t i = 0; i < background; ++i) {
+    uint64_t id = rng.UniformU64(n);
+    while (chosen.count(id) != 0) id = rng.UniformU64(n);
+    out.items.push_back(id);
+  }
+
+  switch (spec.order) {
+    case StreamOrder::kShuffled: {
+      for (size_t i = out.items.size(); i > 1; --i) {
+        std::swap(out.items[i - 1], out.items[rng.UniformU64(i)]);
+      }
+      break;
+    }
+    case StreamOrder::kHeaviesFirst:
+      // Already laid out planted-first.
+      break;
+    case StreamOrder::kHeaviesLast:
+      std::rotate(out.items.begin(), out.items.begin() + planted_total,
+                  out.items.end());
+      break;
+    case StreamOrder::kBursty:
+      // Planted runs are contiguous already; shuffle only the background.
+      for (size_t i = out.items.size(); i > planted_total + 1; --i) {
+        const uint64_t j =
+            planted_total + rng.UniformU64(i - planted_total);
+        std::swap(out.items[i - 1], out.items[j]);
+      }
+      break;
+  }
+  return out;
+}
+
+std::vector<uint64_t> MakeZipfStream(uint64_t n, double alpha, uint64_t m,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  // The Zipf tables are O(support); for huge universes we cap the distinct
+  // support (far more ranks than m draws can distinguish anyway) and
+  // scatter the ranks across [0, n) with a mixer, so ids still exercise
+  // the full id width without materializing the universe.
+  const uint64_t support = std::min<uint64_t>(n, uint64_t{1} << 18);
+  ZipfDistribution zipf(support, alpha);
+  std::vector<uint64_t> stream;
+  stream.reserve(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    const uint64_t rank = zipf.Sample(rng);
+    stream.push_back(support == n ? rank : Mix64(rank ^ (seed * 31)) % n);
+  }
+  return stream;
+}
+
+std::vector<uint64_t> MakeUniformStream(uint64_t n, uint64_t m,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> stream;
+  stream.reserve(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    stream.push_back(rng.UniformU64(n));
+  }
+  return stream;
+}
+
+}  // namespace l1hh

@@ -1,0 +1,58 @@
+// Synthetic item-stream workloads.
+//
+// The paper evaluates nothing empirically (it is a theory paper); its
+// guarantees are distribution-free.  These generators provide the workload
+// suite the benches and tests sweep over:
+//   * Uniform / Zipf draws,
+//   * planted streams with exact target frequencies (the only way to test
+//     the (eps, phi) contract precisely at the boundary),
+//   * adversarial orders (heavies all first / all last / bursty), since the
+//     paper explicitly makes no assumption on stream order.
+#ifndef L1HH_STREAM_STREAM_GENERATOR_H_
+#define L1HH_STREAM_STREAM_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/zipf.h"
+#include "util/random.h"
+
+namespace l1hh {
+
+enum class StreamOrder {
+  kShuffled,     // uniformly random order
+  kHeaviesFirst, // planted heavy items before all background items
+  kHeaviesLast,  // background first, heavy items at the end
+  kBursty,       // each item's occurrences contiguous
+};
+
+struct PlantedSpec {
+  /// frequency[i] (as a fraction of m) for planted item i; the remainder of
+  /// the stream is background noise spread over the rest of the universe.
+  std::vector<double> planted_fractions;
+  uint64_t universe_size = 1 << 20;
+  uint64_t stream_length = 1 << 20;
+  StreamOrder order = StreamOrder::kShuffled;
+};
+
+struct PlantedStream {
+  std::vector<uint64_t> items;           // the stream itself
+  std::vector<uint64_t> planted_ids;     // ids of the planted items
+  std::vector<uint64_t> planted_counts;  // exact frequency of each
+};
+
+/// Builds a stream with exact planted frequencies.  Planted ids are chosen
+/// uniformly from the universe (distinct); background items are drawn from
+/// the remaining universe uniformly.
+PlantedStream MakePlantedStream(const PlantedSpec& spec, uint64_t seed);
+
+/// m draws from Zipf(alpha) over [0, n).
+std::vector<uint64_t> MakeZipfStream(uint64_t n, double alpha, uint64_t m,
+                                     uint64_t seed);
+
+/// m uniform draws over [0, n).
+std::vector<uint64_t> MakeUniformStream(uint64_t n, uint64_t m, uint64_t seed);
+
+}  // namespace l1hh
+
+#endif  // L1HH_STREAM_STREAM_GENERATOR_H_

@@ -1,0 +1,103 @@
+#include "stream/vote_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace l1hh {
+
+std::vector<Ranking> MakeUniformVotes(uint32_t n, uint64_t m, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Ranking> votes;
+  votes.reserve(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    votes.push_back(Ranking::Random(n, rng));
+  }
+  return votes;
+}
+
+std::vector<Ranking> MakeMallowsVotes(uint32_t n, uint64_t m,
+                                      double dispersion, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Ranking> votes;
+  votes.reserve(m);
+  // Repeated-insertion method (RIM): insert candidate i (0-based) at
+  // position j (from the back) of the current prefix with probability
+  // proportional to dispersion^(i - j).
+  for (uint64_t v = 0; v < m; ++v) {
+    std::vector<uint32_t> order;
+    order.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      // Insertion position j in [0, i]: P(j) ~ dispersion^(i - j).
+      // j = i means "at the end" (most consistent with identity).
+      double total = 0;
+      std::vector<double> w(i + 1);
+      for (uint32_t j = 0; j <= i; ++j) {
+        w[j] = std::pow(dispersion, static_cast<double>(i - j));
+        total += w[j];
+      }
+      double u = rng.UniformDouble() * total;
+      uint32_t j = 0;
+      while (j < i && u > w[j]) {
+        u -= w[j];
+        ++j;
+      }
+      order.insert(order.begin() + j, i);
+    }
+    votes.emplace_back(std::move(order));
+  }
+  return votes;
+}
+
+std::vector<Ranking> MakePlackettLuceVotes(uint32_t n, uint64_t m,
+                                           double decay, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Ranking> votes;
+  votes.reserve(m);
+  std::vector<double> base_weights(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    base_weights[i] = std::pow(decay, static_cast<double>(i));
+  }
+  for (uint64_t v = 0; v < m; ++v) {
+    std::vector<double> w = base_weights;
+    std::vector<uint32_t> remaining(n);
+    for (uint32_t i = 0; i < n; ++i) remaining[i] = i;
+    std::vector<uint32_t> order;
+    order.reserve(n);
+    while (!remaining.empty()) {
+      double total = 0;
+      for (size_t i = 0; i < remaining.size(); ++i) total += w[remaining[i]];
+      double u = rng.UniformDouble() * total;
+      size_t pick = 0;
+      while (pick + 1 < remaining.size() && u > w[remaining[pick]]) {
+        u -= w[remaining[pick]];
+        ++pick;
+      }
+      order.push_back(remaining[pick]);
+      remaining.erase(remaining.begin() + static_cast<long>(pick));
+    }
+    votes.emplace_back(std::move(order));
+  }
+  return votes;
+}
+
+std::vector<Ranking> MakePlantedWinnerVotes(uint32_t n, uint64_t m,
+                                            uint32_t winner, double boost,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Ranking> votes;
+  votes.reserve(m);
+  for (uint64_t v = 0; v < m; ++v) {
+    Ranking r = Ranking::Random(n, rng);
+    if (rng.UniformDouble() < boost) {
+      std::vector<uint32_t> order = r.order();
+      auto it = std::find(order.begin(), order.end(), winner);
+      order.erase(it);
+      order.insert(order.begin(), winner);
+      r = Ranking(std::move(order));
+    }
+    votes.push_back(std::move(r));
+  }
+  return votes;
+}
+
+}  // namespace l1hh

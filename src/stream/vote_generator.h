@@ -1,0 +1,42 @@
+// Synthetic voting-stream workloads for the Borda/maximin problems.
+//
+//   * Uniform: votes are uniformly random permutations (no real winner).
+//   * Mallows: votes concentrate around a hidden central ranking with
+//     dispersion theta (standard model in computational social choice; the
+//     paper's [DB15] uses it for winner prediction).
+//   * Plackett–Luce: sampling without replacement proportional to item
+//     weights.
+//   * Planted-winner: one candidate is moved to the front of a fraction of
+//     the votes, giving controlled Borda/maximin gaps.
+#ifndef L1HH_STREAM_VOTE_GENERATOR_H_
+#define L1HH_STREAM_VOTE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "votes/ranking.h"
+
+namespace l1hh {
+
+std::vector<Ranking> MakeUniformVotes(uint32_t n, uint64_t m, uint64_t seed);
+
+/// Mallows model with central ranking = identity and dispersion phi in
+/// (0, 1]: probability of ranking r proportional to phi^KendallTau(r, id).
+/// Sampled exactly via the repeated-insertion method.
+std::vector<Ranking> MakeMallowsVotes(uint32_t n, uint64_t m,
+                                      double dispersion, uint64_t seed);
+
+/// Plackett–Luce with geometric weights w_i = decay^i.
+std::vector<Ranking> MakePlackettLuceVotes(uint32_t n, uint64_t m,
+                                           double decay, uint64_t seed);
+
+/// Uniform votes, but `winner` is promoted to the top in a `boost` fraction
+/// of them.
+std::vector<Ranking> MakePlantedWinnerVotes(uint32_t n, uint64_t m,
+                                            uint32_t winner, double boost,
+                                            uint64_t seed);
+
+}  // namespace l1hh
+
+#endif  // L1HH_STREAM_VOTE_GENERATOR_H_

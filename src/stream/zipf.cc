@@ -1,0 +1,56 @@
+#include "stream/zipf.h"
+
+#include <cmath>
+
+namespace l1hh {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  double total = 0;
+  for (const double w : weights) total += w;
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (const uint32_t l : large) prob_[l] = 1.0;
+  for (const uint32_t s : small) prob_[s] = 1.0;
+}
+
+uint64_t AliasTable::Sample(Rng& rng) const {
+  const uint64_t i = rng.UniformU64(prob_.size());
+  return rng.UniformDouble() < prob_[i] ? i : alias_[i];
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double alpha)
+    : alpha_(alpha), probs_(n), alias_([n, alpha] {
+        std::vector<double> w(n);
+        for (uint64_t k = 0; k < n; ++k) {
+          w[k] = std::pow(static_cast<double>(k + 1), -alpha);
+        }
+        return w;
+      }()) {
+  double total = 0;
+  for (uint64_t k = 0; k < n; ++k) {
+    probs_[k] = std::pow(static_cast<double>(k + 1), -alpha);
+    total += probs_[k];
+  }
+  for (auto& p : probs_) p /= total;
+}
+
+}  // namespace l1hh

@@ -1,0 +1,54 @@
+// Zipf / zeta distribution sampler over [0, n).
+//
+// P(item k) proportional to 1 / (k+1)^alpha.  Heavy-hitter workloads are
+// classically Zipfian (the paper's motivating applications — IP traffic,
+// iceberg queries — are); the benches sweep alpha to move between near
+// uniform (alpha ~ 0) and extremely skewed (alpha ~ 2) streams.
+//
+// Sampling uses Walker's alias method: O(n) setup, O(1) per draw, so
+// generating 10^8-item streams is cheap.
+#ifndef L1HH_STREAM_ZIPF_H_
+#define L1HH_STREAM_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace l1hh {
+
+class AliasTable {
+ public:
+  /// Builds from unnormalized weights.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  uint64_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double alpha);
+
+  uint64_t Sample(Rng& rng) const { return alias_.Sample(rng); }
+
+  /// Exact probability of item k under the distribution.
+  double Probability(uint64_t k) const { return probs_[k]; }
+
+  uint64_t n() const { return probs_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::vector<double> probs_;
+  AliasTable alias_;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_STREAM_ZIPF_H_

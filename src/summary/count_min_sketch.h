@@ -1,0 +1,108 @@
+// Count-Min sketch [CM05] — the classic randomized baseline.
+//
+// depth d = ceil(ln(1/delta)) rows, width w = ceil(e/eps) counters:
+//     f(x) <= Estimate(x) <= f(x) + eps * m    w.p. 1 - delta per query.
+// Space Theta(eps^-1 log(1/delta) log m) bits plus a candidate heap when
+// used for heavy hitters — the paper's point of comparison at
+// O(eps^-1 (log n + log m)).  Supports conservative update, which only
+// improves estimates on insertion-only streams.
+#ifndef L1HH_SUMMARY_COUNT_MIN_SKETCH_H_
+#define L1HH_SUMMARY_COUNT_MIN_SKETCH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hash/multiply_shift.h"
+#include "util/bit_stream.h"
+#include "util/random.h"
+
+namespace l1hh {
+
+class CountMinSketch {
+ public:
+  struct Options {
+    size_t width = 256;            // counters per row (power of two)
+    size_t depth = 4;              // rows
+    bool conservative = false;     // conservative update variant
+  };
+
+  CountMinSketch(const Options& options, uint64_t seed);
+
+  /// Sketch sized for additive error eps*m w.p. 1-delta per query.
+  static CountMinSketch ForError(double epsilon, double delta, uint64_t seed,
+                                 bool conservative = false);
+
+  void Insert(uint64_t item, uint64_t count = 1);
+
+  /// Overestimate (min over rows).
+  uint64_t Estimate(uint64_t item) const;
+
+  /// True iff `other` was built with the same dimensions and hash seeds,
+  /// i.e. the sketches are linearly mergeable.
+  bool Compatible(const CountMinSketch& other) const;
+
+  /// Cell-wise sum: the merged sketch equals one built over the
+  /// concatenated streams (Count-Min is a linear sketch).  Requires
+  /// Compatible(other).
+  static CountMinSketch Merge(const CountMinSketch& a,
+                              const CountMinSketch& b);
+
+  uint64_t items_processed() const { return processed_; }
+  size_t width() const { return width_; }
+  size_t depth() const { return hashes_.size(); }
+
+  /// Gamma-coded content cost plus hash seeds — honest about the log m
+  /// factor every counter carries.
+  size_t SpaceBits() const;
+
+  void Serialize(BitWriter& out) const;
+  static CountMinSketch Deserialize(BitReader& in);
+
+ private:
+  size_t Cell(size_t row, uint64_t item) const {
+    return row * width_ + static_cast<size_t>(hashes_[row](item));
+  }
+
+  size_t width_;
+  bool conservative_;
+  uint64_t processed_ = 0;
+  std::vector<MultiplyShiftHash> hashes_;
+  std::vector<uint64_t> table_;  // depth x width
+};
+
+/// Count-Min as a full (eps, phi)-heavy-hitters baseline: the standard
+/// construction that checks each inserted item's estimate against the
+/// current threshold phi * (items so far) and keeps qualifying candidates.
+/// On insertion-only streams estimates only grow, so every item with
+/// f >= phi*m is caught at its last occurrence at the latest.
+class CountMinHeavyHitters {
+ public:
+  struct Entry {
+    uint64_t item;
+    uint64_t count;  // CM overestimate
+  };
+
+  CountMinHeavyHitters(double epsilon, double phi, double delta,
+                       uint64_t seed);
+
+  void Insert(uint64_t item);
+
+  /// Candidates re-filtered at (phi - eps/2) * m, sorted by estimate.
+  std::vector<Entry> Report() const;
+
+  uint64_t Estimate(uint64_t item) const { return cms_.Estimate(item); }
+  uint64_t items_processed() const { return cms_.items_processed(); }
+
+  size_t SpaceBits() const;
+
+ private:
+  double phi_;
+  double epsilon_;
+  CountMinSketch cms_;
+  std::unordered_map<uint64_t, uint64_t> candidates_;  // item -> estimate
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_SUMMARY_COUNT_MIN_SKETCH_H_

@@ -1,0 +1,62 @@
+// CountSketch [CCFC04]: d rows of w signed counters.
+//
+// Estimate = median over rows of sign * cell; unbiased, with additive error
+// O(||f||_2 / sqrt(w)) per row — the classic l2 baseline the paper contrasts
+// with (it targets l1).  Included for the baseline sweeps in the Table 1
+// benches and for the unbiasedness property tests.
+#ifndef L1HH_SUMMARY_COUNT_SKETCH_H_
+#define L1HH_SUMMARY_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/multiply_shift.h"
+#include "util/bit_stream.h"
+#include "util/random.h"
+
+namespace l1hh {
+
+class CountSketch {
+ public:
+  CountSketch(size_t width, size_t depth, uint64_t seed);
+
+  static CountSketch ForError(double epsilon, double delta, uint64_t seed);
+
+  void Insert(uint64_t item, int64_t count = 1);
+
+  /// Median-of-rows estimate; can be negative due to noise.
+  int64_t Estimate(uint64_t item) const;
+
+  bool Compatible(const CountSketch& other) const;
+
+  /// Cell-wise sum (CountSketch is a linear sketch).  Requires
+  /// Compatible(other).
+  static CountSketch Merge(const CountSketch& a, const CountSketch& b);
+
+  uint64_t items_processed() const { return processed_; }
+  size_t width() const { return width_; }
+  size_t depth() const { return index_hashes_.size(); }
+
+  size_t SpaceBits() const;
+
+  void Serialize(BitWriter& out) const;
+  static CountSketch Deserialize(BitReader& in);
+
+ private:
+  size_t Cell(size_t row, uint64_t item) const {
+    return row * width_ + static_cast<size_t>(index_hashes_[row](item));
+  }
+  int Sign(size_t row, uint64_t item) const {
+    return (sign_hashes_[row](item) & 1) != 0 ? 1 : -1;
+  }
+
+  size_t width_;
+  uint64_t processed_ = 0;
+  std::vector<MultiplyShiftHash> index_hashes_;
+  std::vector<MultiplyShiftHash> sign_hashes_;
+  std::vector<int64_t> table_;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_SUMMARY_COUNT_SKETCH_H_

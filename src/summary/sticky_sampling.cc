@@ -1,0 +1,78 @@
+#include "summary/sticky_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bit_util.h"
+
+namespace l1hh {
+
+StickySampling::StickySampling(double epsilon, double support, double delta,
+                               uint64_t seed, int key_bits)
+    : rng_(seed), epsilon_(epsilon), key_bits_(key_bits) {
+  const double t =
+      std::ceil(std::log(1.0 / (support * delta)) / epsilon);
+  t_ = std::max<uint64_t>(1, static_cast<uint64_t>(t));
+  next_boundary_ = 2 * t_;
+}
+
+void StickySampling::Insert(uint64_t item) {
+  ++processed_;
+  auto it = table_.find(item);
+  if (it != table_.end()) {
+    max_count_ = std::max(max_count_, ++it->second);
+  } else if (rate_ == 1 || rng_.UniformU64(rate_) == 0) {
+    table_.emplace(item, 1);
+    peak_tracked_ = std::max(peak_tracked_, table_.size());
+  }
+  if (processed_ >= next_boundary_) {
+    rate_ *= 2;
+    next_boundary_ += rate_ * t_;
+    Resample();
+  }
+}
+
+void StickySampling::Resample() {
+  // For each entry, repeatedly toss an unbiased coin, diminishing the count
+  // by one per tails, until heads; drop entries that reach zero ([MM02]).
+  for (auto it = table_.begin(); it != table_.end();) {
+    uint64_t count = it->second;
+    while (count > 0 && (rng_.NextU64() & 1) != 0) {
+      --count;
+    }
+    if (count == 0) {
+      it = table_.erase(it);
+    } else {
+      it->second = count;
+      ++it;
+    }
+  }
+}
+
+uint64_t StickySampling::Estimate(uint64_t item) const {
+  const auto it = table_.find(item);
+  return it == table_.end() ? 0 : it->second;
+}
+
+std::vector<StickySampling::Entry> StickySampling::EntriesAbove(
+    uint64_t threshold) const {
+  const uint64_t slack =
+      static_cast<uint64_t>(epsilon_ * static_cast<double>(processed_));
+  std::vector<Entry> out;
+  for (const auto& [item, count] : table_) {
+    if (count + slack >= threshold) out.push_back({item, count});
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.count > b.count || (a.count == b.count && a.item < b.item);
+  });
+  return out;
+}
+
+size_t StickySampling::SpaceBits() const {
+  const size_t per_entry =
+      static_cast<size_t>(key_bits_) + BitWidth(max_count_);
+  return BitWidth(processed_) + BitWidth(rate_) +
+         peak_tracked_ * per_entry;
+}
+
+}  // namespace l1hh

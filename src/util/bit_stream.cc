@@ -1,0 +1,78 @@
+#include "util/bit_stream.h"
+
+#include <bit>
+#include <cstring>
+
+namespace l1hh {
+
+void BitWriter::WriteBits(uint64_t value, int nbits) {
+  if (nbits == 0) return;
+  if (nbits < 64) value &= (uint64_t{1} << nbits) - 1;
+  const size_t word_index = nbits_ >> 6;
+  const int bit_offset = static_cast<int>(nbits_ & 63);
+  if (word_index >= words_.size()) words_.push_back(0);
+  words_[word_index] |= value << bit_offset;
+  const int spill = bit_offset + nbits - 64;
+  if (spill > 0) {
+    words_.push_back(value >> (nbits - spill));
+  }
+  nbits_ += static_cast<size_t>(nbits);
+}
+
+void BitWriter::WriteGamma(uint64_t v) {
+  // v >= 1: floor(log2 v) zeros, then v's bits from MSB.
+  const int len = FloorLog2(v);
+  WriteBits(0, len);
+  WriteBits(1, 1);
+  // Low `len` bits of v (below the leading one), LSB-first is fine as long
+  // as the reader agrees.
+  WriteBits(v - (uint64_t{1} << len), len);
+}
+
+void BitWriter::WriteDouble(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  WriteU64(bits);
+}
+
+uint64_t BitReader::ReadBits(int nbits) {
+  if (nbits == 0) return 0;
+  if (pos_ + static_cast<size_t>(nbits) > limit_bits_) {
+    overflow_ = true;
+    pos_ = limit_bits_;
+    return 0;
+  }
+  const size_t word_index = pos_ >> 6;
+  const int bit_offset = static_cast<int>(pos_ & 63);
+  uint64_t value = (*words_)[word_index] >> bit_offset;
+  const int taken = 64 - bit_offset;
+  if (taken < nbits) {
+    value |= (*words_)[word_index + 1] << taken;
+  }
+  if (nbits < 64) value &= (uint64_t{1} << nbits) - 1;
+  pos_ += static_cast<size_t>(nbits);
+  return value;
+}
+
+uint64_t BitReader::ReadGamma() {
+  int len = 0;
+  while (!overflow_ && ReadBits(1) == 0) {
+    ++len;
+    if (len > 64) {
+      overflow_ = true;
+      return 1;
+    }
+  }
+  if (overflow_) return 1;
+  const uint64_t low = ReadBits(len);
+  return (uint64_t{1} << len) + low;
+}
+
+double BitReader::ReadDouble() {
+  const uint64_t bits = ReadU64();
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace l1hh

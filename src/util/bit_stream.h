@@ -1,0 +1,84 @@
+// Bit-exact serialization streams.
+//
+// The communication games of Section 4 measure Alice's message in bits: a
+// sketch Serialize()s itself into a BitWriter and the message size is the
+// exact number of bits written.  Every sketch in this library round-trips
+// through these streams.
+#ifndef L1HH_UTIL_BIT_STREAM_H_
+#define L1HH_UTIL_BIT_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_util.h"
+
+namespace l1hh {
+
+class BitWriter {
+ public:
+  /// Appends the low `nbits` bits of `value` (LSB first). nbits in [0, 64].
+  void WriteBits(uint64_t value, int nbits);
+
+  /// Elias gamma code for v >= 1.
+  void WriteGamma(uint64_t v);
+
+  /// Gamma code shifted to cover v >= 0.
+  void WriteCounter(uint64_t v) { WriteGamma(v + 1); }
+
+  void WriteU64(uint64_t v) { WriteBits(v, 64); }
+  void WriteU32(uint32_t v) { WriteBits(v, 32); }
+  void WriteBool(bool b) { WriteBits(b ? 1 : 0, 1); }
+
+  /// Fixed-width write of a double (bit pattern).
+  void WriteDouble(double d);
+
+  size_t size_bits() const { return nbits_; }
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const BitWriter& writer)
+      : words_(&writer.words()), limit_bits_(writer.size_bits()) {}
+
+  /// Reads `nbits` bits (LSB first).  Reading past the end returns zeros and
+  /// sets overflow().
+  uint64_t ReadBits(int nbits);
+
+  uint64_t ReadGamma();
+  uint64_t ReadCounter() { return ReadGamma() - 1; }
+  uint64_t ReadU64() { return ReadBits(64); }
+  uint32_t ReadU32() { return static_cast<uint32_t>(ReadBits(32)); }
+  bool ReadBool() { return ReadBits(1) != 0; }
+  double ReadDouble();
+
+  size_t position_bits() const { return pos_; }
+  size_t remaining_bits() const { return limit_bits_ - pos_; }
+  bool overflow() const { return overflow_; }
+
+  /// Sanity bound for a count field about to drive an allocation: a
+  /// well-formed message cannot contain more elements than it has bits.
+  /// Returns `count` if plausible, else marks overflow and returns 0.
+  uint64_t CheckedCount(uint64_t count) {
+    if (count > remaining_bits() + 64) {
+      overflow_ = true;
+      return 0;
+    }
+    return count;
+  }
+
+ private:
+  const std::vector<uint64_t>* words_;
+  size_t limit_bits_;
+  size_t pos_ = 0;
+  bool overflow_ = false;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_UTIL_BIT_STREAM_H_

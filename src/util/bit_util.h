@@ -1,0 +1,62 @@
+// Bit-manipulation helpers used throughout the library.
+//
+// The paper (Bhattacharyya–Dey–Woodruff, PODS'16) works in the unit-cost RAM
+// model with O(log n)-bit words and repeatedly rounds sampling probabilities
+// to powers of two (footnote 3); the helpers here implement that arithmetic.
+#ifndef L1HH_UTIL_BIT_UTIL_H_
+#define L1HH_UTIL_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace l1hh {
+
+/// Number of bits needed to represent `v` (0 needs 1 bit by convention).
+constexpr int BitWidth(uint64_t v) { return v == 0 ? 1 : std::bit_width(v); }
+
+/// floor(log2(v)); requires v >= 1.
+constexpr int FloorLog2(uint64_t v) { return std::bit_width(v) - 1; }
+
+/// ceil(log2(v)); requires v >= 1. CeilLog2(1) == 0.
+constexpr int CeilLog2(uint64_t v) {
+  return v <= 1 ? 0 : std::bit_width(v - 1);
+}
+
+constexpr bool IsPowerOfTwo(uint64_t v) { return std::has_single_bit(v); }
+
+/// Largest power of two <= v; requires v >= 1.
+constexpr uint64_t RoundDownPowerOfTwo(uint64_t v) {
+  return std::bit_floor(v);
+}
+
+/// Smallest power of two >= v; requires v >= 1.
+constexpr uint64_t RoundUpPowerOfTwo(uint64_t v) { return std::bit_ceil(v); }
+
+/// Rounds a probability p in (0, 1] DOWN to the nearest power of two,
+/// i.e. returns the largest 2^{-k} <= p, as the exponent k >= 0.
+/// This is the paper's footnote-3 convention: "we replace p with p' where
+/// 1/p' is the largest power of two less than 1/p" (so p' <= p < 2 p').
+constexpr int ProbabilityToPow2Exponent(double p) {
+  int k = 0;
+  double threshold = 1.0;
+  // Find the smallest k with 2^{-k} <= p.  p > 0 guarantees termination for
+  // any representable double (k <= 1075).
+  while (threshold > p) {
+    threshold *= 0.5;
+    ++k;
+  }
+  return k;
+}
+
+/// Space, in bits, of the Elias gamma code for v >= 1 (2*floor(log2 v) + 1).
+/// We use this as the "information-theoretic" cost of storing a variable
+/// length counter, matching the paper's O(log C)-bits-per-counter accounting
+/// ([BB08] variable-length arrays, paper Section 2.3).
+constexpr int EliasGammaBits(uint64_t v) { return 2 * FloorLog2(v) + 1; }
+
+/// Gamma cost of a counter holding value v >= 0 (we code v + 1).
+constexpr int CounterBits(uint64_t v) { return EliasGammaBits(v + 1); }
+
+}  // namespace l1hh
+
+#endif  // L1HH_UTIL_BIT_UTIL_H_

@@ -1,0 +1,60 @@
+// Minimal Status/Result types for error handling on non-hot paths
+// (configuration validation, deserialization).  Hot paths (Insert) never
+// allocate or branch on Status.
+#ifndef L1HH_UTIL_STATUS_H_
+#define L1HH_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace l1hh {
+
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName() + ": " + message_;
+  }
+
+ private:
+  enum class Code { kOk, kInvalidArgument, kCorruption, kFailedPrecondition };
+
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  std::string CodeName() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument";
+      case Code::kCorruption:
+        return "Corruption";
+      case Code::kFailedPrecondition:
+        return "FailedPrecondition";
+    }
+    return "Unknown";
+  }
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_UTIL_STATUS_H_

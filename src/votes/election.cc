@@ -1,0 +1,55 @@
+#include "votes/election.h"
+
+#include <algorithm>
+
+namespace l1hh {
+
+Election::Election(uint32_t num_candidates)
+    : n_(num_candidates),
+      borda_(num_candidates, 0),
+      plurality_(num_candidates, 0),
+      veto_(num_candidates, 0),
+      pairwise_(static_cast<size_t>(num_candidates) * num_candidates, 0) {}
+
+void Election::AddVote(const Ranking& vote) {
+  ++votes_;
+  if (vote.size() == 0) return;
+  plurality_[vote.At(0)] += 1;
+  veto_[vote.At(vote.size() - 1)] += 1;
+  for (uint32_t p = 0; p < vote.size(); ++p) {
+    const uint32_t c = vote.At(p);
+    borda_[c] += vote.BordaPoints(p);
+    for (uint32_t q = p + 1; q < vote.size(); ++q) {
+      pairwise_[static_cast<size_t>(c) * n_ + vote.At(q)] += 1;
+    }
+  }
+}
+
+std::vector<uint64_t> Election::MaximinScores() const {
+  std::vector<uint64_t> scores(n_, 0);
+  for (uint32_t i = 0; i < n_; ++i) {
+    uint64_t best = UINT64_MAX;
+    for (uint32_t j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      best = std::min(best, Pairwise(i, j));
+    }
+    scores[i] = (best == UINT64_MAX) ? 0 : best;
+  }
+  return scores;
+}
+
+namespace {
+uint32_t ArgMax(const std::vector<uint64_t>& v) {
+  uint32_t best = 0;
+  for (uint32_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+}  // namespace
+
+uint32_t Election::BordaWinner() const { return ArgMax(borda_); }
+uint32_t Election::MaximinWinner() const { return ArgMax(MaximinScores()); }
+uint32_t Election::PluralityWinner() const { return ArgMax(plurality_); }
+
+}  // namespace l1hh

@@ -1,0 +1,55 @@
+// Exact election tabulation: ground truth for the voting-stream problems.
+//
+// Borda score of candidate i = sum over votes of #{j != i ranked below i}.
+// Maximin score of i = min over j != i of #{votes ranking i above j}.
+// Plurality = frequency of top position; veto = frequency of last position.
+// These are the quantities the paper's Definitions 6–9 approximate.
+#ifndef L1HH_VOTES_ELECTION_H_
+#define L1HH_VOTES_ELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "votes/ranking.h"
+
+namespace l1hh {
+
+class Election {
+ public:
+  explicit Election(uint32_t num_candidates);
+
+  void AddVote(const Ranking& vote);
+
+  uint32_t num_candidates() const { return n_; }
+  uint64_t num_votes() const { return votes_; }
+
+  /// Exact Borda scores (index = candidate).
+  std::vector<uint64_t> BordaScores() const { return borda_; }
+
+  /// Exact maximin scores.
+  std::vector<uint64_t> MaximinScores() const;
+
+  /// pairwise(i, j) = number of votes ranking i ahead of j.
+  uint64_t Pairwise(uint32_t i, uint32_t j) const {
+    return pairwise_[static_cast<size_t>(i) * n_ + j];
+  }
+
+  std::vector<uint64_t> PluralityScores() const { return plurality_; }
+  std::vector<uint64_t> VetoScores() const { return veto_; }
+
+  uint32_t BordaWinner() const;
+  uint32_t MaximinWinner() const;
+  uint32_t PluralityWinner() const;
+
+ private:
+  uint32_t n_;
+  uint64_t votes_ = 0;
+  std::vector<uint64_t> borda_;
+  std::vector<uint64_t> plurality_;
+  std::vector<uint64_t> veto_;
+  std::vector<uint64_t> pairwise_;  // n x n
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_VOTES_ELECTION_H_

@@ -1,0 +1,93 @@
+#include "votes/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/bit_util.h"
+
+namespace l1hh {
+
+Ranking Ranking::Identity(uint32_t n) {
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  return Ranking(std::move(order));
+}
+
+Ranking Ranking::Random(uint32_t n, Rng& rng) {
+  Ranking r = Identity(n);
+  for (uint32_t i = n; i > 1; --i) {
+    const uint32_t j = static_cast<uint32_t>(rng.UniformU64(i));
+    std::swap(r.order_[i - 1], r.order_[j]);
+  }
+  return r;
+}
+
+bool Ranking::IsValid() const {
+  std::vector<bool> seen(order_.size(), false);
+  for (const uint32_t c : order_) {
+    if (c >= order_.size() || seen[c]) return false;
+    seen[c] = true;
+  }
+  return true;
+}
+
+std::vector<uint32_t> Ranking::Positions() const {
+  std::vector<uint32_t> pos(order_.size());
+  for (uint32_t p = 0; p < order_.size(); ++p) {
+    pos[order_[p]] = p;
+  }
+  return pos;
+}
+
+bool Ranking::Prefers(uint32_t a, uint32_t b) const {
+  for (const uint32_t c : order_) {
+    if (c == a) return true;
+    if (c == b) return false;
+  }
+  return false;
+}
+
+void Ranking::CompactEncode(BitWriter& out) const {
+  const int width = CeilLog2(std::max<uint64_t>(order_.size(), 2));
+  for (const uint32_t c : order_) {
+    out.WriteBits(c, width);
+  }
+}
+
+Ranking Ranking::CompactDecode(BitReader& in, uint32_t n) {
+  const int width = CeilLog2(std::max<uint64_t>(n, 2));
+  std::vector<uint32_t> order(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    order[i] = static_cast<uint32_t>(in.ReadBits(width));
+  }
+  return Ranking(std::move(order));
+}
+
+std::vector<uint32_t> Ranking::LehmerCode() const {
+  const uint32_t n = size();
+  std::vector<uint32_t> code(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t smaller_later = 0;
+    for (uint32_t j = i + 1; j < n; ++j) {
+      if (order_[j] < order_[i]) ++smaller_later;
+    }
+    code[i] = smaller_later;
+  }
+  return code;
+}
+
+Ranking Ranking::FromLehmerCode(const std::vector<uint32_t>& code) {
+  const uint32_t n = static_cast<uint32_t>(code.size());
+  std::vector<uint32_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0u);
+  std::vector<uint32_t> order;
+  order.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t idx = code[i];
+    order.push_back(pool[idx]);
+    pool.erase(pool.begin() + idx);
+  }
+  return Ranking(std::move(order));
+}
+
+}  // namespace l1hh

@@ -1,0 +1,69 @@
+// Rankings (total orders / permutations) — the stream items of the paper's
+// voting problems (Definitions 6–9): each stream update is an element of
+// L(U), a permutation of the n candidates.
+//
+// A Ranking stores order[pos] = candidate at position pos (position 0 is
+// the most preferred).  CompactEncode packs a vote into n * ceil(log2 n)
+// bits — exactly the O(n log n) bits per vote the paper charges when
+// Theorem 6 stores the sampled votes — and the Lehmer code gives the
+// information-theoretically minimal log2(n!) bits encoding, used by the
+// epsilon-Perm communication game.
+#ifndef L1HH_VOTES_RANKING_H_
+#define L1HH_VOTES_RANKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_stream.h"
+#include "util/random.h"
+
+namespace l1hh {
+
+class Ranking {
+ public:
+  Ranking() = default;
+  explicit Ranking(std::vector<uint32_t> order) : order_(std::move(order)) {}
+
+  /// Identity ranking 0 > 1 > ... > n-1.
+  static Ranking Identity(uint32_t n);
+
+  /// Uniformly random permutation (Fisher–Yates).
+  static Ranking Random(uint32_t n, Rng& rng);
+
+  /// True iff order_ is a permutation of {0..n-1}.
+  bool IsValid() const;
+
+  uint32_t size() const { return static_cast<uint32_t>(order_.size()); }
+  uint32_t At(uint32_t pos) const { return order_[pos]; }
+  const std::vector<uint32_t>& order() const { return order_; }
+
+  /// Position of each candidate (inverse permutation): out[c] = rank of c.
+  std::vector<uint32_t> Positions() const;
+
+  /// Borda contribution of this single vote: candidate at position p gets
+  /// n - 1 - p points.
+  uint64_t BordaPoints(uint32_t pos) const { return size() - 1 - pos; }
+
+  /// True iff candidate a is ranked ahead of candidate b.
+  bool Prefers(uint32_t a, uint32_t b) const;
+
+  /// Fixed-width packing: n * ceil(log2 n) bits.
+  void CompactEncode(BitWriter& out) const;
+  static Ranking CompactDecode(BitReader& in, uint32_t n);
+
+  /// Lehmer code: bijection between permutations of [n] and mixed-radix
+  /// sequences; Encode/Decode round-trip exactly.
+  std::vector<uint32_t> LehmerCode() const;
+  static Ranking FromLehmerCode(const std::vector<uint32_t>& code);
+
+  bool operator==(const Ranking& other) const {
+    return order_ == other.order_;
+  }
+
+ private:
+  std::vector<uint32_t> order_;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_VOTES_RANKING_H_

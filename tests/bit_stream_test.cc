@@ -1,0 +1,99 @@
+#include "util/bit_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace l1hh {
+namespace {
+
+TEST(BitStreamTest, RoundTripFixedWidth) {
+  BitWriter w;
+  w.WriteBits(0b101, 3);
+  w.WriteBits(0xdeadbeef, 32);
+  w.WriteBits(1, 1);
+  w.WriteU64(0x0123456789abcdefULL);
+  EXPECT_EQ(w.size_bits(), 3u + 32u + 1u + 64u);
+
+  BitReader r(w);
+  EXPECT_EQ(r.ReadBits(3), 0b101u);
+  EXPECT_EQ(r.ReadBits(32), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadBits(1), 1u);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_FALSE(r.overflow());
+}
+
+TEST(BitStreamTest, RoundTripGamma) {
+  BitWriter w;
+  std::vector<uint64_t> values = {1, 2, 3, 4, 5, 100, 1000, 123456789,
+                                  (uint64_t{1} << 40) + 7};
+  for (const uint64_t v : values) w.WriteGamma(v);
+  BitReader r(w);
+  for (const uint64_t v : values) EXPECT_EQ(r.ReadGamma(), v);
+  EXPECT_FALSE(r.overflow());
+}
+
+TEST(BitStreamTest, RoundTripCounterIncludesZero) {
+  BitWriter w;
+  for (uint64_t v = 0; v < 300; ++v) w.WriteCounter(v);
+  BitReader r(w);
+  for (uint64_t v = 0; v < 300; ++v) EXPECT_EQ(r.ReadCounter(), v);
+}
+
+TEST(BitStreamTest, RoundTripDouble) {
+  BitWriter w;
+  w.WriteDouble(3.14159);
+  w.WriteDouble(-0.0);
+  w.WriteDouble(1e-300);
+  BitReader r(w);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), 3.14159);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), -0.0);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), 1e-300);
+}
+
+TEST(BitStreamTest, OverflowDetected) {
+  BitWriter w;
+  w.WriteBits(0b11, 2);
+  BitReader r(w);
+  EXPECT_EQ(r.ReadBits(2), 0b11u);
+  EXPECT_EQ(r.ReadBits(1), 0u);
+  EXPECT_TRUE(r.overflow());
+}
+
+TEST(BitStreamTest, RandomizedMixedRoundTrip) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<uint64_t, int>> fixed;
+    std::vector<uint64_t> gammas;
+    for (int i = 0; i < 200; ++i) {
+      if (rng.NextU64() & 1) {
+        const int nbits = 1 + static_cast<int>(rng.UniformU64(64));
+        uint64_t v = rng.NextU64();
+        if (nbits < 64) v &= (uint64_t{1} << nbits) - 1;
+        fixed.push_back({v, nbits});
+        w.WriteBits(v, nbits);
+        gammas.push_back(UINT64_MAX);  // marker
+      } else {
+        const uint64_t v = 1 + rng.UniformU64(1 << 20);
+        gammas.push_back(v);
+        fixed.push_back({0, 0});
+        w.WriteGamma(v);
+      }
+    }
+    BitReader r(w);
+    for (int i = 0; i < 200; ++i) {
+      if (gammas[i] == UINT64_MAX) {
+        EXPECT_EQ(r.ReadBits(fixed[i].second), fixed[i].first);
+      } else {
+        EXPECT_EQ(r.ReadGamma(), gammas[i]);
+      }
+    }
+    EXPECT_FALSE(r.overflow());
+  }
+}
+
+}  // namespace
+}  // namespace l1hh

@@ -1,0 +1,77 @@
+#include "util/bit_util.h"
+
+#include <gtest/gtest.h>
+
+namespace l1hh {
+namespace {
+
+TEST(BitUtilTest, BitWidth) {
+  EXPECT_EQ(BitWidth(0), 1);
+  EXPECT_EQ(BitWidth(1), 1);
+  EXPECT_EQ(BitWidth(2), 2);
+  EXPECT_EQ(BitWidth(3), 2);
+  EXPECT_EQ(BitWidth(4), 3);
+  EXPECT_EQ(BitWidth(255), 8);
+  EXPECT_EQ(BitWidth(256), 9);
+  EXPECT_EQ(BitWidth(UINT64_MAX), 64);
+}
+
+TEST(BitUtilTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(uint64_t{1} << 40), 40);
+  EXPECT_EQ(FloorLog2((uint64_t{1} << 40) + 1), 40);
+}
+
+TEST(BitUtilTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2((uint64_t{1} << 40) + 1), 41);
+}
+
+TEST(BitUtilTest, PowerOfTwoRounding) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(63));
+  EXPECT_EQ(RoundDownPowerOfTwo(63), 32u);
+  EXPECT_EQ(RoundDownPowerOfTwo(64), 64u);
+  EXPECT_EQ(RoundUpPowerOfTwo(63), 64u);
+  EXPECT_EQ(RoundUpPowerOfTwo(65), 128u);
+}
+
+TEST(BitUtilTest, ProbabilityToPow2ExponentRoundsDown) {
+  // Footnote 3: the largest 2^-k <= p.
+  EXPECT_EQ(ProbabilityToPow2Exponent(1.0), 0);
+  EXPECT_EQ(ProbabilityToPow2Exponent(0.5), 1);
+  EXPECT_EQ(ProbabilityToPow2Exponent(0.6), 1);   // 1/2 <= 0.6 < 1
+  EXPECT_EQ(ProbabilityToPow2Exponent(0.25), 2);
+  EXPECT_EQ(ProbabilityToPow2Exponent(0.3), 2);   // 1/4 <= 0.3 < 1/2
+  EXPECT_EQ(ProbabilityToPow2Exponent(0.1), 4);   // 1/16 <= 0.1 < 1/8
+}
+
+TEST(BitUtilTest, EliasGammaBits) {
+  EXPECT_EQ(EliasGammaBits(1), 1);
+  EXPECT_EQ(EliasGammaBits(2), 3);
+  EXPECT_EQ(EliasGammaBits(3), 3);
+  EXPECT_EQ(EliasGammaBits(4), 5);
+  EXPECT_EQ(CounterBits(0), 1);  // codes v+1
+  EXPECT_EQ(CounterBits(1), 3);
+}
+
+// Property: gamma length is monotone nondecreasing in v.
+TEST(BitUtilTest, GammaLengthMonotone) {
+  int prev = 0;
+  for (uint64_t v = 1; v < 5000; ++v) {
+    const int len = EliasGammaBits(v);
+    EXPECT_GE(len, prev);
+    prev = len;
+  }
+}
+
+}  // namespace
+}  // namespace l1hh

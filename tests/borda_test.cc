@@ -1,0 +1,172 @@
+#include "core/borda.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "stream/vote_generator.h"
+#include "votes/election.h"
+
+namespace l1hh {
+namespace {
+
+StreamingBorda::Options MakeOptions(double eps, uint32_t n, uint64_t m,
+                                    double phi = 0.0) {
+  StreamingBorda::Options opt;
+  opt.epsilon = eps;
+  opt.phi = phi;
+  opt.delta = 0.1;
+  opt.num_candidates = n;
+  opt.stream_length = m;
+  return opt;
+}
+
+// Theorem 5's contract: every candidate's Borda score within eps*m*n.
+TEST(StreamingBordaTest, AllScoresWithinEpsMN) {
+  const double eps = 0.05;
+  const uint32_t n = 12;
+  const uint64_t m = 20000;
+  int failures = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    const auto votes = MakeMallowsVotes(n, m, 0.8, 50 + t);
+    StreamingBorda sketch(MakeOptions(eps, n, m), 100 + t);
+    Election exact(n);
+    for (const auto& v : votes) {
+      sketch.InsertVote(v);
+      exact.AddVote(v);
+    }
+    const auto est = sketch.Scores();
+    const auto truth = exact.BordaScores();
+    bool ok = true;
+    for (uint32_t c = 0; c < n; ++c) {
+      if (std::abs(est[c] - static_cast<double>(truth[c])) >
+          eps * static_cast<double>(m) * n) {
+        ok = false;
+      }
+    }
+    if (!ok) ++failures;
+  }
+  EXPECT_LE(failures, 2);
+}
+
+TEST(StreamingBordaTest, FindsPlantedWinner) {
+  const uint32_t n = 10;
+  const uint64_t m = 30000;
+  const auto votes = MakePlantedWinnerVotes(n, m, /*winner=*/6, 0.3, 3);
+  StreamingBorda sketch(MakeOptions(0.03, n, m), 5);
+  for (const auto& v : votes) sketch.InsertVote(v);
+  EXPECT_EQ(sketch.MaxScore().item, 6u);
+}
+
+TEST(StreamingBordaTest, ListAboveThreshold) {
+  const uint32_t n = 6;
+  const uint64_t m = 10000;
+  // Mallows: candidate 0 scores highest, near (n-1)/n * mn ... descending.
+  const auto votes = MakeMallowsVotes(n, m, 0.4, 7);
+  StreamingBorda sketch(MakeOptions(0.05, n, m, /*phi=*/0.5), 9);
+  Election exact(n);
+  for (const auto& v : votes) {
+    sketch.InsertVote(v);
+    exact.AddVote(v);
+  }
+  const auto listed = sketch.ListAbove();
+  const auto truth = exact.BordaScores();
+  const double mn = static_cast<double>(m) * n;
+  for (const auto& hh : listed) {
+    // Nothing below (phi - eps) m n may appear.
+    EXPECT_GT(static_cast<double>(truth[hh.item]), (0.5 - 0.05) * mn);
+  }
+  for (uint32_t c = 0; c < n; ++c) {
+    if (static_cast<double>(truth[c]) >= 0.5 * mn) {
+      bool found = false;
+      for (const auto& hh : listed) {
+        if (hh.item == c) found = true;
+      }
+      EXPECT_TRUE(found) << "candidate " << c;
+    }
+  }
+}
+
+TEST(StreamingBordaTest, ExactWhenSamplingRateIsOne) {
+  const uint32_t n = 5;
+  const uint64_t m = 50;  // far below the sample budget
+  const auto votes = MakeUniformVotes(n, m, 11);
+  StreamingBorda sketch(MakeOptions(0.1, n, m), 13);
+  Election exact(n);
+  for (const auto& v : votes) {
+    sketch.InsertVote(v);
+    exact.AddVote(v);
+  }
+  EXPECT_EQ(sketch.samples_taken(), m);
+  const auto est = sketch.Scores();
+  const auto truth = exact.BordaScores();
+  for (uint32_t c = 0; c < n; ++c) {
+    EXPECT_DOUBLE_EQ(est[c], static_cast<double>(truth[c]));
+  }
+}
+
+TEST(StreamingBordaTest, SpaceLinearInCandidatesNotVotes) {
+  const uint32_t n = 64;
+  const uint64_t m = 1 << 18;
+  StreamingBorda sketch(MakeOptions(0.05, n, m), 17);
+  Rng rng(19);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    sketch.InsertVote(Ranking::Random(n, rng));
+  }
+  // O(n log(n l)) bits: for n=64 this is a few kilobits.
+  EXPECT_LT(sketch.SpaceBits(), 64u * 64u + 1024u);
+}
+
+TEST(StreamingBordaTest, SerializeRoundTripAndResume) {
+  const uint32_t n = 6;
+  const uint64_t m = 1000;
+  StreamingBorda alice(MakeOptions(0.05, n, m), 21);
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) alice.InsertVote(Ranking::Random(n, rng));
+  BitWriter w;
+  alice.Serialize(w);
+  BitReader r(w);
+  StreamingBorda bob = StreamingBorda::Deserialize(r, 25);
+  EXPECT_EQ(bob.samples_taken(), alice.samples_taken());
+  for (int i = 0; i < 500; ++i) {
+    bob.InsertVote(Ranking({3, 0, 1, 2, 4, 5}));
+  }
+  EXPECT_EQ(bob.MaxScore().item, 3u);
+}
+
+class BordaEpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BordaEpsSweep, WinnerIsEpsWinner) {
+  const double eps = GetParam();
+  const uint32_t n = 8;
+  const uint64_t m = 20000;
+  int failures = 0;
+  const int trials = 8;
+  for (int t = 0; t < trials; ++t) {
+    const auto votes = MakeMallowsVotes(n, m, 0.9, 300 + t);
+    StreamingBorda sketch(MakeOptions(eps, n, m), 400 + t);
+    Election exact(n);
+    for (const auto& v : votes) {
+      sketch.InsertVote(v);
+      exact.AddVote(v);
+    }
+    const auto truth = exact.BordaScores();
+    const uint64_t best =
+        *std::max_element(truth.begin(), truth.end());
+    const uint32_t mine = static_cast<uint32_t>(sketch.MaxScore().item);
+    // eps-winner: within eps*m*n of the true maximum.
+    if (static_cast<double>(best) - static_cast<double>(truth[mine]) >
+        eps * static_cast<double>(m) * n) {
+      ++failures;
+    }
+  }
+  EXPECT_LE(failures, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BordaEpsSweep,
+                         ::testing::Values(0.02, 0.05, 0.1, 0.2));
+
+}  // namespace
+}  // namespace l1hh

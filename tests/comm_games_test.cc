@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "comm/greater_than_game.h"
+#include "comm/indexing_game.h"
+#include "comm/maximin_game.h"
+#include "comm/perm_game.h"
+
+namespace l1hh {
+namespace {
+
+TEST(IndexingGameTest, HeavyHittersReductionSucceeds) {
+  HeavyHittersIndexingParams p;
+  p.epsilon = 0.05;
+  p.phi = 0.25;
+  p.stream_length = 100000;
+  const GameStats stats =
+      RepeatGame(RunHeavyHittersIndexingGame, p, /*trials=*/10, 1);
+  // Theorem 9 requires success prob >= 1 - delta; allow sampling noise.
+  EXPECT_GE(stats.success_rate(), 0.7);
+  EXPECT_GT(stats.message_bits, 0u);
+}
+
+TEST(IndexingGameTest, HeavyHittersReductionWithAlgorithm1) {
+  HeavyHittersIndexingParams p;
+  p.epsilon = 0.05;
+  p.phi = 0.25;
+  p.stream_length = 100000;
+  p.use_optimal = false;
+  const GameStats stats =
+      RepeatGame(RunHeavyHittersIndexingGame, p, /*trials=*/10, 2);
+  EXPECT_GE(stats.success_rate(), 0.7);
+}
+
+TEST(IndexingGameTest, MessageGrowsWithOneOverEps) {
+  // The Omega(eps^-1 log phi^-1) shape: quadrupling 1/eps must grow the
+  // message substantially.
+  HeavyHittersIndexingParams coarse, fine;
+  coarse.epsilon = 0.1;
+  coarse.phi = 0.3;
+  coarse.stream_length = 50000;
+  fine = coarse;
+  fine.epsilon = 0.025;
+  const GameResult rc = RunHeavyHittersIndexingGame(coarse, 3);
+  const GameResult rf = RunHeavyHittersIndexingGame(fine, 3);
+  EXPECT_GT(rf.message_bits, 2 * rc.message_bits);
+}
+
+TEST(IndexingGameTest, MaximumReductionSucceeds) {
+  MaximumIndexingParams p;
+  p.epsilon = 0.1;
+  p.stream_length = 100000;
+  const GameStats stats =
+      RepeatGame(RunMaximumIndexingGame, p, /*trials=*/10, 4);
+  EXPECT_GE(stats.success_rate(), 0.7);
+}
+
+TEST(IndexingGameTest, MinimumReductionSucceeds) {
+  MinimumIndexingParams p;
+  p.epsilon = 0.1;
+  const GameStats stats =
+      RepeatGame(RunMinimumIndexingGame, p, /*trials=*/20, 5);
+  // This reduction is essentially deterministic at our parameters.
+  EXPECT_GE(stats.success_rate(), 0.9);
+}
+
+TEST(IndexingGameTest, MinimumMessageLinearInOneOverEps) {
+  MinimumIndexingParams small, large;
+  small.epsilon = 0.2;   // t = 25
+  large.epsilon = 0.05;  // t = 100
+  const GameResult rs = RunMinimumIndexingGame(small, 6);
+  const GameResult rl = RunMinimumIndexingGame(large, 6);
+  EXPECT_GT(rl.message_bits, 2 * rs.message_bits);
+}
+
+TEST(GreaterThanGameTest, Succeeds) {
+  GreaterThanParams p;
+  p.max_exponent = 16;
+  int successes = 0;
+  const int trials = 8;
+  for (int t = 0; t < trials; ++t) {
+    const GameResult r = RunGreaterThanGame(p, 100 + t);
+    if (r.success) ++successes;
+    EXPECT_GT(r.message_bits, 0u);
+  }
+  EXPECT_GE(successes, trials - 2);
+}
+
+TEST(PermGameTest, DecodesBlocks) {
+  PermGameParams p;
+  p.n = 64;
+  p.blocks = 8;
+  int successes = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    const GameResult r = RunPermGame(p, 200 + t);
+    if (r.success) ++successes;
+  }
+  // Exact at these parameters (sampling rate 1).
+  EXPECT_GE(successes, 9);
+}
+
+TEST(PermGameTest, MessageLinearInN) {
+  PermGameParams small, large;
+  small.n = 32;
+  small.blocks = 8;
+  large.n = 256;
+  large.blocks = 8;
+  const GameResult rs = RunPermGame(small, 7);
+  const GameResult rl = RunPermGame(large, 7);
+  // Omega(n log(1/eps)): n scaled 8x.
+  EXPECT_GT(rl.message_bits, 4 * rs.message_bits);
+}
+
+TEST(MaximinGameTest, DecodesPlantedBit) {
+  MaximinGameParams p;
+  p.n = 32;
+  p.gamma = 256;
+  int successes = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    const GameResult r = RunMaximinGame(p, 300 + t);
+    if (r.success) ++successes;
+  }
+  // Lemma 8 holds with probability ~0.84 per side; require > 2/3 overall.
+  EXPECT_GE(successes, 14);
+}
+
+TEST(MaximinGameTest, MessageGrowsWithGamma) {
+  MaximinGameParams small, large;
+  small.n = 32;
+  small.gamma = 64;
+  large.n = 32;
+  large.gamma = 512;  // 8x more votes = 8x the eps^-2 term
+  const GameResult rs = RunMaximinGame(small, 8);
+  const GameResult rl = RunMaximinGame(large, 8);
+  EXPECT_GT(rl.message_bits, 4 * rs.message_bits);
+}
+
+}  // namespace
+}  // namespace l1hh

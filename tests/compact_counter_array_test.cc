@@ -1,0 +1,111 @@
+#include "count/compact_counter_array.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "count/saturating_counter.h"
+#include "util/random.h"
+
+namespace l1hh {
+namespace {
+
+TEST(CompactCounterArrayTest, StartsAtZero) {
+  CompactCounterArray a(100);
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(a.Get(i), 0u);
+  EXPECT_EQ(a.Total(), 0u);
+}
+
+TEST(CompactCounterArrayTest, IncrementWithinNibble) {
+  CompactCounterArray a(10);
+  for (int i = 0; i < 14; ++i) a.Increment(3);
+  EXPECT_EQ(a.Get(3), 14u);
+  EXPECT_EQ(a.Get(2), 0u);
+  EXPECT_EQ(a.Get(4), 0u);
+}
+
+TEST(CompactCounterArrayTest, OverflowsIntoSpill) {
+  CompactCounterArray a(10);
+  for (int i = 0; i < 1000; ++i) a.Increment(7);
+  EXPECT_EQ(a.Get(7), 1000u);
+  EXPECT_EQ(a.Total(), 1000u);
+}
+
+TEST(CompactCounterArrayTest, AddLargeDelta) {
+  CompactCounterArray a(4);
+  a.Add(0, 5);
+  a.Add(0, 1000000);
+  a.Add(1, 14);
+  a.Add(1, 1);  // exactly to the nibble boundary
+  EXPECT_EQ(a.Get(0), 1000005u);
+  EXPECT_EQ(a.Get(1), 15u);
+}
+
+TEST(CompactCounterArrayTest, AdjacentNibblesIndependent) {
+  CompactCounterArray a(16);
+  for (size_t i = 0; i < 16; ++i) {
+    for (size_t k = 0; k <= i; ++k) a.Increment(i);
+  }
+  for (size_t i = 0; i < 16; ++i) EXPECT_EQ(a.Get(i), i + 1);
+}
+
+TEST(CompactCounterArrayTest, MatchesReferenceOnRandomOps) {
+  Rng rng(1);
+  const size_t n = 257;
+  CompactCounterArray a(n);
+  std::vector<uint64_t> ref(n, 0);
+  for (int op = 0; op < 100000; ++op) {
+    const size_t i = rng.UniformU64(n);
+    const uint64_t d = 1 + rng.UniformU64(20);
+    a.Add(i, d);
+    ref[i] += d;
+  }
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(a.Get(i), ref[i]);
+}
+
+TEST(CompactCounterArrayTest, SpaceBitsGrowsWithContent) {
+  CompactCounterArray a(64);
+  const size_t empty_bits = a.SpaceBits();
+  EXPECT_EQ(empty_bits, 64u);  // one bit per empty slot
+  a.Add(0, 1000);
+  EXPECT_GT(a.SpaceBits(), empty_bits);
+}
+
+TEST(CompactCounterArrayTest, SerializeRoundTrip) {
+  Rng rng(2);
+  CompactCounterArray a(50);
+  for (int op = 0; op < 5000; ++op) a.Increment(rng.UniformU64(50));
+  BitWriter w;
+  a.Serialize(w);
+  BitReader r(w);
+  CompactCounterArray b;
+  b.Deserialize(r);
+  ASSERT_EQ(b.size(), a.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(b.Get(i), a.Get(i));
+}
+
+TEST(CompactCounterArrayTest, ResetClears) {
+  CompactCounterArray a(8);
+  a.Add(2, 500);
+  a.Reset(8);
+  EXPECT_EQ(a.Get(2), 0u);
+  EXPECT_EQ(a.Total(), 0u);
+}
+
+TEST(SaturatingCounterTest, CapsAtThreshold) {
+  SaturatingCounter c(5);
+  for (int i = 0; i < 100; ++i) c.Increment();
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_TRUE(c.saturated());
+  EXPECT_EQ(c.SpaceBits(), 3);  // values in [0,5] fit in 3 bits
+}
+
+TEST(SaturatingCounterTest, ExactBelowCap) {
+  SaturatingCounter c(100);
+  for (int i = 0; i < 42; ++i) c.Increment();
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_FALSE(c.saturated());
+}
+
+}  // namespace
+}  // namespace l1hh

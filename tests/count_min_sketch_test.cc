@@ -1,0 +1,136 @@
+#include "summary/count_min_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/stream_generator.h"
+#include "summary/exact_counter.h"
+#include "util/random.h"
+
+namespace l1hh {
+namespace {
+
+TEST(CountMinTest, NeverUnderestimates) {
+  Rng rng(1);
+  CountMinSketch cms(CountMinSketch::Options{256, 4, false}, 99);
+  ExactCounter exact;
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t x = rng.UniformU64(2000);
+    cms.Insert(x);
+    exact.Insert(x);
+  }
+  for (uint64_t x = 0; x < 2000; ++x) {
+    EXPECT_GE(cms.Estimate(x), exact.Count(x));
+  }
+}
+
+TEST(CountMinTest, ErrorBoundedByEpsM) {
+  // ForError(eps, delta): estimate <= f + eps*m whp per item.
+  const double eps = 0.01;
+  CountMinSketch cms = CountMinSketch::ForError(eps, 0.01, 7);
+  ExactCounter exact;
+  const uint64_t m = 100000;
+  const auto stream = MakeZipfStream(1 << 16, 1.1, m, 5);
+  for (const uint64_t x : stream) {
+    cms.Insert(x);
+    exact.Insert(x);
+  }
+  int violations = 0;
+  for (uint64_t x = 0; x < 5000; ++x) {
+    if (cms.Estimate(x) > exact.Count(x) + static_cast<uint64_t>(eps * m)) {
+      ++violations;
+    }
+  }
+  EXPECT_LE(violations, 5000 * 0.02);
+}
+
+TEST(CountMinTest, ConservativeNeverWorse) {
+  Rng rng(2);
+  CountMinSketch plain(CountMinSketch::Options{128, 4, false}, 31);
+  CountMinSketch cons(CountMinSketch::Options{128, 4, true}, 31);
+  ExactCounter exact;
+  for (int i = 0; i < 40000; ++i) {
+    const uint64_t x = rng.UniformU64(3000);
+    plain.Insert(x);
+    cons.Insert(x);
+    exact.Insert(x);
+  }
+  for (uint64_t x = 0; x < 3000; ++x) {
+    EXPECT_GE(cons.Estimate(x), exact.Count(x));
+    EXPECT_LE(cons.Estimate(x), plain.Estimate(x));
+  }
+}
+
+TEST(CountMinTest, WeightedInsert) {
+  CountMinSketch cms(CountMinSketch::Options{64, 3, false}, 11);
+  cms.Insert(5, 100);
+  cms.Insert(5, 23);
+  EXPECT_GE(cms.Estimate(5), 123u);
+}
+
+TEST(CountMinTest, EmptySketchEstimatesZero) {
+  CountMinSketch cms(CountMinSketch::Options{64, 3, false}, 13);
+  EXPECT_EQ(cms.Estimate(42), 0u);
+}
+
+TEST(CountMinTest, SerializeRoundTrip) {
+  Rng rng(3);
+  CountMinSketch cms(CountMinSketch::Options{128, 5, true}, 17);
+  for (int i = 0; i < 20000; ++i) cms.Insert(rng.UniformU64(500));
+  BitWriter w;
+  cms.Serialize(w);
+  BitReader r(w);
+  const CountMinSketch cms2 = CountMinSketch::Deserialize(r);
+  for (uint64_t x = 0; x < 500; ++x) {
+    EXPECT_EQ(cms2.Estimate(x), cms.Estimate(x));
+  }
+}
+
+TEST(CountMinHeavyHittersTest, FindsPlantedHeavies) {
+  const double eps = 0.02, phi = 0.1;
+  const uint64_t m = 60000;
+  const PlantedSpec spec{{2 * phi, phi}, 1 << 20, m};
+  const PlantedStream s = MakePlantedStream(spec, 21);
+  CountMinHeavyHitters hh(eps, phi, 0.05, 23);
+  for (const uint64_t x : s.items) hh.Insert(x);
+  const auto report = hh.Report();
+  bool found0 = false, found1 = false;
+  for (const auto& e : report) {
+    if (e.item == s.planted_ids[0]) found0 = true;
+    if (e.item == s.planted_ids[1]) found1 = true;
+  }
+  EXPECT_TRUE(found0);
+  EXPECT_TRUE(found1);
+}
+
+TEST(CountMinHeavyHittersTest, NoDeepFalsePositives) {
+  const double eps = 0.05, phi = 0.25;
+  const uint64_t m = 40000;
+  CountMinHeavyHitters hh(eps, phi, 0.05, 29);
+  ExactCounter exact;
+  const auto stream = MakeZipfStream(1 << 16, 1.0, m, 31);
+  for (const uint64_t x : stream) {
+    hh.Insert(x);
+    exact.Insert(x);
+  }
+  for (const auto& e : hh.Report()) {
+    EXPECT_GT(exact.Count(e.item),
+              static_cast<uint64_t>((phi - eps) * m));
+  }
+}
+
+TEST(CountMinHeavyHittersTest, CandidateSetStaysBounded) {
+  CountMinHeavyHitters hh(0.05, 0.2, 0.05, 37);
+  Rng rng(41);
+  for (int i = 0; i < 100000; ++i) hh.Insert(rng.UniformU64(50));
+  // Candidates pruned to O(1/phi): sane space.
+  EXPECT_LT(hh.SpaceBits(), 200000u);
+}
+
+TEST(CountMinTest, ForErrorSizing) {
+  const CountMinSketch cms = CountMinSketch::ForError(0.001, 0.01, 1);
+  EXPECT_GE(cms.width() * 1.0, std::exp(1.0) / 0.001 * 0.9);
+  EXPECT_GE(cms.depth(), 4u);
+}
+
+}  // namespace
+}  // namespace l1hh

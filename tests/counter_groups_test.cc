@@ -1,0 +1,165 @@
+#include "summary/counter_groups.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace l1hh {
+namespace {
+
+TEST(CounterGroupsTest, InsertAndFind) {
+  CounterGroups g(4);
+  EXPECT_EQ(g.Find(7), -1);
+  const int e = g.InsertNew(7);
+  EXPECT_GE(e, 0);
+  EXPECT_EQ(g.Find(7), e);
+  EXPECT_EQ(g.Count(7), 1u);
+  EXPECT_EQ(g.live_size(), 1u);
+}
+
+TEST(CounterGroupsTest, IncrementMovesBetweenGroups) {
+  CounterGroups g(4);
+  const int e = g.InsertNew(1);
+  g.Increment(e);
+  g.Increment(e);
+  EXPECT_EQ(g.Count(1), 3u);
+  g.InsertNew(2);
+  EXPECT_EQ(g.Count(2), 1u);
+  EXPECT_EQ(g.MinCount(), 1u);
+  EXPECT_EQ(g.MaxCount(), 3u);
+}
+
+TEST(CounterGroupsTest, DecrementAllEvictsLowest) {
+  CounterGroups g(2);
+  const int a = g.InsertNew(10);
+  g.Increment(a);       // 10 -> 2
+  g.InsertNew(20);      // 20 -> 1, table full
+  g.DecrementAll();     // 10 -> 1, 20 -> 0 (zombie)
+  EXPECT_EQ(g.Count(10), 1u);
+  EXPECT_EQ(g.Count(20), 0u);
+  EXPECT_EQ(g.live_size(), 1u);
+  EXPECT_FALSE(g.Full());
+  EXPECT_EQ(g.decrement_count(), 1u);
+}
+
+TEST(CounterGroupsTest, ZombieSlotIsReused) {
+  CounterGroups g(2);
+  g.InsertNew(1);
+  g.InsertNew(2);
+  g.DecrementAll();  // both become zombies
+  EXPECT_EQ(g.live_size(), 0u);
+  g.InsertNew(3);    // must cannibalize a zombie slot
+  EXPECT_EQ(g.Count(3), 1u);
+  EXPECT_EQ(g.live_size(), 1u);
+}
+
+TEST(CounterGroupsTest, FindGarbageCollectsZombies) {
+  CounterGroups g(1);
+  g.InsertNew(5);
+  g.DecrementAll();
+  EXPECT_EQ(g.Find(5), -1);  // zombie reads as absent
+  EXPECT_FALSE(g.Full());
+  g.InsertNew(5);
+  EXPECT_EQ(g.Count(5), 1u);
+}
+
+TEST(CounterGroupsTest, ReplaceMinSwapsKeyAndIncrements) {
+  CounterGroups g(2);
+  const int a = g.InsertNew(1);
+  g.Increment(a);    // 1 -> 2
+  g.InsertNew(2);    // 2 -> 1
+  const uint64_t old_min = g.ReplaceMin(3);  // replaces key 2
+  EXPECT_EQ(old_min, 1u);
+  EXPECT_EQ(g.Count(2), 0u);
+  EXPECT_EQ(g.Count(3), 2u);  // min+1
+  EXPECT_EQ(g.Count(1), 2u);
+}
+
+TEST(CounterGroupsTest, ForEachVisitsLiveEntries) {
+  CounterGroups g(8);
+  for (uint64_t k = 0; k < 5; ++k) {
+    const int e = g.InsertNew(k);
+    for (uint64_t c = 0; c < k; ++c) g.Increment(e);
+  }
+  std::map<uint64_t, uint64_t> seen;
+  g.ForEach([&](uint64_t k, uint64_t c) { seen[k] = c; });
+  ASSERT_EQ(seen.size(), 5u);
+  for (uint64_t k = 0; k < 5; ++k) EXPECT_EQ(seen[k], k + 1);
+}
+
+TEST(CounterGroupsTest, SerializeRoundTrip) {
+  CounterGroups g(8);
+  for (uint64_t k = 0; k < 6; ++k) {
+    const int e = g.InsertNew(k * 11);
+    for (uint64_t c = 0; c < k * 3; ++c) g.Increment(e);
+  }
+  BitWriter w;
+  g.Serialize(w);
+  BitReader r(w);
+  CounterGroups g2(1);
+  g2.Deserialize(r);
+  EXPECT_EQ(g2.capacity(), g.capacity());
+  EXPECT_EQ(g2.live_size(), g.live_size());
+  for (uint64_t k = 0; k < 6; ++k) {
+    EXPECT_EQ(g2.Count(k * 11), g.Count(k * 11));
+  }
+}
+
+// Differential test against a straightforward map-based Misra-Gries
+// reference across random operation streams.
+TEST(CounterGroupsTest, MatchesReferenceMisraGries) {
+  Rng rng(99);
+  const size_t k = 8;
+  CounterGroups g(k);
+  std::map<uint64_t, uint64_t> ref;
+
+  for (int step = 0; step < 200000; ++step) {
+    const uint64_t item = rng.UniformU64(40);
+    // Reference MG insert.
+    auto it = ref.find(item);
+    if (it != ref.end()) {
+      ++it->second;
+    } else if (ref.size() < k) {
+      ref[item] = 1;
+    } else {
+      for (auto iter = ref.begin(); iter != ref.end();) {
+        if (--iter->second == 0) {
+          iter = ref.erase(iter);
+        } else {
+          ++iter;
+        }
+      }
+    }
+    // CounterGroups MG insert.
+    const int e = g.Find(item);
+    if (e >= 0) {
+      g.Increment(e);
+    } else if (!g.Full()) {
+      g.InsertNew(item);
+    } else {
+      g.DecrementAll();
+    }
+    if (step % 1000 == 0) {
+      for (uint64_t x = 0; x < 40; ++x) {
+        const auto rit = ref.find(x);
+        const uint64_t expected = rit == ref.end() ? 0 : rit->second;
+        ASSERT_EQ(g.Count(x), expected) << "item " << x << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(CounterGroupsTest, SpaceBitsAccountsKeysAndCounts) {
+  CounterGroups g(4);
+  // Capacity-based: 4 slots x (16 key bits + 1 value bit) + offset width.
+  EXPECT_EQ(g.SpaceBits(16), 4u * 17u + 1u);
+  const int e = g.InsertNew(1);
+  for (int i = 0; i < 7; ++i) g.Increment(e);  // max count 8 -> 4 bits
+  EXPECT_EQ(g.SpaceBits(16), 4u * 20u + 1u);
+}
+
+}  // namespace
+}  // namespace l1hh

@@ -1,0 +1,102 @@
+#include "votes/election.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/vote_generator.h"
+#include "util/random.h"
+
+namespace l1hh {
+namespace {
+
+TEST(ElectionTest, SingleVoteBorda) {
+  Election e(4);
+  e.AddVote(Ranking({2, 0, 3, 1}));
+  const auto scores = e.BordaScores();
+  EXPECT_EQ(scores[2], 3u);
+  EXPECT_EQ(scores[0], 2u);
+  EXPECT_EQ(scores[3], 1u);
+  EXPECT_EQ(scores[1], 0u);
+}
+
+TEST(ElectionTest, BordaTotalIsInvariant) {
+  // Sum of Borda scores = m * n(n-1)/2 always.
+  Rng rng(1);
+  Election e(6);
+  const uint64_t m = 500;
+  for (uint64_t i = 0; i < m; ++i) e.AddVote(Ranking::Random(6, rng));
+  uint64_t total = 0;
+  for (const uint64_t s : e.BordaScores()) total += s;
+  EXPECT_EQ(total, m * 6 * 5 / 2);
+}
+
+TEST(ElectionTest, PairwiseAntisymmetric) {
+  Rng rng(2);
+  Election e(5);
+  const uint64_t m = 300;
+  for (uint64_t i = 0; i < m; ++i) e.AddVote(Ranking::Random(5, rng));
+  for (uint32_t i = 0; i < 5; ++i) {
+    for (uint32_t j = i + 1; j < 5; ++j) {
+      EXPECT_EQ(e.Pairwise(i, j) + e.Pairwise(j, i), m);
+    }
+  }
+}
+
+TEST(ElectionTest, BordaEqualsPairwiseSum) {
+  // Borda(i) = sum_j != i Pairwise(i, j): a classical identity.
+  Rng rng(3);
+  Election e(7);
+  for (int v = 0; v < 200; ++v) e.AddVote(Ranking::Random(7, rng));
+  const auto borda = e.BordaScores();
+  for (uint32_t i = 0; i < 7; ++i) {
+    uint64_t sum = 0;
+    for (uint32_t j = 0; j < 7; ++j) {
+      if (j != i) sum += e.Pairwise(i, j);
+    }
+    EXPECT_EQ(borda[i], sum);
+  }
+}
+
+TEST(ElectionTest, MaximinOfUnanimousElection) {
+  Election e(4);
+  for (int v = 0; v < 10; ++v) e.AddVote(Ranking({1, 0, 2, 3}));
+  const auto mm = e.MaximinScores();
+  EXPECT_EQ(mm[1], 10u);  // winner beats everyone in all votes
+  EXPECT_EQ(mm[3], 0u);   // loser beats no one
+  EXPECT_EQ(e.MaximinWinner(), 1u);
+}
+
+TEST(ElectionTest, CondorcetParadoxMaximin) {
+  // Rock-paper-scissors profile: 3 candidates, cyclic majorities.
+  Election e(3);
+  e.AddVote(Ranking({0, 1, 2}));
+  e.AddVote(Ranking({1, 2, 0}));
+  e.AddVote(Ranking({2, 0, 1}));
+  const auto mm = e.MaximinScores();
+  // Perfect symmetry: every candidate's worst pairwise is 1.
+  EXPECT_EQ(mm[0], 1u);
+  EXPECT_EQ(mm[1], 1u);
+  EXPECT_EQ(mm[2], 1u);
+}
+
+TEST(ElectionTest, PluralityAndVeto) {
+  Election e(3);
+  e.AddVote(Ranking({0, 1, 2}));
+  e.AddVote(Ranking({0, 2, 1}));
+  e.AddVote(Ranking({1, 0, 2}));
+  EXPECT_EQ(e.PluralityScores()[0], 2u);
+  EXPECT_EQ(e.PluralityScores()[1], 1u);
+  EXPECT_EQ(e.VetoScores()[2], 2u);
+  EXPECT_EQ(e.PluralityWinner(), 0u);
+}
+
+TEST(ElectionTest, PlantedWinnerWinsBorda) {
+  const auto votes = MakePlantedWinnerVotes(8, 400, /*winner=*/5,
+                                            /*boost=*/0.5, 7);
+  Election e(8);
+  for (const auto& v : votes) e.AddVote(v);
+  EXPECT_EQ(e.BordaWinner(), 5u);
+  EXPECT_EQ(e.MaximinWinner(), 5u);
+}
+
+}  // namespace
+}  // namespace l1hh

@@ -1,0 +1,203 @@
+#include "core/epsilon_minimum.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/stream_generator.h"
+#include "summary/exact_counter.h"
+
+namespace l1hh {
+namespace {
+
+EpsilonMinimum::Options MakeOptions(double eps, uint64_t n, uint64_t m) {
+  EpsilonMinimum::Options opt;
+  opt.epsilon = eps;
+  opt.delta = 0.1;
+  opt.universe_size = n;
+  opt.stream_length = m;
+  return opt;
+}
+
+TEST(EpsilonMinimumTest, LargeUniverseShortCircuits) {
+  // n >> 1/eps: branch 1, no state, random answer is correct whp because
+  // almost all items have frequency ~0.
+  const auto opt = MakeOptions(0.1, /*n=*/1 << 20, /*m=*/10000);
+  EpsilonMinimum sketch(opt, 1);
+  for (uint64_t i = 0; i < 10000; ++i) sketch.Insert(i % 100);
+  const auto r = sketch.Report();
+  EXPECT_EQ(r.branch, EpsilonMinimum::ReportBranch::kLargeUniverse);
+  EXPECT_LT(sketch.SpaceBits(), 64u);
+}
+
+TEST(EpsilonMinimumTest, UnseenItemWins) {
+  // Universe of 16, but only items 0..14 ever occur: item 15 has f = 0 and
+  // must be found via the S1 bit vector (branch 2).  eps = 0.05 keeps
+  // n = 16 under the branch-1 cutoff 1/((1-delta) eps) = 22.
+  const uint64_t m = 50000;
+  const auto opt = MakeOptions(0.05, /*n=*/16, m);
+  EpsilonMinimum sketch(opt, 3);
+  for (uint64_t i = 0; i < m; ++i) sketch.Insert(i % 15);
+  const auto r = sketch.Report();
+  EXPECT_EQ(r.item, 15u);
+  EXPECT_EQ(r.branch, EpsilonMinimum::ReportBranch::kUnsampledItem);
+}
+
+// Contract (Definition 5): reported item's frequency within eps*m of the
+// true minimum, over trials.
+TEST(EpsilonMinimumTest, MinimumContractSmallUniverse) {
+  const double eps = 0.05;
+  const uint64_t n = 12;
+  const uint64_t m = 60000;
+  int failures = 0;
+  const int trials = 15;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(100 + t);
+    // Skewed frequencies over a tiny universe; every item occurs.
+    std::vector<uint64_t> stream;
+    stream.reserve(m);
+    for (uint64_t i = 0; i < m; ++i) {
+      const uint64_t r = rng.UniformU64(100);
+      // item k gets roughly (k+1)/78 of the mass.
+      uint64_t x = 0;
+      uint64_t acc = 0;
+      for (uint64_t k = 0; k < n; ++k) {
+        acc += k + 1;
+        if (r * 78 < acc * 100) {
+          x = k;
+          break;
+        }
+      }
+      stream.push_back(x);
+    }
+    EpsilonMinimum sketch(MakeOptions(eps, n, m), 200 + t);
+    ExactCounter exact;
+    for (const uint64_t x : stream) {
+      sketch.Insert(x);
+      exact.Insert(x);
+    }
+    const auto r = sketch.Report();
+    const uint64_t truth_min = exact.MinOverUniverse(n).count;
+    const uint64_t mine = exact.Count(r.item);
+    if (mine > truth_min + static_cast<uint64_t>(eps * m)) ++failures;
+  }
+  EXPECT_LE(failures, 3);
+}
+
+TEST(EpsilonMinimumTest, FewDistinctUsesExactBranch) {
+  // Tiny eps so the distinct threshold is large: branch 3 (S2).
+  const double eps = 0.02;
+  const uint64_t n = 8;
+  const uint64_t m = 30000;
+  EpsilonMinimum sketch(MakeOptions(eps, n, m), 5);
+  ExactCounter exact;
+  Rng rng(6);
+  for (uint64_t i = 0; i < m; ++i) {
+    // Item 7 is rare (~0.5%), others uniform.
+    const uint64_t x = rng.UniformU64(200) == 0
+                           ? 7
+                           : rng.UniformU64(7);
+    sketch.Insert(x);
+    exact.Insert(x);
+  }
+  const auto r = sketch.Report();
+  EXPECT_EQ(r.branch, EpsilonMinimum::ReportBranch::kFewDistinct);
+  EXPECT_EQ(r.item, 7u);
+}
+
+TEST(EpsilonMinimumTest, TruncatedBranchFiresWhenManyDistinct) {
+  // eps = 0.065: n = 16 stays below the branch-1 cutoff (17.1), while the
+  // distinct threshold 1/(eps ln(1/eps)) ~ 5.6 < 16 distinct items shuts
+  // off S2, forcing branch 4 — as long as every universe item occurs (so
+  // branch 2 can't fire either).
+  const double eps = 0.065;
+  const uint64_t n = 16;
+  const uint64_t m = 60000;
+  EpsilonMinimum sketch(MakeOptions(eps, n, m), 7);
+  for (uint64_t i = 0; i < m; ++i) sketch.Insert(i % n);
+  EXPECT_GT(sketch.distinct_items(), 0u);
+  const auto r = sketch.Report();
+  // With p1 ~ 1 every item lands in S1, so we reach S3.
+  EXPECT_EQ(r.branch, EpsilonMinimum::ReportBranch::kTruncatedCounters);
+  EXPECT_LT(r.item, n);
+}
+
+TEST(EpsilonMinimumTest, TruncationCapIsPolylog) {
+  const auto opt = MakeOptions(0.05, 16, 1 << 20);
+  EpsilonMinimum sketch(opt, 9);
+  // Cap is polylog(1/(eps delta)) — each S3 counter needs only
+  // O(log log) bits — and in particular far below the stream length.
+  EXPECT_LT(sketch.truncation_cap(), 1u << 18);
+  EXPECT_GE(sketch.truncation_cap(), 16u);
+  // Growing m by 16x must not move the cap (it is m-independent).
+  const auto opt2 = MakeOptions(0.05, 16, 1 << 24);
+  EpsilonMinimum sketch2(opt2, 10);
+  EXPECT_EQ(sketch.truncation_cap(), sketch2.truncation_cap());
+}
+
+TEST(EpsilonMinimumTest, SerializeRoundTripAndResume) {
+  const uint64_t n = 10, m = 20000;
+  EpsilonMinimum alice(MakeOptions(0.05, n, m), 11);
+  for (uint64_t i = 0; i < m / 2; ++i) alice.Insert(i % (n - 1));
+  BitWriter w;
+  alice.Serialize(w);
+  BitReader r(w);
+  EpsilonMinimum bob = EpsilonMinimum::Deserialize(r, 13);
+  for (uint64_t i = 0; i < m / 2; ++i) bob.Insert(i % (n - 1));
+  // Item n-1 never occurred.
+  EXPECT_EQ(bob.Report().item, n - 1);
+}
+
+TEST(EpsilonMinimumTest, LargeUniverseSerializeRoundTrip) {
+  const auto opt = MakeOptions(0.1, /*n=*/1 << 20, /*m=*/10000);
+  EpsilonMinimum alice(opt, 21);
+  for (int i = 0; i < 100; ++i) alice.Insert(static_cast<uint64_t>(i));
+  ASSERT_EQ(alice.Report().branch,
+            EpsilonMinimum::ReportBranch::kLargeUniverse);
+  BitWriter w;
+  alice.Serialize(w);
+  BitReader r(w);
+  const EpsilonMinimum bob = EpsilonMinimum::Deserialize(r, 22);
+  EXPECT_EQ(bob.Report().item, alice.Report().item);
+  EXPECT_EQ(bob.Report().branch,
+            EpsilonMinimum::ReportBranch::kLargeUniverse);
+}
+
+TEST(EpsilonMinimumTest, AllEqualFrequencies) {
+  // Any answer is correct; just verify it terminates and returns in-range.
+  const uint64_t n = 8, m = 16000;
+  EpsilonMinimum sketch(MakeOptions(0.1, n, m), 15);
+  for (uint64_t i = 0; i < m; ++i) sketch.Insert(i % n);
+  EXPECT_LT(sketch.Report().item, n);
+}
+
+class MinimumEpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MinimumEpsSweep, ContractAcrossEps) {
+  const double eps = GetParam();
+  const uint64_t n = 10, m = 40000;
+  int failures = 0;
+  const int trials = 8;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(1000 + t);
+    EpsilonMinimum sketch(MakeOptions(eps, n, m), 2000 + t);
+    ExactCounter exact;
+    for (uint64_t i = 0; i < m; ++i) {
+      // Heavily skewed: item 0 rare.
+      const uint64_t x = rng.UniformU64(1000) < 3 ? 0 : 1 + rng.UniformU64(9);
+      sketch.Insert(x);
+      exact.Insert(x);
+    }
+    const auto r = sketch.Report();
+    const uint64_t truth_min = exact.MinOverUniverse(n).count;
+    if (exact.Count(r.item) >
+        truth_min + static_cast<uint64_t>(eps * m)) {
+      ++failures;
+    }
+  }
+  EXPECT_LE(failures, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MinimumEpsSweep,
+                         ::testing::Values(0.02, 0.05, 0.1, 0.2));
+
+}  // namespace
+}  // namespace l1hh

@@ -1,0 +1,85 @@
+#include "summary/exact_counter.h"
+
+#include <gtest/gtest.h>
+
+namespace l1hh {
+namespace {
+
+TEST(ExactCounterTest, CountsExactly) {
+  ExactCounter c;
+  c.Insert(1);
+  c.Insert(1);
+  c.Insert(2);
+  EXPECT_EQ(c.Count(1), 2u);
+  EXPECT_EQ(c.Count(2), 1u);
+  EXPECT_EQ(c.Count(3), 0u);
+  EXPECT_EQ(c.total(), 3u);
+  EXPECT_EQ(c.distinct(), 2u);
+}
+
+TEST(ExactCounterTest, WeightedInsert) {
+  ExactCounter c;
+  c.Insert(5, 100);
+  EXPECT_EQ(c.Count(5), 100u);
+  EXPECT_EQ(c.total(), 100u);
+}
+
+TEST(ExactCounterTest, HeavyHittersThreshold) {
+  ExactCounter c;
+  c.Insert(1, 50);
+  c.Insert(2, 30);
+  c.Insert(3, 10);
+  const auto hh = c.HeavyHitters(30);
+  ASSERT_EQ(hh.size(), 2u);
+  EXPECT_EQ(hh[0].item, 1u);
+  EXPECT_EQ(hh[1].item, 2u);
+}
+
+TEST(ExactCounterTest, Max) {
+  ExactCounter c;
+  c.Insert(9, 7);
+  c.Insert(4, 12);
+  c.Insert(6, 3);
+  EXPECT_EQ(c.Max().item, 4u);
+  EXPECT_EQ(c.Max().count, 12u);
+}
+
+TEST(ExactCounterTest, MaxOnEmpty) {
+  ExactCounter c;
+  EXPECT_EQ(c.Max().count, 0u);
+}
+
+TEST(ExactCounterTest, MinOverUniversePrefersUnseen) {
+  ExactCounter c;
+  c.Insert(0, 5);
+  c.Insert(1, 5);
+  // Universe {0,1,2}: item 2 has frequency zero.
+  const auto min_entry = c.MinOverUniverse(3);
+  EXPECT_EQ(min_entry.item, 2u);
+  EXPECT_EQ(min_entry.count, 0u);
+}
+
+TEST(ExactCounterTest, MinOverUniverseAllSeen) {
+  ExactCounter c;
+  c.Insert(0, 5);
+  c.Insert(1, 2);
+  c.Insert(2, 9);
+  const auto min_entry = c.MinOverUniverse(3);
+  EXPECT_EQ(min_entry.item, 1u);
+  EXPECT_EQ(min_entry.count, 2u);
+}
+
+TEST(ExactCounterTest, SortedByCountDesc) {
+  ExactCounter c;
+  c.Insert(1, 3);
+  c.Insert(2, 9);
+  c.Insert(3, 6);
+  const auto sorted = c.SortedByCountDesc();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].item, 2u);
+  EXPECT_EQ(sorted[1].item, 3u);
+  EXPECT_EQ(sorted[2].item, 1u);
+}
+
+}  // namespace
+}  // namespace l1hh

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "stream/stream_generator.h"
+#include "summary/exact_counter.h"
+#include "summary/lossy_counting.h"
+#include "summary/sticky_sampling.h"
+#include "util/random.h"
+
+namespace l1hh {
+namespace {
+
+// Lossy Counting guarantee: estimates undercount by at most eps*m and
+// every item with f >= eps*m is retained.
+TEST(LossyCountingTest, UndercountBounded) {
+  const double eps = 0.01;
+  LossyCounting lc(eps);
+  ExactCounter exact;
+  const uint64_t m = 100000;
+  const auto stream = MakeZipfStream(1 << 14, 1.1, m, 3);
+  for (const uint64_t x : stream) {
+    lc.Insert(x);
+    exact.Insert(x);
+  }
+  for (uint64_t x = 0; x < 3000; ++x) {
+    const uint64_t est = lc.Estimate(x);
+    const uint64_t truth = exact.Count(x);
+    EXPECT_LE(est, truth);
+    if (truth > static_cast<uint64_t>(eps * m)) {
+      EXPECT_GT(est, 0u) << "heavy item " << x << " dropped";
+      EXPECT_LE(truth - est, static_cast<uint64_t>(eps * m) + 1);
+    }
+  }
+}
+
+TEST(LossyCountingTest, SpaceStaysBounded) {
+  const double eps = 0.01;
+  LossyCounting lc(eps);
+  Rng rng(1);
+  for (int i = 0; i < 200000; ++i) lc.Insert(rng.UniformU64(1 << 20));
+  // Classic bound: at most (1/eps) log(eps m) entries.
+  const double bound = (1.0 / eps) * std::log(eps * 200000) * 1.5 + 10;
+  EXPECT_LE(static_cast<double>(lc.tracked()), bound);
+}
+
+TEST(LossyCountingTest, EntriesAboveFindsPlanted) {
+  const PlantedSpec spec{{0.2, 0.1}, 1 << 16, 50000};
+  const PlantedStream s = MakePlantedStream(spec, 5);
+  LossyCounting lc(0.02);
+  for (const uint64_t x : s.items) lc.Insert(x);
+  const auto heavy = lc.EntriesAbove(static_cast<uint64_t>(0.05 * 50000));
+  bool found0 = false, found1 = false;
+  for (const auto& e : heavy) {
+    if (e.item == s.planted_ids[0]) found0 = true;
+    if (e.item == s.planted_ids[1]) found1 = true;
+  }
+  EXPECT_TRUE(found0);
+  EXPECT_TRUE(found1);
+}
+
+TEST(LossyCountingTest, SerializeRoundTrip) {
+  Rng rng(2);
+  LossyCounting lc(0.05);
+  for (int i = 0; i < 30000; ++i) lc.Insert(rng.UniformU64(400));
+  BitWriter w;
+  lc.Serialize(w);
+  BitReader r(w);
+  const LossyCounting lc2 = LossyCounting::Deserialize(r);
+  for (uint64_t x = 0; x < 400; ++x) {
+    EXPECT_EQ(lc2.Estimate(x), lc.Estimate(x));
+  }
+}
+
+TEST(StickySamplingTest, HeavyItemsReportedWithUndercount) {
+  const double eps = 0.01, support = 0.05, delta = 0.05;
+  StickySampling st(eps, support, delta, 7);
+  ExactCounter exact;
+  const PlantedSpec spec{{0.2, 0.1, 0.07}, 1 << 16, 80000};
+  const PlantedStream s = MakePlantedStream(spec, 11);
+  for (const uint64_t x : s.items) {
+    st.Insert(x);
+    exact.Insert(x);
+  }
+  const uint64_t m = 80000;
+  const auto reported =
+      st.EntriesAbove(static_cast<uint64_t>(support * m));
+  for (size_t i = 0; i < s.planted_ids.size(); ++i) {
+    bool found = false;
+    for (const auto& e : reported) {
+      if (e.item == s.planted_ids[i]) {
+        found = true;
+        // Sticky sampling never overcounts.
+        EXPECT_LE(e.count, exact.Count(e.item));
+      }
+    }
+    EXPECT_TRUE(found) << "planted " << i;
+  }
+}
+
+TEST(StickySamplingTest, SpaceIndependentOfStreamLength) {
+  const double eps = 0.02, support = 0.05, delta = 0.1;
+  StickySampling a(eps, support, delta, 1);
+  StickySampling b(eps, support, delta, 1);
+  Rng rng(9);
+  for (int i = 0; i < 20000; ++i) a.Insert(rng.UniformU64(1 << 18));
+  Rng rng2(9);
+  for (int i = 0; i < 200000; ++i) b.Insert(rng2.UniformU64(1 << 18));
+  // 10x the stream should not mean 10x the entries (expected 2/eps * t).
+  EXPECT_LE(b.tracked(), 4 * a.tracked() + 200);
+}
+
+TEST(StickySamplingTest, EstimateNeverOvercounts) {
+  StickySampling st(0.05, 0.1, 0.1, 3);
+  ExactCounter exact;
+  Rng rng(4);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t x = rng.UniformU64(100);
+    st.Insert(x);
+    exact.Insert(x);
+  }
+  for (uint64_t x = 0; x < 100; ++x) {
+    EXPECT_LE(st.Estimate(x), exact.Count(x));
+  }
+}
+
+}  // namespace
+}  // namespace l1hh

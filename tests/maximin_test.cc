@@ -1,0 +1,181 @@
+#include "core/maximin.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/borda.h"
+#include "stream/vote_generator.h"
+#include "votes/election.h"
+
+namespace l1hh {
+namespace {
+
+StreamingMaximin::Options MakeOptions(double eps, uint32_t n, uint64_t m,
+                                      double phi = 0.0) {
+  StreamingMaximin::Options opt;
+  opt.epsilon = eps;
+  opt.phi = phi;
+  opt.delta = 0.1;
+  opt.num_candidates = n;
+  opt.stream_length = m;
+  return opt;
+}
+
+// Theorem 6's contract: every candidate's maximin score within eps*m.
+TEST(StreamingMaximinTest, AllScoresWithinEpsM) {
+  const double eps = 0.1;
+  const uint32_t n = 8;
+  const uint64_t m = 20000;
+  int failures = 0;
+  const int trials = 8;
+  for (int t = 0; t < trials; ++t) {
+    const auto votes = MakeMallowsVotes(n, m, 0.9, 60 + t);
+    StreamingMaximin sketch(MakeOptions(eps, n, m), 70 + t);
+    Election exact(n);
+    for (const auto& v : votes) {
+      sketch.InsertVote(v);
+      exact.AddVote(v);
+    }
+    const auto est = sketch.Scores();
+    const auto truth = exact.MaximinScores();
+    bool ok = true;
+    for (uint32_t c = 0; c < n; ++c) {
+      if (std::abs(est[c] - static_cast<double>(truth[c])) >
+          eps * static_cast<double>(m)) {
+        ok = false;
+      }
+    }
+    if (!ok) ++failures;
+  }
+  EXPECT_LE(failures, 2);
+}
+
+TEST(StreamingMaximinTest, FindsPlantedWinner) {
+  const uint32_t n = 6;
+  const uint64_t m = 15000;
+  const auto votes = MakePlantedWinnerVotes(n, m, /*winner=*/2, 0.4, 3);
+  StreamingMaximin sketch(MakeOptions(0.08, n, m), 5);
+  for (const auto& v : votes) sketch.InsertVote(v);
+  EXPECT_EQ(sketch.MaxScore().item, 2u);
+}
+
+TEST(StreamingMaximinTest, ExactWhenSamplingEverything) {
+  const uint32_t n = 5;
+  const uint64_t m = 40;
+  const auto votes = MakeUniformVotes(n, m, 7);
+  StreamingMaximin sketch(MakeOptions(0.2, n, m), 9);
+  Election exact(n);
+  for (const auto& v : votes) {
+    sketch.InsertVote(v);
+    exact.AddVote(v);
+  }
+  EXPECT_EQ(sketch.samples_taken(), m);
+  const auto est = sketch.Scores();
+  const auto truth = exact.MaximinScores();
+  for (uint32_t c = 0; c < n; ++c) {
+    EXPECT_DOUBLE_EQ(est[c], static_cast<double>(truth[c]));
+  }
+}
+
+// Definition 8: the (eps, phi)-List maximin contract.
+TEST(StreamingMaximinTest, ListAboveThreshold) {
+  const uint32_t n = 6;
+  const uint64_t m = 12000;
+  // Planted winner ranks first in ~60% of votes: maximin ~0.6m; the rest
+  // hover around m/2 pairwise symmetric, maximin well below 0.5m.
+  const auto votes = MakePlantedWinnerVotes(n, m, /*winner=*/1, 0.6, 31);
+  StreamingMaximin sketch(MakeOptions(0.08, n, m, /*phi=*/0.55), 32);
+  Election exact(n);
+  for (const auto& v : votes) {
+    sketch.InsertVote(v);
+    exact.AddVote(v);
+  }
+  const auto listed = sketch.ListAbove();
+  const auto truth = exact.MaximinScores();
+  // Everything listed clears (phi - eps) m in truth.
+  for (const auto& hh : listed) {
+    EXPECT_GT(static_cast<double>(truth[hh.item]),
+              (0.55 - 0.08) * static_cast<double>(m));
+  }
+  // Every candidate with true maximin >= phi m is listed.
+  for (uint32_t c = 0; c < n; ++c) {
+    if (static_cast<double>(truth[c]) >= 0.55 * static_cast<double>(m)) {
+      bool found = false;
+      for (const auto& hh : listed) {
+        if (hh.item == c) found = true;
+      }
+      EXPECT_TRUE(found) << "candidate " << c;
+    }
+  }
+}
+
+TEST(StreamingMaximinTest, SampledPairwiseMatchesStoredVotes) {
+  const uint32_t n = 4;
+  StreamingMaximin sketch(MakeOptions(0.2, n, 10), 11);
+  sketch.InsertVote(Ranking({0, 1, 2, 3}));
+  sketch.InsertVote(Ranking({1, 0, 2, 3}));
+  sketch.InsertVote(Ranking({0, 2, 1, 3}));
+  EXPECT_EQ(sketch.SampledPairwise(0, 1), 2u);
+  EXPECT_EQ(sketch.SampledPairwise(1, 0), 1u);
+  EXPECT_EQ(sketch.SampledPairwise(0, 3), 3u);
+  EXPECT_EQ(sketch.SampledPairwise(3, 0), 0u);
+}
+
+TEST(StreamingMaximinTest, SpaceChargedPerStoredVote) {
+  const uint32_t n = 16;
+  StreamingMaximin sketch(MakeOptions(0.2, n, 10000), 13);
+  Rng rng(15);
+  const size_t before = sketch.SpaceBits();
+  // Force some sampled votes.
+  for (int i = 0; i < 500; ++i) sketch.InsertVote(Ranking::Random(n, rng));
+  const size_t after = sketch.SpaceBits();
+  EXPECT_GT(after, before);
+  // Each stored vote costs n * ceil(log2 n) = 64 bits here (plus a few
+  // bits of sampler/counter drift).
+  const double per_vote =
+      static_cast<double>(after - before) /
+      static_cast<double>(sketch.samples_taken());
+  EXPECT_NEAR(per_vote, 64.0, 2.0);
+}
+
+TEST(StreamingMaximinTest, SerializeRoundTripAndResume) {
+  const uint32_t n = 5;
+  StreamingMaximin alice(MakeOptions(0.15, n, 600), 17);
+  Rng rng(19);
+  for (int i = 0; i < 300; ++i) alice.InsertVote(Ranking::Random(n, rng));
+  BitWriter w;
+  alice.Serialize(w);
+  BitReader r(w);
+  StreamingMaximin bob = StreamingMaximin::Deserialize(r, 21);
+  EXPECT_EQ(bob.samples_taken(), alice.samples_taken());
+  for (int i = 0; i < 300; ++i) bob.InsertVote(Ranking({4, 3, 2, 1, 0}));
+  // Candidate 4 now beats everyone in half the votes.
+  const auto scores = bob.Scores();
+  EXPECT_GT(scores[4], scores[0]);
+}
+
+TEST(StreamingMaximinTest, MaximinSpaceLargerThanBorda) {
+  // The paper's headline for voting: maximin costs ~n/eps^2 log n, Borda
+  // costs ~n log.  Verify the gap on equal parameters.
+  const uint32_t n = 16;
+  const uint64_t m = 5000;
+  const double eps = 0.1;
+  StreamingMaximin mm(MakeOptions(eps, n, m), 23);
+  Rng rng(25);
+  std::vector<Ranking> votes;
+  for (uint64_t i = 0; i < m; ++i) votes.push_back(Ranking::Random(n, rng));
+  for (const auto& v : votes) mm.InsertVote(v);
+  // Compare against Borda on the same stream.
+  StreamingBorda::Options bopt;
+  bopt.epsilon = eps;
+  bopt.delta = 0.1;
+  bopt.num_candidates = n;
+  bopt.stream_length = m;
+  StreamingBorda borda(bopt, 27);
+  for (const auto& v : votes) borda.InsertVote(v);
+  EXPECT_GT(mm.SpaceBits(), 4 * borda.SpaceBits());
+}
+
+}  // namespace
+}  // namespace l1hh

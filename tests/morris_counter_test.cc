@@ -1,0 +1,143 @@
+#include "count/morris_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace l1hh {
+namespace {
+
+TEST(MorrisCounterTest, ZeroInitially) {
+  MorrisCounter c;
+  EXPECT_DOUBLE_EQ(c.Estimate(), 0.0);
+  EXPECT_EQ(c.exponent(), 0u);
+}
+
+TEST(MorrisCounterTest, UnbiasedEstimate) {
+  // E[estimate] == true count for the Morris counter.
+  Rng rng(1);
+  const int trials = 3000;
+  const int count = 1000;
+  double sum = 0;
+  for (int t = 0; t < trials; ++t) {
+    MorrisCounter c(2.0);
+    for (int i = 0; i < count; ++i) c.Increment(rng);
+    sum += c.Estimate();
+  }
+  const double mean = sum / trials;
+  // std of a single Morris estimate ~ count/sqrt(2); mean of `trials`.
+  const double tolerance = 6.0 * count / std::sqrt(2.0 * trials);
+  EXPECT_NEAR(mean, count, tolerance);
+}
+
+TEST(MorrisCounterTest, SmallerBaseIsMoreAccurate) {
+  Rng rng(2);
+  const int trials = 500;
+  const int count = 2000;
+  double var_small = 0, var_big = 0;
+  for (int t = 0; t < trials; ++t) {
+    MorrisCounter small(1.1), big(2.0);
+    for (int i = 0; i < count; ++i) {
+      small.Increment(rng);
+      big.Increment(rng);
+    }
+    var_small += std::pow(small.Estimate() - count, 2);
+    var_big += std::pow(big.Estimate() - count, 2);
+  }
+  EXPECT_LT(var_small, var_big);
+}
+
+TEST(MorrisCounterTest, SpaceIsLogLog) {
+  Rng rng(3);
+  MorrisCounter c(2.0);
+  for (int i = 0; i < 1 << 20; ++i) c.Increment(rng);
+  // Exponent ~ log2(2^20) = 20 -> 5-6 bits of state.
+  EXPECT_LE(c.SpaceBits(), 8);
+  EXPECT_GE(c.exponent(), 10u);
+  EXPECT_LE(c.exponent(), 40u);
+}
+
+TEST(MorrisCounterTest, IncrementReportsExponentChange) {
+  Rng rng(4);
+  MorrisCounter c(2.0);
+  EXPECT_TRUE(c.Increment(rng));  // 0 -> 1 always
+  int changes = 1;
+  for (int i = 0; i < 10000; ++i) {
+    if (c.Increment(rng)) ++changes;
+  }
+  // Exponent changes only O(log) times.
+  EXPECT_LT(changes, 64);
+  EXPECT_EQ(static_cast<uint32_t>(changes), c.exponent());
+}
+
+TEST(MorrisCounterTest, SerializeRoundTrip) {
+  Rng rng(5);
+  MorrisCounter c(2.0);
+  for (int i = 0; i < 5000; ++i) c.Increment(rng);
+  BitWriter w;
+  c.Serialize(w);
+  BitReader r(w);
+  MorrisCounter c2(2.0);
+  c2.Deserialize(r);
+  EXPECT_EQ(c.exponent(), c2.exponent());
+  EXPECT_DOUBLE_EQ(c.Estimate(), c2.Estimate());
+}
+
+TEST(MorrisEnsembleTest, ForStreamSizesK) {
+  const auto e = MorrisCounterEnsemble::ForStream(1 << 30, 0.05, 1);
+  // k = 2 log2(log2(m)/delta) = 2 log2(30/0.05) ~ 18.5.
+  EXPECT_GE(e.k(), 10);
+  EXPECT_LE(e.k(), 30);
+}
+
+TEST(MorrisEnsembleTest, ConstantFactorAtEveryCheckpoint) {
+  // Theorem 7's requirement: correct within a factor of ~4 at every
+  // power-of-two position, whp.
+  auto e = MorrisCounterEnsemble::ForStream(1 << 18, 0.05, 7);
+  uint64_t n = 0;
+  uint64_t next_checkpoint = 64;
+  int violations = 0;
+  while (n < (1 << 18)) {
+    e.Increment();
+    ++n;
+    if (n == next_checkpoint) {
+      const double est = e.Estimate();
+      if (est < static_cast<double>(n) / 4 ||
+          est > static_cast<double>(n) * 4) {
+        ++violations;
+      }
+      next_checkpoint *= 2;
+    }
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(MorrisEnsembleTest, SerializeRoundTrip) {
+  auto e = MorrisCounterEnsemble::ForStream(1 << 20, 0.1, 11);
+  for (int i = 0; i < 10000; ++i) e.Increment();
+  BitWriter w;
+  e.Serialize(w);
+  BitReader r(w);
+  auto e2 = MorrisCounterEnsemble::ForStream(1 << 20, 0.1, 12);
+  e2.Deserialize(r);
+  EXPECT_DOUBLE_EQ(e.Estimate(), e2.Estimate());
+}
+
+// Sweep stream lengths: the ensemble estimate tracks the true length
+// within a factor of 4 at the end.
+class MorrisLengthSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MorrisLengthSweep, EndEstimateWithinFactorFour) {
+  const uint64_t m = GetParam();
+  auto e = MorrisCounterEnsemble::ForStream(m, 0.05, 13 + m);
+  for (uint64_t i = 0; i < m; ++i) e.Increment();
+  EXPECT_GE(e.Estimate(), static_cast<double>(m) / 4);
+  EXPECT_LE(e.Estimate(), static_cast<double>(m) * 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, MorrisLengthSweep,
+                         ::testing::Values(100, 1000, 10000, 100000,
+                                           1000000));
+
+}  // namespace
+}  // namespace l1hh

@@ -1,0 +1,119 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace l1hh {
+namespace {
+
+TEST(RandomTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformU64InRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(RandomTest, UniformU64Unbiased) {
+  Rng rng(11);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformU64(bound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 10.0, 5 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(RandomTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(RandomTest, AllZeroBitsProbability) {
+  Rng rng(17);
+  // P(AllZeroBits(k)) = 2^-k: this is the Lemma-1 coin.
+  for (int k : {1, 3, 6}) {
+    const int n = 200000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+      if (rng.AllZeroBits(k)) ++hits;
+    }
+    const double expected = std::ldexp(n, -k);
+    EXPECT_NEAR(hits, expected, 6 * std::sqrt(expected));
+  }
+}
+
+TEST(RandomTest, AllZeroBitsZeroExponentAlwaysTrue) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(rng.AllZeroBits(0));
+}
+
+TEST(RandomTest, AllZeroBitsWideExponent) {
+  Rng rng(23);
+  // k > 64 exercises the multi-word path; success is astronomically rare.
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(rng.AllZeroBits(128));
+}
+
+TEST(RandomTest, GeometricMean) {
+  Rng rng(29);
+  // E[Geometric(p)] = (1-p)/p.
+  for (double p : {0.5, 0.1, 0.01}) {
+    const int n = 50000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.Geometric(p));
+    }
+    const double mean = sum / n;
+    const double expected = (1 - p) / p;
+    EXPECT_NEAR(mean, expected, 0.1 * expected + 0.05);
+  }
+}
+
+TEST(RandomTest, GeometricP1IsZero) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(RandomTest, BitAccounting) {
+  Rng rng(37);
+  const uint64_t before = rng.words_drawn();
+  rng.NextU64();
+  rng.NextU64();
+  EXPECT_EQ(rng.words_drawn(), before + 2);
+  EXPECT_EQ(rng.bits_drawn(), (before + 2) * 64);
+}
+
+TEST(RandomTest, Mix64Stateless) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+}
+
+}  // namespace
+}  // namespace l1hh

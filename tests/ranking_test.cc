@@ -1,0 +1,111 @@
+#include "votes/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "util/random.h"
+
+namespace l1hh {
+namespace {
+
+TEST(RankingTest, IdentityValid) {
+  const Ranking r = Ranking::Identity(5);
+  EXPECT_TRUE(r.IsValid());
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(r.At(i), i);
+}
+
+TEST(RankingTest, RandomIsValidPermutation) {
+  Rng rng(1);
+  for (int t = 0; t < 100; ++t) {
+    const Ranking r = Ranking::Random(20, rng);
+    EXPECT_TRUE(r.IsValid());
+  }
+}
+
+TEST(RankingTest, RandomIsUniformish) {
+  // Position of candidate 0 should be uniform over [0, n).
+  Rng rng(2);
+  const uint32_t n = 6;
+  std::unordered_map<uint32_t, int> pos_counts;
+  const int trials = 60000;
+  for (int t = 0; t < trials; ++t) {
+    const Ranking r = Ranking::Random(n, rng);
+    pos_counts[r.Positions()[0]]++;
+  }
+  for (uint32_t p = 0; p < n; ++p) {
+    EXPECT_NEAR(pos_counts[p], trials / n, 6 * std::sqrt(trials / n));
+  }
+}
+
+TEST(RankingTest, InvalidDetected) {
+  EXPECT_FALSE(Ranking({0, 0, 2}).IsValid());   // duplicate
+  EXPECT_FALSE(Ranking({0, 5, 1}).IsValid());   // out of range
+  EXPECT_TRUE(Ranking({2, 0, 1}).IsValid());
+}
+
+TEST(RankingTest, PositionsInverse) {
+  const Ranking r({3, 1, 0, 2});
+  const auto pos = r.Positions();
+  EXPECT_EQ(pos[3], 0u);
+  EXPECT_EQ(pos[1], 1u);
+  EXPECT_EQ(pos[0], 2u);
+  EXPECT_EQ(pos[2], 3u);
+}
+
+TEST(RankingTest, Prefers) {
+  const Ranking r({3, 1, 0, 2});
+  EXPECT_TRUE(r.Prefers(3, 0));
+  EXPECT_TRUE(r.Prefers(1, 2));
+  EXPECT_FALSE(r.Prefers(2, 1));
+}
+
+TEST(RankingTest, BordaPoints) {
+  const Ranking r({3, 1, 0, 2});
+  EXPECT_EQ(r.BordaPoints(0), 3u);  // top gets n-1
+  EXPECT_EQ(r.BordaPoints(3), 0u);  // bottom gets 0
+}
+
+TEST(RankingTest, CompactEncodeRoundTrip) {
+  Rng rng(3);
+  for (uint32_t n : {2u, 5u, 17u, 100u}) {
+    const Ranking r = Ranking::Random(n, rng);
+    BitWriter w;
+    r.CompactEncode(w);
+    // Exactly n * ceil(log2 n) bits.
+    EXPECT_EQ(w.size_bits(),
+              static_cast<size_t>(n) * CeilLog2(std::max<uint64_t>(n, 2)));
+    BitReader reader(w);
+    const Ranking r2 = Ranking::CompactDecode(reader, n);
+    EXPECT_EQ(r, r2);
+  }
+}
+
+TEST(RankingTest, LehmerCodeRoundTrip) {
+  Rng rng(4);
+  for (int t = 0; t < 200; ++t) {
+    const Ranking r = Ranking::Random(12, rng);
+    const auto code = r.LehmerCode();
+    const Ranking r2 = Ranking::FromLehmerCode(code);
+    EXPECT_EQ(r, r2);
+  }
+}
+
+TEST(RankingTest, LehmerCodeBounds) {
+  // code[i] <= n-1-i (mixed radix): this is what makes the encoding
+  // information-theoretically log2(n!) bits.
+  Rng rng(5);
+  const Ranking r = Ranking::Random(10, rng);
+  const auto code = r.LehmerCode();
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_LE(code[i], 9 - i);
+  }
+}
+
+TEST(RankingTest, LehmerIdentityIsZero) {
+  const auto code = Ranking::Identity(6).LehmerCode();
+  for (const uint32_t c : code) EXPECT_EQ(c, 0u);
+}
+
+}  // namespace
+}  // namespace l1hh

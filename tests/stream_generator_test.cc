@@ -1,0 +1,118 @@
+#include "stream/stream_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "summary/exact_counter.h"
+
+namespace l1hh {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfDistribution z(1000, 1.2);
+  double sum = 0;
+  for (uint64_t k = 0; k < z.n(); ++k) sum += z.Probability(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, FrequenciesFollowPowerLaw) {
+  const uint64_t n = 1000;
+  const double alpha = 1.0;
+  ZipfDistribution z(n, alpha);
+  Rng rng(1);
+  const int m = 400000;
+  std::unordered_map<uint64_t, int> counts;
+  for (int i = 0; i < m; ++i) ++counts[z.Sample(rng)];
+  // Head items should match expectation.
+  for (uint64_t k = 0; k < 5; ++k) {
+    const double expected = z.Probability(k) * m;
+    EXPECT_NEAR(counts[k], expected, 6 * std::sqrt(expected));
+  }
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  ZipfDistribution z(100, 0.0);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_NEAR(z.Probability(k), 0.01, 1e-12);
+  }
+}
+
+TEST(AliasTableTest, RespectsWeights) {
+  AliasTable t({1.0, 3.0});
+  Rng rng(2);
+  int ones = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (t.Sample(rng) == 1) ++ones;
+  }
+  EXPECT_NEAR(ones, 0.75 * n, 6 * std::sqrt(0.25 * 0.75 * n));
+}
+
+TEST(PlantedStreamTest, ExactPlantedFrequencies) {
+  const PlantedSpec spec{{0.25, 0.1, 0.05}, 1 << 20, 40000};
+  const PlantedStream s = MakePlantedStream(spec, 3);
+  ASSERT_EQ(s.items.size(), 40000u);
+  ExactCounter exact;
+  for (const uint64_t x : s.items) exact.Insert(x);
+  for (size_t i = 0; i < s.planted_ids.size(); ++i) {
+    EXPECT_EQ(exact.Count(s.planted_ids[i]), s.planted_counts[i]);
+  }
+  EXPECT_EQ(s.planted_counts[0], 10000u);
+}
+
+TEST(PlantedStreamTest, PlantedIdsDistinct) {
+  const PlantedSpec spec{{0.1, 0.1, 0.1, 0.1}, 1 << 16, 10000};
+  const PlantedStream s = MakePlantedStream(spec, 5);
+  for (size_t i = 0; i < s.planted_ids.size(); ++i) {
+    for (size_t j = i + 1; j < s.planted_ids.size(); ++j) {
+      EXPECT_NE(s.planted_ids[i], s.planted_ids[j]);
+    }
+  }
+}
+
+TEST(PlantedStreamTest, OrderVariantsPreserveFrequencies) {
+  for (const StreamOrder order :
+       {StreamOrder::kShuffled, StreamOrder::kHeaviesFirst,
+        StreamOrder::kHeaviesLast, StreamOrder::kBursty}) {
+    PlantedSpec spec{{0.2, 0.1}, 1 << 16, 20000};
+    spec.order = order;
+    const PlantedStream s = MakePlantedStream(spec, 7);
+    ExactCounter exact;
+    for (const uint64_t x : s.items) exact.Insert(x);
+    EXPECT_EQ(exact.Count(s.planted_ids[0]), s.planted_counts[0]);
+    EXPECT_EQ(exact.Count(s.planted_ids[1]), s.planted_counts[1]);
+  }
+}
+
+TEST(PlantedStreamTest, HeaviesLastReallyLast) {
+  PlantedSpec spec{{0.5}, 1 << 16, 10000};
+  spec.order = StreamOrder::kHeaviesLast;
+  const PlantedStream s = MakePlantedStream(spec, 9);
+  // The final 5000 positions must all be the planted item.
+  for (size_t i = 5000; i < 10000; ++i) {
+    EXPECT_EQ(s.items[i], s.planted_ids[0]);
+  }
+}
+
+TEST(UniformStreamTest, CoversUniverse) {
+  const auto s = MakeUniformStream(16, 10000, 11);
+  ExactCounter exact;
+  for (const uint64_t x : s) {
+    ASSERT_LT(x, 16u);
+    exact.Insert(x);
+  }
+  EXPECT_EQ(exact.distinct(), 16u);
+}
+
+TEST(StreamDeterminism, SameSeedSameStream) {
+  const auto a = MakeZipfStream(100, 1.1, 1000, 42);
+  const auto b = MakeZipfStream(100, 1.1, 1000, 42);
+  EXPECT_EQ(a, b);
+  const auto c = MakeZipfStream(100, 1.1, 1000, 43);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace l1hh

@@ -1,0 +1,153 @@
+#include "core/unknown_length.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "stream/stream_generator.h"
+#include "stream/vote_generator.h"
+#include "summary/exact_counter.h"
+
+namespace l1hh {
+namespace {
+
+BdwSimple::Options HHBase(double eps, double phi) {
+  BdwSimple::Options opt;
+  opt.epsilon = eps;
+  opt.phi = phi;
+  opt.delta = 0.1;
+  opt.universe_size = uint64_t{1} << 24;
+  opt.stream_length = 0;  // unknown; the wrapper fills per instance
+  return opt;
+}
+
+TEST(UnknownLengthTest, AtMostTwoInstances) {
+  auto w = MakeUnknownLengthListHeavyHitters(HHBase(0.1, 0.4), 1 << 22, 1);
+  Rng rng(2);
+  for (int i = 0; i < 300000; ++i) {
+    w.Insert(rng.UniformU64(100));
+    ASSERT_LE(w.live_instances(), 2);
+  }
+  EXPECT_GE(w.level(), 2);  // must have rotated at least once
+}
+
+TEST(UnknownLengthTest, HeavyHittersFoundWithoutKnowingM) {
+  // Stream length spans several windows; heavies must still be caught.
+  const double eps = 0.1, phi = 0.35;
+  int failures = 0;
+  const int trials = 6;
+  for (int t = 0; t < trials; ++t) {
+    auto w = MakeUnknownLengthListHeavyHitters(HHBase(eps, phi), 1 << 22,
+                                               10 + t);
+    Rng rng(20 + t);
+    const uint64_t m = 200000;
+    // Item 5 at 50%, rest uniform noise.
+    for (uint64_t i = 0; i < m; ++i) {
+      w.Insert((rng.NextU64() & 1) != 0 ? 5 : 1000 + rng.UniformU64(10000));
+    }
+    std::unordered_set<uint64_t> reported;
+    for (const auto& hh : w.Reporter().Report()) reported.insert(hh.item);
+    if (reported.count(5) == 0) ++failures;
+    // Nothing from the light tail may be reported.
+    for (const auto& hh : w.Reporter().Report()) {
+      if (hh.item != 5) ++failures;
+    }
+  }
+  EXPECT_LE(failures, 1);
+}
+
+TEST(UnknownLengthTest, MaximumTrackedAcrossWindows) {
+  EpsilonMaximum::Options base;
+  base.epsilon = 0.1;
+  base.delta = 0.1;
+  base.universe_size = uint64_t{1} << 20;
+  auto w = MakeUnknownLengthMaximum(base, 1 << 22, 3);
+  Rng rng(4);
+  const uint64_t m = 150000;
+  for (uint64_t i = 0; i < m; ++i) {
+    w.Insert(rng.UniformU64(3) == 0 ? 77 : rng.UniformU64(5000));
+  }
+  EXPECT_EQ(w.Reporter().Report().item, 77u);
+}
+
+TEST(UnknownLengthTest, SpaceStaysBoundedAsStreamGrows) {
+  auto w = MakeUnknownLengthListHeavyHitters(HHBase(0.1, 0.4), 1 << 22, 5);
+  Rng rng(6);
+  size_t peak = 0;
+  for (int i = 0; i < 400000; ++i) {
+    w.Insert(rng.UniformU64(50));
+    if (i % 10000 == 0) peak = std::max(peak, w.SpaceBits());
+  }
+  // Two instances + Morris: must stay well under a megabit for eps=0.1.
+  EXPECT_LT(peak, 1u << 20);
+}
+
+TEST(UnknownLengthTest, MorrisEstimateTracksLength) {
+  auto w = MakeUnknownLengthListHeavyHitters(HHBase(0.1, 0.4), 1 << 22, 7);
+  const uint64_t m = 1 << 17;
+  for (uint64_t i = 0; i < m; ++i) w.Insert(1);
+  EXPECT_GE(w.EstimatedLength(), static_cast<double>(m) / 4);
+  EXPECT_LE(w.EstimatedLength(), static_cast<double>(m) * 4);
+}
+
+TEST(UnknownLengthTest, MinimumUnknownLength) {
+  EpsilonMinimum::Options base;
+  // eps = 0.07 keeps n = 12 below the large-universe cutoff (15.9).
+  base.epsilon = 0.07;
+  base.delta = 0.1;
+  base.universe_size = 12;
+  auto w = MakeUnknownLengthMinimum(base, 1 << 20, 9);
+  // Item 11 never occurs.
+  Rng rng(10);
+  for (int i = 0; i < 100000; ++i) w.Insert(rng.UniformU64(11));
+  EXPECT_EQ(w.Reporter().Report().item, 11u);
+}
+
+TEST(UnknownLengthTest, BordaUnknownLength) {
+  StreamingBorda::Options base;
+  base.epsilon = 0.1;
+  base.delta = 0.1;
+  base.num_candidates = 6;
+  auto w = MakeUnknownLengthBorda(base, 1 << 18, 11);
+  const auto votes = MakeMallowsVotes(6, 30000, 0.5, 12);
+  for (const auto& v : votes) w.Insert(v);
+  EXPECT_EQ(w.Reporter().MaxScore().item, 0u);
+}
+
+TEST(UnknownLengthTest, MaximinUnknownLength) {
+  StreamingMaximin::Options base;
+  base.epsilon = 0.15;
+  base.delta = 0.1;
+  base.num_candidates = 5;
+  auto w = MakeUnknownLengthMaximin(base, 1 << 18, 13);
+  const auto votes = MakePlantedWinnerVotes(5, 20000, /*winner=*/3, 0.5, 14);
+  for (const auto& v : votes) w.Insert(v);
+  EXPECT_EQ(w.Reporter().MaxScore().item, 3u);
+}
+
+TEST(UnknownLengthTest, SerializeRoundTrip) {
+  BdwSimple::Options base = HHBase(0.1, 0.4);
+  auto alice = MakeUnknownLengthListHeavyHitters(base, 1 << 20, 15);
+  for (int i = 0; i < 50000; ++i) alice.Insert(9);
+  BitWriter w;
+  alice.Serialize(w);
+
+  const double window = 1.0 / base.epsilon;
+  const uint64_t seed = 15;
+  auto factory = [base, window, seed](uint64_t assumed) {
+    BdwSimple::Options opt = base;
+    opt.stream_length = assumed;
+    opt.constants.hh_sample_factor *= window;
+    return BdwSimple(opt, Mix64(seed ^ assumed));
+  };
+  BitReader r(w);
+  auto bob = UnknownLengthWrapper<BdwSimple>::Deserialize(
+      r, factory, window, base.delta, 1 << 20, 16);
+  for (int i = 0; i < 50000; ++i) bob.Insert(9);
+  const auto report = bob.Reporter().Report();
+  ASSERT_GE(report.size(), 1u);
+  EXPECT_EQ(report[0].item, 9u);
+}
+
+}  // namespace
+}  // namespace l1hh

@@ -1,0 +1,73 @@
+#include "stream/vote_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "votes/election.h"
+
+namespace l1hh {
+namespace {
+
+TEST(VoteGeneratorTest, UniformVotesValid) {
+  const auto votes = MakeUniformVotes(10, 200, 1);
+  ASSERT_EQ(votes.size(), 200u);
+  for (const auto& v : votes) EXPECT_TRUE(v.IsValid());
+}
+
+TEST(VoteGeneratorTest, MallowsVotesValid) {
+  const auto votes = MakeMallowsVotes(12, 100, 0.7, 2);
+  for (const auto& v : votes) EXPECT_TRUE(v.IsValid());
+}
+
+TEST(VoteGeneratorTest, MallowsConcentratesAroundIdentity) {
+  // Low dispersion => votes close to the identity ranking; candidate 0
+  // should win Borda easily.
+  const auto votes = MakeMallowsVotes(8, 500, 0.3, 3);
+  Election e(8);
+  for (const auto& v : votes) e.AddVote(v);
+  EXPECT_EQ(e.BordaWinner(), 0u);
+  const auto scores = e.BordaScores();
+  // Scores should be monotone decreasing in candidate index (roughly);
+  // check the extremes decisively.
+  EXPECT_GT(scores[0], scores[7] * 2);
+}
+
+TEST(VoteGeneratorTest, MallowsDispersionOneIsUniformish) {
+  const auto votes = MakeMallowsVotes(6, 3000, 1.0, 4);
+  Election e(6);
+  for (const auto& v : votes) e.AddVote(v);
+  const auto scores = e.BordaScores();
+  const double expected = 3000.0 * 5 / 2;  // mean Borda score
+  for (const uint64_t s : scores) {
+    EXPECT_NEAR(static_cast<double>(s), expected, expected * 0.1);
+  }
+}
+
+TEST(VoteGeneratorTest, PlackettLuceFavorsLowIndices) {
+  const auto votes = MakePlackettLuceVotes(8, 500, 0.6, 5);
+  Election e(8);
+  for (const auto& v : votes) e.AddVote(v);
+  const auto scores = e.BordaScores();
+  EXPECT_GT(scores[0], scores[7]);
+  EXPECT_EQ(e.BordaWinner(), 0u);
+}
+
+TEST(VoteGeneratorTest, PlantedWinnerValidAndBoosted) {
+  const uint32_t winner = 3;
+  const auto votes = MakePlantedWinnerVotes(6, 1000, winner, 0.4, 6);
+  int tops = 0;
+  for (const auto& v : votes) {
+    EXPECT_TRUE(v.IsValid());
+    if (v.At(0) == winner) ++tops;
+  }
+  // ~0.4 + 0.6/6 = 50% of votes have the winner on top.
+  EXPECT_NEAR(tops, 500, 100);
+}
+
+TEST(VoteGeneratorTest, Deterministic) {
+  const auto a = MakeUniformVotes(5, 50, 42);
+  const auto b = MakeUniformVotes(5, 50, 42);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace l1hh

@@ -1,0 +1,86 @@
+// Invariants of the unknown-length wrapper and a few residual substrate
+// edges not covered by the per-module suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/unknown_length.h"
+#include "count/morris_counter.h"
+#include "stream/zipf.h"
+#include "votes/election.h"
+
+namespace l1hh {
+namespace {
+
+BdwSimple::Options HHBase() {
+  BdwSimple::Options opt;
+  opt.epsilon = 0.1;
+  opt.phi = 0.4;
+  opt.delta = 0.1;
+  opt.universe_size = uint64_t{1} << 20;
+  opt.stream_length = 0;
+  return opt;
+}
+
+// The rotation level grows like log_W(m): at window W = 1/eps = 10, a
+// stream of 10^5 items must sit within +-2 levels of log10(10^5) = 5
+// (Morris noise absorbs the rest).
+TEST(WrapperInvariantsTest, LevelTracksLogOfLength) {
+  auto w = MakeUnknownLengthListHeavyHitters(HHBase(), 1 << 22, 3);
+  for (int i = 0; i < 100000; ++i) w.Insert(uint64_t{1});
+  EXPECT_GE(w.level(), 3);
+  EXPECT_LE(w.level(), 7);
+}
+
+// The wrapper never reports from the fresh instance: the reporter's
+// sample must cover the bulk of the stream, so its Report() on a
+// half-heavy stream can never be empty after warm-up.
+TEST(WrapperInvariantsTest, ReporterAlwaysWarm) {
+  auto w = MakeUnknownLengthListHeavyHitters(HHBase(), 1 << 22, 5);
+  Rng rng(6);
+  for (int i = 0; i < 50000; ++i) {
+    w.Insert((rng.NextU64() & 1) != 0 ? 9 : 100 + rng.UniformU64(1000));
+    if (i > 1000 && i % 5000 == 0) {
+      EXPECT_FALSE(w.Reporter().Report().empty()) << "at " << i;
+    }
+  }
+}
+
+TEST(MorrisEdgeTest, NonDefaultBaseStillUnbiasedish) {
+  Rng rng(7);
+  const int trials = 800;
+  const int count = 500;
+  double sum = 0;
+  for (int t = 0; t < trials; ++t) {
+    MorrisCounter c(1.5);
+    for (int i = 0; i < count; ++i) c.Increment(rng);
+    sum += c.Estimate();
+  }
+  EXPECT_NEAR(sum / trials, count, 60);
+}
+
+TEST(ZipfEdgeTest, ProbabilitiesMonotoneDecreasing) {
+  ZipfDistribution z(500, 1.3);
+  for (uint64_t k = 1; k < 500; ++k) {
+    EXPECT_LE(z.Probability(k), z.Probability(k - 1));
+  }
+}
+
+TEST(ElectionEdgeTest, PairwiseDiagonalUnusedAndZero) {
+  Election e(3);
+  e.AddVote(Ranking({0, 1, 2}));
+  EXPECT_EQ(e.Pairwise(0, 0), 0u);
+  EXPECT_EQ(e.Pairwise(2, 2), 0u);
+}
+
+TEST(ElectionEdgeTest, SingleCandidateElection) {
+  Election e(1);
+  e.AddVote(Ranking({0}));
+  e.AddVote(Ranking({0}));
+  EXPECT_EQ(e.BordaScores()[0], 0u);     // no opponents to defeat
+  EXPECT_EQ(e.MaximinScores()[0], 0u);
+  EXPECT_EQ(e.PluralityScores()[0], 2u);
+}
+
+}  // namespace
+}  // namespace l1hh

@@ -1,0 +1,212 @@
+// l1hh_cli — command-line front end for the library.
+//
+//   l1hh_cli generate --kind zipf --alpha 1.1 --n 16777216 --m 1000000
+//       [--seed 1]                          # one item id per line to stdout
+//   l1hh_cli heavy --epsilon 0.01 --phi 0.05 --m <length>
+//       [--algorithm optimal|simple|mg|spacesaving] [--n <universe>]
+//                                           # reads ids from stdin
+//   l1hh_cli max --epsilon 0.01 --m <length>        # approximate maximum
+//   l1hh_cli min --epsilon 0.05 --n <universe> --m <length>
+//
+// With no arguments, runs a self-contained demo.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/bdw_optimal.h"
+#include "core/bdw_simple.h"
+#include "core/epsilon_maximum.h"
+#include "core/epsilon_minimum.h"
+#include "stream/stream_generator.h"
+#include "summary/misra_gries.h"
+#include "summary/space_saving.h"
+
+namespace {
+
+using namespace l1hh;
+
+struct Args {
+  std::string command;
+  std::string kind = "zipf";
+  std::string algorithm = "optimal";
+  double alpha = 1.1;
+  double epsilon = 0.01;
+  double phi = 0.05;
+  double delta = 0.05;
+  uint64_t n = uint64_t{1} << 24;
+  uint64_t m = 1 << 20;
+  uint64_t seed = 1;
+};
+
+bool Parse(int argc, char** argv, Args* out) {
+  if (argc < 2) return false;
+  out->command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const char* value = argv[i + 1];
+    if (key == "--kind") {
+      out->kind = value;
+    } else if (key == "--algorithm") {
+      out->algorithm = value;
+    } else if (key == "--alpha") {
+      out->alpha = std::atof(value);
+    } else if (key == "--epsilon") {
+      out->epsilon = std::atof(value);
+    } else if (key == "--phi") {
+      out->phi = std::atof(value);
+    } else if (key == "--delta") {
+      out->delta = std::atof(value);
+    } else if (key == "--n") {
+      out->n = std::strtoull(value, nullptr, 10);
+    } else if (key == "--m") {
+      out->m = std::strtoull(value, nullptr, 10);
+    } else if (key == "--seed") {
+      out->seed = std::strtoull(value, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<uint64_t> ReadStdinItems() {
+  std::vector<uint64_t> items;
+  char line[64];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    if (line[0] == '\n' || line[0] == '#') continue;
+    items.push_back(std::strtoull(line, nullptr, 10));
+  }
+  return items;
+}
+
+int CmdGenerate(const Args& a) {
+  std::vector<uint64_t> stream;
+  if (a.kind == "zipf") {
+    stream = MakeZipfStream(a.n, a.alpha, a.m, a.seed);
+  } else if (a.kind == "uniform") {
+    stream = MakeUniformStream(a.n, a.m, a.seed);
+  } else {
+    std::fprintf(stderr, "unknown --kind %s (zipf|uniform)\n",
+                 a.kind.c_str());
+    return 2;
+  }
+  for (const uint64_t x : stream) {
+    std::printf("%llu\n", static_cast<unsigned long long>(x));
+  }
+  return 0;
+}
+
+int CmdHeavy(const Args& a, const std::vector<uint64_t>& items) {
+  const uint64_t m = a.m != 0 ? a.m : items.size();
+  const auto print = [&](const char* name, size_t bits, uint64_t item,
+                         double count) {
+    std::printf("%-12s %12llu %14.0f %8.2f%%  (sketch: %zu bits)\n", name,
+                static_cast<unsigned long long>(item), count,
+                100.0 * count / static_cast<double>(m), bits);
+  };
+  if (a.algorithm == "optimal") {
+    BdwOptimal::Options opt;
+    opt.epsilon = a.epsilon;
+    opt.phi = a.phi;
+    opt.delta = a.delta;
+    opt.universe_size = a.n;
+    opt.stream_length = m;
+    BdwOptimal sketch(opt, a.seed);
+    for (const uint64_t x : items) sketch.Insert(x);
+    for (const auto& hh : sketch.Report()) {
+      print("optimal", sketch.SpaceBits(), hh.item, hh.estimated_count);
+    }
+  } else if (a.algorithm == "simple") {
+    BdwSimple::Options opt;
+    opt.epsilon = a.epsilon;
+    opt.phi = a.phi;
+    opt.delta = a.delta;
+    opt.universe_size = a.n;
+    opt.stream_length = m;
+    BdwSimple sketch(opt, a.seed);
+    for (const uint64_t x : items) sketch.Insert(x);
+    for (const auto& hh : sketch.Report()) {
+      print("simple", sketch.SpaceBits(), hh.item, hh.estimated_count);
+    }
+  } else if (a.algorithm == "mg") {
+    MisraGries sketch(static_cast<size_t>(1.0 / a.epsilon),
+                      UniverseBits(a.n));
+    for (const uint64_t x : items) sketch.Insert(x);
+    for (const auto& e : sketch.EntriesAbove(static_cast<uint64_t>(
+             (a.phi - a.epsilon) * static_cast<double>(m)))) {
+      print("mg", sketch.SpaceBits(), e.item,
+            static_cast<double>(e.count));
+    }
+  } else if (a.algorithm == "spacesaving") {
+    SpaceSaving sketch(static_cast<size_t>(1.0 / a.epsilon),
+                       UniverseBits(a.n));
+    for (const uint64_t x : items) sketch.Insert(x);
+    for (const auto& e : sketch.EntriesAbove(static_cast<uint64_t>(
+             a.phi * static_cast<double>(m)))) {
+      print("spacesaving", sketch.SpaceBits(), e.item,
+            static_cast<double>(e.count));
+    }
+  } else {
+    std::fprintf(stderr, "unknown --algorithm %s\n", a.algorithm.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int CmdMax(const Args& a, const std::vector<uint64_t>& items) {
+  EpsilonMaximum::Options opt;
+  opt.epsilon = a.epsilon;
+  opt.delta = a.delta;
+  opt.universe_size = a.n;
+  opt.stream_length = a.m != 0 ? a.m : items.size();
+  EpsilonMaximum sketch(opt, a.seed);
+  for (const uint64_t x : items) sketch.Insert(x);
+  const HeavyHitter hh = sketch.Report();
+  std::printf("approx-max item %llu  count ~%.0f  (sketch: %zu bits)\n",
+              static_cast<unsigned long long>(hh.item), hh.estimated_count,
+              sketch.SpaceBits());
+  return 0;
+}
+
+int CmdMin(const Args& a, const std::vector<uint64_t>& items) {
+  EpsilonMinimum::Options opt;
+  opt.epsilon = a.epsilon;
+  opt.delta = a.delta;
+  opt.universe_size = a.n;
+  opt.stream_length = a.m != 0 ? a.m : items.size();
+  EpsilonMinimum sketch(opt, a.seed);
+  for (const uint64_t x : items) sketch.Insert(x);
+  const auto r = sketch.Report();
+  std::printf("approx-min item %llu  count ~%.0f  (sketch: %zu bits)\n",
+              static_cast<unsigned long long>(r.item), r.estimated_count,
+              sketch.SpaceBits());
+  return 0;
+}
+
+int Demo() {
+  std::printf("l1hh demo: 2^20 Zipf(1.2) items, phi=5%%, eps=1%%\n");
+  Args a;
+  const auto stream = MakeZipfStream(a.n, 1.2, a.m, 7);
+  return CmdHeavy(a, stream);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) {
+    return Demo();
+  }
+  if (args.command == "generate") return CmdGenerate(args);
+  const std::vector<uint64_t> items = ReadStdinItems();
+  if (args.command == "heavy") return CmdHeavy(args, items);
+  if (args.command == "max") return CmdMax(args, items);
+  if (args.command == "min") return CmdMin(args, items);
+  std::fprintf(stderr,
+               "usage: l1hh_cli generate|heavy|max|min [flags]\n"
+               "see the header comment of tools/l1hh_cli.cc\n");
+  return 2;
+}
