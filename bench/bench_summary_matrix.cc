@@ -1,0 +1,57 @@
+// The unified comparison matrix: every algorithm registered in the
+// Summary factory, driven over identical Zipf streams through the single
+// RunRegisteredSummary harness in bench_util.h.
+//
+// One row per (algorithm, workload) cell: recall / precision against the
+// Definition 1 contract, worst estimate error in eps*m units, memory, and
+// mean per-update latency.  This is the bench the Summary interface
+// exists for — adding an algorithm to the registry adds its rows here
+// with zero bench code.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "stream/stream_generator.h"
+#include "summary/summary.h"
+
+int main() {
+  using namespace l1hh;
+  using namespace l1hh::bench;
+
+  const double eps = 0.01;
+  const double phi = 0.05;
+  const uint64_t n = uint64_t{1} << 24;
+
+  std::printf("Summary matrix: all registered algorithms, eps=%.3f "
+              "phi=%.3f n=2^24\n",
+              eps, phi);
+
+  for (const double alpha : {1.05, 1.3}) {
+    for (const uint64_t m : {uint64_t{1} << 17, uint64_t{1} << 20}) {
+      const auto stream = MakeZipfStream(n, alpha, m, /*seed=*/42);
+      char title[128];
+      std::snprintf(title, sizeof(title), "zipf(%.2f), m=%llu", alpha,
+                    static_cast<unsigned long long>(m));
+      PrintHeader(title, {"algorithm", "recall", "precision", "max_err",
+                          "KB", "ns/update"});
+      for (const std::string& name : RegisteredSummaryNames()) {
+        SummaryOptions opt;
+        opt.epsilon = eps;
+        opt.phi = phi;
+        opt.universe_size = n;
+        opt.stream_length = m;
+        opt.seed = 7;
+        const auto r = RunRegisteredSummary(name, opt, stream, phi);
+        std::printf("%16s", name.c_str());
+        PrintRow({r.recall, r.precision,
+                  r.max_abs_err / (eps * static_cast<double>(m)),
+                  static_cast<double>(r.memory_bytes) / 1024.0,
+                  r.update_ns});
+      }
+      PrintNote("max_err in eps*m units; recall vs f > phi*m, precision "
+                "vs f >= (phi-eps)*m");
+    }
+  }
+  return 0;
+}

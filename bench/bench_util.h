@@ -1,9 +1,15 @@
-// Shared table-printing helpers for the Table 1 reproduction benches.
+// Shared helpers for the Table 1 reproduction benches.
 //
 // Every bench binary prints self-describing fixed-width tables: one row per
 // parameter setting, with measured space/accuracy next to the paper's
 // formula evaluated at the same parameters, so EXPERIMENTS.md can quote the
 // output verbatim.
+//
+// The unified comparison harness lives in src/summary/evaluation.h
+// (l1hh::RunRegisteredSummary): it drives any algorithm registered in the
+// Summary factory over a stream and scores the report against exact
+// ground truth, so the comparative benches — and `l1hh_cli run` — sweep
+// algorithms by name through one code path.
 #ifndef L1HH_BENCH_BENCH_UTIL_H_
 #define L1HH_BENCH_BENCH_UTIL_H_
 
@@ -12,6 +18,8 @@
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "summary/evaluation.h"
 
 namespace l1hh::bench {
 

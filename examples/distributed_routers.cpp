@@ -3,6 +3,11 @@
 // view.  Because Bernoulli samples of disjoint streams concatenate, the
 // merged sketch carries the same (eps, phi) guarantee as a single sketch
 // over all traffic — no raw packets ever leave a router.
+//
+// Expected output: the total bits shipped to the collector (a few KB for
+// 4 x 256k packets), then the fleet-wide heavy-hitter list containing the
+// planted elephant flow 0xbeef at ~11-12% of total traffic — a flow no
+// single router sees above the reporting threshold.
 #include <cstdio>
 #include <vector>
 

@@ -7,6 +7,10 @@
 // deserializing each sketch — exactly the handoff the serialization layer
 // exists for.  No real trace is needed: the guarantees are
 // distribution-free (DESIGN.md substitution #2).
+//
+// Expected output: the router->collector message size (~2 KB for a 1M
+// packet trace), then the three planted elephant flows listed with
+// estimated traffic shares (~25%, ~12%, ~8%) — and none of the mice.
 #include <cstdio>
 
 #include "core/bdw_simple.h"

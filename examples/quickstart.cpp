@@ -1,12 +1,24 @@
 // Quickstart: find the l1-heavy hitters of a skewed stream in a few lines.
 //
+// Scenario: the smallest possible end-to-end use of the library — generate
+// a Zipf-skewed stream, pick an algorithm from the Summary factory by
+// name, feed the stream, and list everything above a 5% frequency.
+// Swap the name string ("bdw_optimal", "misra_gries", "space_saving",
+// "count_min", ... — see `l1hh_cli list`) to compare algorithms without
+// touching any other line.
+//
+// Expected output: a header line, then 3-4 heavy hitters (the head of the
+// Zipf(1.2) distribution) with estimated counts within eps*m = ~10k of the
+// truth, descending, followed by the sketch's memory footprint of a few
+// KB — thousands of times smaller than the exact 2^20-entry table.
+//
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   cmake -B build -S . && cmake --build build --target quickstart
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/bdw_optimal.h"
 #include "stream/stream_generator.h"
+#include "summary/summary.h"
 
 int main() {
   using namespace l1hh;
@@ -19,25 +31,30 @@ int main() {
   // Ask for every item above 5% of the stream, with 1% slack: items above
   // 5% are guaranteed in, items below 4% are guaranteed out, and every
   // reported count is within 1% of m of the truth.
-  BdwOptimal::Options opt;
+  SummaryOptions opt;
   opt.epsilon = 0.01;
   opt.phi = 0.05;
   opt.universe_size = uint64_t{1} << 24;
   opt.stream_length = m;
+  opt.seed = 1;
 
-  BdwOptimal sketch(opt, /*seed=*/1);
-  for (const uint64_t item : stream) {
-    sketch.Insert(item);  // O(1) per item
+  // Any name from RegisteredSummaryNames() works here.
+  auto sketch = MakeSummary("bdw_optimal", opt);
+  if (sketch == nullptr) {
+    std::fprintf(stderr, "unknown algorithm name; try `l1hh_cli list`\n");
+    return 1;
   }
+  sketch->UpdateBatch(stream);  // O(1) per item
 
   std::printf("heavy hitters (phi=5%%, eps=1%%):\n");
   std::printf("%12s %14s %10s\n", "item", "est. count", "est. %");
-  for (const HeavyHitter& hh : sketch.Report()) {
+  for (const ItemEstimate& hh : sketch->HeavyHitters(opt.phi)) {
     std::printf("%12llu %14.0f %9.2f%%\n",
-                static_cast<unsigned long long>(hh.item),
-                hh.estimated_count, 100.0 * hh.estimated_fraction);
+                static_cast<unsigned long long>(hh.item), hh.estimate,
+                100.0 * hh.estimate / static_cast<double>(m));
   }
-  std::printf("\nsketch state: %zu bits (stream was %llu items)\n",
-              sketch.SpaceBits(), static_cast<unsigned long long>(m));
+  std::printf("\nsketch state: %zu bytes (stream was %llu items)\n",
+              sketch->MemoryUsageBytes(),
+              static_cast<unsigned long long>(m));
   return 0;
 }

@@ -5,6 +5,11 @@
 // heartbeats; the minimum-frequency sensor is the defective one.  Note the
 // problem only makes sense for a small universe — exactly the regime
 // Algorithm 3 is built for (its space has NO log n term at all).
+//
+// Expected output: the suspected defective sensor id matching the ground
+// truth (the planted sensor that sent ~450 of 500k packets against a
+// fleet median of ~21k), the decision path the algorithm took, and a
+// sketch size of a few hundred bits.
 #include <cstdio>
 
 #include "core/epsilon_minimum.h"

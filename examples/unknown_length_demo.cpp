@@ -5,6 +5,11 @@
 // at most two sketch instances alive; the reporter instance always covers
 // all but an eps-fraction prefix of the stream.  We interrupt the stream
 // at several points and query — the answers stay correct throughout.
+//
+// Expected output: one row per interruption point (1k to ~1M items) with
+// the Morris counter's length estimate tracking the true position within
+// its constant-factor guarantee, space staying flat at a few KB, at most
+// two live instances, and the same true heavy item reported every time.
 #include <cstdio>
 
 #include "core/unknown_length.h"

@@ -7,6 +7,11 @@
 //   * plurality winner  (eps-Maximum over first choices, Theorem 3),
 //   * Borda scores      (Theorem 5),
 //   * maximin scores    (Theorem 6).
+//
+// Expected output: for 200k synthetic voters over 8 candidates, the
+// plurality, Borda, and maximin winners, each next to the exact winner
+// computed from the full vote tally — all three agree with the exact
+// count on this stream (the planted favourite "Cleo" wins every rule).
 #include <cstdio>
 
 #include "core/borda.h"

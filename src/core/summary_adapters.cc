@@ -1,0 +1,150 @@
+// Summary-interface adapters for the paper's own algorithms: Algorithm 1
+// (BdwSimple, Theorem 1) and Algorithm 2 (BdwOptimal, Theorem 2).  Kept in
+// core/ so the summary layer never includes core headers; summary.cc pulls
+// these in through internal::RegisterCoreSummaries().
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/bdw_optimal.h"
+#include "core/bdw_simple.h"
+#include "summary/summary.h"
+
+namespace l1hh {
+namespace {
+
+// Both algorithms assume the stream length m is known up front (Theorems
+// 1-2); the factory caller must set SummaryOptions::stream_length.  The
+// adapters report in full-stream units, like the underlying Report().
+
+std::vector<ItemEstimate> FilterTopK(const std::vector<HeavyHitter>& top,
+                                     double phi, double epsilon,
+                                     uint64_t stream_length) {
+  const double threshold =
+      (phi - epsilon / 2.0) * static_cast<double>(stream_length);
+  std::vector<ItemEstimate> out;
+  for (const auto& hh : top) {
+    if (hh.estimated_count >= threshold) {
+      out.push_back({hh.item, hh.estimated_count});
+    }
+  }
+  SortByEstimateDesc(out);
+  return out;
+}
+
+class BdwSimpleSummary : public Summary {
+ public:
+  explicit BdwSimpleSummary(const SummaryOptions& o)
+      : seed_(o.seed), impl_(MakeOptions(o), o.seed) {}
+
+  std::string_view Name() const override { return "bdw_simple"; }
+
+  void Update(uint64_t item, uint64_t weight) override {
+    for (uint64_t i = 0; i < weight; ++i) impl_.Insert(item);
+  }
+
+  double Estimate(uint64_t item) const override {
+    return impl_.EstimateCount(item);
+  }
+
+  std::vector<ItemEstimate> HeavyHitters(double phi) const override {
+    return FilterTopK(impl_.TopK(static_cast<size_t>(-1)), phi,
+                      impl_.options().epsilon,
+                      impl_.options().stream_length);
+  }
+
+  uint64_t ItemsProcessed() const override {
+    return impl_.items_processed();
+  }
+  size_t MemoryUsageBytes() const override {
+    return (impl_.SpaceBits() + 7) / 8;
+  }
+
+  bool SupportsMerge() const override { return true; }
+  Status Merge(const Summary& other) override {
+    const auto* rhs = dynamic_cast<const BdwSimpleSummary*>(&other);
+    // Same seed => same hash function and sampling rate, the precondition
+    // of BdwSimple::Merge.
+    if (rhs == nullptr || rhs->seed_ != seed_) {
+      return Status::InvalidArgument(
+          "Merge requires another 'bdw_simple' with the same options and "
+          "seed");
+    }
+    impl_ = BdwSimple::Merge(impl_, rhs->impl_);
+    return Status::Ok();
+  }
+
+ private:
+  static BdwSimple::Options MakeOptions(const SummaryOptions& o) {
+    BdwSimple::Options opt;
+    opt.epsilon = o.epsilon;
+    opt.phi = o.phi;
+    opt.delta = o.delta;
+    opt.universe_size = o.universe_size;
+    opt.stream_length = o.stream_length;
+    return opt;
+  }
+
+  uint64_t seed_;
+  BdwSimple impl_;
+};
+
+class BdwOptimalSummary : public Summary {
+ public:
+  explicit BdwOptimalSummary(const SummaryOptions& o)
+      : impl_(MakeOptions(o), o.seed) {}
+
+  std::string_view Name() const override { return "bdw_optimal"; }
+
+  void Update(uint64_t item, uint64_t weight) override {
+    for (uint64_t i = 0; i < weight; ++i) impl_.Insert(item);
+  }
+
+  double Estimate(uint64_t item) const override {
+    return impl_.EstimateCount(item);
+  }
+
+  std::vector<ItemEstimate> HeavyHitters(double phi) const override {
+    return FilterTopK(impl_.TopK(static_cast<size_t>(-1)), phi,
+                      impl_.options().epsilon,
+                      impl_.options().stream_length);
+  }
+
+  uint64_t ItemsProcessed() const override {
+    return impl_.items_processed();
+  }
+  size_t MemoryUsageBytes() const override {
+    return (impl_.SpaceBits() + 7) / 8;
+  }
+
+ private:
+  static BdwOptimal::Options MakeOptions(const SummaryOptions& o) {
+    BdwOptimal::Options opt;
+    opt.epsilon = o.epsilon;
+    opt.phi = o.phi;
+    opt.delta = o.delta;
+    opt.universe_size = o.universe_size;
+    opt.stream_length = o.stream_length;
+    return opt;
+  }
+
+  BdwOptimal impl_;
+};
+
+}  // namespace
+
+namespace internal {
+
+void RegisterCoreSummaries() {
+  RegisterSummary("bdw_simple", [](const SummaryOptions& o) {
+    return std::unique_ptr<Summary>(new BdwSimpleSummary(o));
+  });
+  RegisterSummary("bdw_optimal", [](const SummaryOptions& o) {
+    return std::unique_ptr<Summary>(new BdwOptimalSummary(o));
+  });
+}
+
+}  // namespace internal
+}  // namespace l1hh

@@ -1,0 +1,93 @@
+// Shared evaluation harness for the Summary registry: drive any
+// registered algorithm over a stream and score its HeavyHitters(phi)
+// report against exact ground truth.  Single source of truth for the
+// recall/precision bookkeeping used by the CLI (`l1hh_cli run`) and the
+// comparative benches (bench/bench_util.h).
+#ifndef L1HH_SUMMARY_EVALUATION_H_
+#define L1HH_SUMMARY_EVALUATION_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "summary/exact_counter.h"
+#include "summary/summary.h"
+
+namespace l1hh {
+
+/// One factory-driven run of a registered summary over a stream, scored
+/// against the exact counts.
+struct SummaryRunResult {
+  bool ok = false;           // false if the name is not registered
+  size_t true_heavies = 0;   // |{x : f(x) > phi*m}|
+  size_t recalled = 0;       // true heavies present in the report
+  double recall = 1.0;       // recalled / true_heavies
+  double precision = 1.0;    // fraction of reports with f >= (phi-eps)*m
+  double max_abs_err = 0;    // max |estimate - f| over reported items
+  size_t memory_bytes = 0;
+  double update_ns = 0;      // mean wall-clock per update
+  std::vector<ItemEstimate> report;   // HeavyHitters(phi), sorted
+  std::vector<uint64_t> report_exact; // exact f(x) per report entry
+};
+
+inline SummaryRunResult RunRegisteredSummary(
+    const std::string& name, const SummaryOptions& options,
+    const std::vector<uint64_t>& stream, double phi) {
+  SummaryRunResult r;
+  auto summary = MakeSummary(name, options);
+  if (summary == nullptr) return r;
+  r.ok = true;
+
+  const auto start = std::chrono::steady_clock::now();
+  summary->UpdateBatch(stream);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  r.update_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()) /
+      static_cast<double>(stream.empty() ? 1 : stream.size());
+
+  ExactCounter exact;
+  for (const uint64_t x : stream) exact.Insert(x);
+  const double m = static_cast<double>(stream.size());
+  const auto truth =
+      exact.HeavyHitters(static_cast<uint64_t>(phi * m) + 1);
+  r.report = summary->HeavyHitters(phi);
+
+  r.true_heavies = truth.size();
+  for (const auto& t : truth) {
+    for (const auto& rep : r.report) {
+      if (rep.item == t.item) {
+        ++r.recalled;
+        break;
+      }
+    }
+  }
+  r.recall = truth.empty() ? 1.0
+                           : static_cast<double>(r.recalled) /
+                                 static_cast<double>(truth.size());
+  size_t precise = 0;
+  r.report_exact.reserve(r.report.size());
+  for (const auto& rep : r.report) {
+    const uint64_t f = exact.Count(rep.item);
+    r.report_exact.push_back(f);
+    if (static_cast<double>(f) >= (phi - options.epsilon) * m - 1.0) {
+      ++precise;
+    }
+    r.max_abs_err = std::max(
+        r.max_abs_err, std::abs(rep.estimate - static_cast<double>(f)));
+  }
+  r.precision = r.report.empty()
+                    ? 1.0
+                    : static_cast<double>(precise) /
+                          static_cast<double>(r.report.size());
+  r.memory_bytes = summary->MemoryUsageBytes();
+  return r;
+}
+
+}  // namespace l1hh
+
+#endif  // L1HH_SUMMARY_EVALUATION_H_

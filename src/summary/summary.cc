@@ -1,0 +1,505 @@
+// Adapters giving every baseline structure in src/summary/ the unified
+// Summary interface, plus the string-keyed registry.  The BdwSimple /
+// BdwOptimal adapters live in core/summary_adapters.cc (registered via
+// internal::RegisterCoreSummaries) so this layer does not include core
+// headers.
+#include "summary/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "hash/universal_hash.h"
+#include "summary/count_min_sketch.h"
+#include "summary/count_sketch.h"
+#include "summary/exact_counter.h"
+#include "summary/hashed_misra_gries.h"
+#include "summary/lossy_counting.h"
+#include "summary/misra_gries.h"
+#include "summary/space_saving.h"
+#include "summary/sticky_sampling.h"
+#include "util/bit_util.h"
+#include "util/random.h"
+
+namespace l1hh {
+
+namespace internal {
+void RegisterCoreSummaries();  // defined in core/summary_adapters.cc
+}
+
+Status Summary::Merge(const Summary& other) {
+  (void)other;
+  return Status::FailedPrecondition(std::string(Name()) +
+                                    " does not support Merge");
+}
+
+namespace {
+
+/// ceil(fraction * m), clamped to >= 1 so empty streams report nothing.
+uint64_t CeilThreshold(double fraction, uint64_t m) {
+  if (fraction <= 0.0 || m == 0) return 1;
+  return std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(fraction * static_cast<double>(m))));
+}
+
+/// Bits to store one id from [0, n).
+int KeyBits(uint64_t universe_size) {
+  return BitWidth(std::max<uint64_t>(universe_size, 2) - 1);
+}
+
+template <typename Entry>
+std::vector<ItemEstimate> ToItemEstimates(const std::vector<Entry>& entries) {
+  std::vector<ItemEstimate> out;
+  out.reserve(entries.size());
+  for (const auto& e : entries) {
+    out.push_back({e.item, static_cast<double>(e.count)});
+  }
+  SortByEstimateDesc(out);
+  return out;
+}
+
+Status IncompatibleMerge(std::string_view name) {
+  return Status::InvalidArgument("Merge requires another '" +
+                                 std::string(name) +
+                                 "' built with the same options and seed");
+}
+
+// ---------------------------------------------------------------------------
+
+class MisraGriesSummary : public Summary {
+ public:
+  explicit MisraGriesSummary(const SummaryOptions& o)
+      : epsilon_(o.epsilon),
+        mg_(static_cast<size_t>(std::ceil(1.0 / o.epsilon)),
+            KeyBits(o.universe_size)) {}
+
+  std::string_view Name() const override { return "misra_gries"; }
+
+  void Update(uint64_t item, uint64_t weight) override {
+    for (uint64_t i = 0; i < weight; ++i) mg_.Insert(item);
+  }
+
+  double Estimate(uint64_t item) const override {
+    return static_cast<double>(mg_.Estimate(item));
+  }
+
+  // Misra-Gries undercounts by <= m/(k+1) <= eps*m, so threshold at
+  // (phi - eps)*m to keep every true phi-heavy item.
+  std::vector<ItemEstimate> HeavyHitters(double phi) const override {
+    return ToItemEstimates(mg_.EntriesAbove(
+        CeilThreshold(phi - epsilon_, mg_.items_processed())));
+  }
+
+  uint64_t ItemsProcessed() const override { return mg_.items_processed(); }
+  size_t MemoryUsageBytes() const override {
+    return (mg_.SpaceBits() + 7) / 8;
+  }
+
+  bool SupportsMerge() const override { return true; }
+  Status Merge(const Summary& other) override {
+    const auto* rhs = dynamic_cast<const MisraGriesSummary*>(&other);
+    // Equal k keeps the merged undercount within this summary's eps.
+    if (rhs == nullptr || rhs->mg_.k() != mg_.k()) {
+      return IncompatibleMerge(Name());
+    }
+    mg_ = MisraGries::Merge(mg_, rhs->mg_);
+    return Status::Ok();
+  }
+
+ private:
+  double epsilon_;
+  MisraGries mg_;
+};
+
+class SpaceSavingSummary : public Summary {
+ public:
+  explicit SpaceSavingSummary(const SummaryOptions& o)
+      : ss_(static_cast<size_t>(std::ceil(1.0 / o.epsilon)),
+            KeyBits(o.universe_size)) {}
+
+  std::string_view Name() const override { return "space_saving"; }
+
+  void Update(uint64_t item, uint64_t weight) override {
+    for (uint64_t i = 0; i < weight; ++i) ss_.Insert(item);
+  }
+
+  double Estimate(uint64_t item) const override {
+    return static_cast<double>(ss_.Estimate(item));
+  }
+
+  // Space-Saving overcounts, so thresholding at phi*m keeps every item
+  // with true frequency above phi*m.
+  std::vector<ItemEstimate> HeavyHitters(double phi) const override {
+    return ToItemEstimates(
+        ss_.EntriesAbove(CeilThreshold(phi, ss_.items_processed())));
+  }
+
+  uint64_t ItemsProcessed() const override { return ss_.items_processed(); }
+  size_t MemoryUsageBytes() const override {
+    return (ss_.SpaceBits() + 7) / 8;
+  }
+
+  bool SupportsMerge() const override { return true; }
+  Status Merge(const Summary& other) override {
+    const auto* rhs = dynamic_cast<const SpaceSavingSummary*>(&other);
+    // Equal k keeps the merged overcount within this summary's eps.
+    if (rhs == nullptr || rhs->ss_.k() != ss_.k()) {
+      return IncompatibleMerge(Name());
+    }
+    ss_ = SpaceSaving::Merge(ss_, rhs->ss_);
+    return Status::Ok();
+  }
+
+ private:
+  SpaceSaving ss_;
+};
+
+class LossyCountingSummary : public Summary {
+ public:
+  explicit LossyCountingSummary(const SummaryOptions& o)
+      : lc_(o.epsilon, KeyBits(o.universe_size)) {}
+
+  std::string_view Name() const override { return "lossy_counting"; }
+
+  void Update(uint64_t item, uint64_t weight) override {
+    for (uint64_t i = 0; i < weight; ++i) lc_.Insert(item);
+  }
+
+  double Estimate(uint64_t item) const override {
+    return static_cast<double>(lc_.Estimate(item));
+  }
+
+  // EntriesAbove already compensates the undercount via each entry's
+  // recorded max undercount delta, so phi*m keeps all true heavies.
+  std::vector<ItemEstimate> HeavyHitters(double phi) const override {
+    return ToItemEstimates(
+        lc_.EntriesAbove(CeilThreshold(phi, lc_.items_processed())));
+  }
+
+  uint64_t ItemsProcessed() const override { return lc_.items_processed(); }
+  size_t MemoryUsageBytes() const override {
+    return (lc_.SpaceBits() + 7) / 8;
+  }
+
+ private:
+  LossyCounting lc_;
+};
+
+class StickySamplingSummary : public Summary {
+ public:
+  explicit StickySamplingSummary(const SummaryOptions& o)
+      : ss_(o.epsilon, o.phi, o.delta, o.seed, KeyBits(o.universe_size)) {}
+
+  std::string_view Name() const override { return "sticky_sampling"; }
+
+  void Update(uint64_t item, uint64_t weight) override {
+    for (uint64_t i = 0; i < weight; ++i) ss_.Insert(item);
+  }
+
+  double Estimate(uint64_t item) const override {
+    return static_cast<double>(ss_.Estimate(item));
+  }
+
+  // EntriesAbove already compensates the <= eps*m undercount internally
+  // (it admits entries with count + eps*m >= threshold), so pass phi*m
+  // directly; subtracting eps here would double-compensate and report
+  // items as light as (phi - 2 eps)*m.
+  std::vector<ItemEstimate> HeavyHitters(double phi) const override {
+    return ToItemEstimates(
+        ss_.EntriesAbove(CeilThreshold(phi, ss_.items_processed())));
+  }
+
+  uint64_t ItemsProcessed() const override { return ss_.items_processed(); }
+  size_t MemoryUsageBytes() const override {
+    return (ss_.SpaceBits() + 7) / 8;
+  }
+
+ private:
+  StickySampling ss_;
+};
+
+class ExactCounterSummary : public Summary {
+ public:
+  explicit ExactCounterSummary(const SummaryOptions&) {}
+
+  std::string_view Name() const override { return "exact"; }
+
+  void Update(uint64_t item, uint64_t weight) override {
+    exact_.Insert(item, weight);
+  }
+
+  double Estimate(uint64_t item) const override {
+    return static_cast<double>(exact_.Count(item));
+  }
+
+  std::vector<ItemEstimate> HeavyHitters(double phi) const override {
+    return ToItemEstimates(
+        exact_.HeavyHitters(CeilThreshold(phi, exact_.total())));
+  }
+
+  uint64_t ItemsProcessed() const override { return exact_.total(); }
+
+  // No SpaceBits on the ground-truth table; charge a hash-map node per
+  // distinct item (two words of payload plus bucket/node overhead).
+  size_t MemoryUsageBytes() const override {
+    return sizeof(ExactCounter) + exact_.distinct() * 48;
+  }
+
+  bool SupportsMerge() const override { return true; }
+  Status Merge(const Summary& other) override {
+    const auto* rhs = dynamic_cast<const ExactCounterSummary*>(&other);
+    if (rhs == nullptr) return IncompatibleMerge(Name());
+    for (const auto& e : rhs->exact_.SortedByCountDesc()) {
+      exact_.Insert(e.item, e.count);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  ExactCounter exact_;
+};
+
+class CountMinSummary : public Summary {
+ public:
+  explicit CountMinSummary(const SummaryOptions& o)
+      : epsilon_(o.epsilon), cm_(o.epsilon, o.phi, o.delta, o.seed) {}
+
+  std::string_view Name() const override { return "count_min"; }
+
+  void Update(uint64_t item, uint64_t weight) override {
+    for (uint64_t i = 0; i < weight; ++i) cm_.Insert(item);
+  }
+
+  double Estimate(uint64_t item) const override {
+    return static_cast<double>(cm_.Estimate(item));
+  }
+
+  // The candidate set is tracked against the construction-time phi; the
+  // query re-filters it, so phi values below the construction phi are
+  // answered best-effort from the tracked candidates.
+  std::vector<ItemEstimate> HeavyHitters(double phi) const override {
+    const double threshold =
+        (phi - epsilon_ / 2.0) *
+        static_cast<double>(cm_.items_processed());
+    std::vector<ItemEstimate> out;
+    for (const auto& e : cm_.Report()) {
+      if (static_cast<double>(e.count) >= threshold) {
+        out.push_back({e.item, static_cast<double>(e.count)});
+      }
+    }
+    return out;
+  }
+
+  uint64_t ItemsProcessed() const override { return cm_.items_processed(); }
+  size_t MemoryUsageBytes() const override {
+    return (cm_.SpaceBits() + 7) / 8;
+  }
+
+ private:
+  double epsilon_;
+  CountMinHeavyHitters cm_;
+};
+
+class CountSketchSummary : public Summary {
+ public:
+  explicit CountSketchSummary(const SummaryOptions& o)
+      : epsilon_(o.epsilon),
+        phi_hint_(o.phi),
+        max_candidates_(std::max<size_t>(
+            64, static_cast<size_t>(std::ceil(8.0 / o.phi)))),
+        cs_(CountSketch::ForError(o.epsilon, o.delta, o.seed)) {}
+
+  std::string_view Name() const override { return "count_sketch"; }
+
+  // Standard CountSketch gives point queries only; heavy-hitter
+  // candidates are tracked the same way CountMinHeavyHitters does: any
+  // item whose running estimate clears half the construction-phi
+  // threshold is kept, and the set is pruned when it overflows.
+  void Update(uint64_t item, uint64_t weight) override {
+    cs_.Insert(item, static_cast<int64_t>(weight));
+    const double m = static_cast<double>(cs_.items_processed());
+    const double track_at = 0.5 * phi_hint_ * m;
+    if (static_cast<double>(cs_.Estimate(item)) >= track_at) {
+      candidates_.insert(item);
+      if (candidates_.size() > max_candidates_) Prune(track_at);
+    }
+  }
+
+  double Estimate(uint64_t item) const override {
+    return static_cast<double>(cs_.Estimate(item));
+  }
+
+  std::vector<ItemEstimate> HeavyHitters(double phi) const override {
+    const double threshold =
+        (phi - epsilon_ / 2.0) *
+        static_cast<double>(cs_.items_processed());
+    std::vector<ItemEstimate> out;
+    for (const uint64_t item : candidates_) {
+      const double est = static_cast<double>(cs_.Estimate(item));
+      if (est >= threshold) out.push_back({item, est});
+    }
+    SortByEstimateDesc(out);
+    return out;
+  }
+
+  uint64_t ItemsProcessed() const override { return cs_.items_processed(); }
+  size_t MemoryUsageBytes() const override {
+    return (cs_.SpaceBits() + 7) / 8 + candidates_.size() * 16;
+  }
+
+  bool SupportsMerge() const override { return true; }
+  Status Merge(const Summary& other) override {
+    const auto* rhs = dynamic_cast<const CountSketchSummary*>(&other);
+    if (rhs == nullptr || !cs_.Compatible(rhs->cs_)) {
+      return IncompatibleMerge(Name());
+    }
+    cs_ = CountSketch::Merge(cs_, rhs->cs_);
+    candidates_.insert(rhs->candidates_.begin(), rhs->candidates_.end());
+    const double m = static_cast<double>(cs_.items_processed());
+    Prune(0.5 * phi_hint_ * m);
+    return Status::Ok();
+  }
+
+ private:
+  void Prune(double keep_at) {
+    for (auto it = candidates_.begin(); it != candidates_.end();) {
+      if (static_cast<double>(cs_.Estimate(*it)) < keep_at) {
+        it = candidates_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  double epsilon_;
+  double phi_hint_;
+  size_t max_candidates_;
+  CountSketch cs_;
+  std::unordered_set<uint64_t> candidates_;
+};
+
+class HashedMisraGriesSummary : public Summary {
+ public:
+  explicit HashedMisraGriesSummary(const SummaryOptions& o)
+      : epsilon_(o.epsilon), table_(MakeTable(o)) {}
+
+  std::string_view Name() const override { return "hashed_misra_gries"; }
+
+  void Update(uint64_t item, uint64_t weight) override {
+    for (uint64_t i = 0; i < weight; ++i) table_.Insert(item);
+  }
+
+  double Estimate(uint64_t item) const override {
+    return static_cast<double>(table_.EstimateByHash(item));
+  }
+
+  std::vector<ItemEstimate> HeavyHitters(double phi) const override {
+    const uint64_t threshold =
+        CeilThreshold(phi - epsilon_, table_.items_processed());
+    std::vector<ItemEstimate> out;
+    for (const auto& e : table_.TopEntries()) {
+      if (e.count >= threshold) {
+        out.push_back({e.item, static_cast<double>(e.count)});
+      }
+    }
+    return out;
+  }
+
+  uint64_t ItemsProcessed() const override {
+    return table_.items_processed();
+  }
+  size_t MemoryUsageBytes() const override {
+    return (table_.SpaceBits() + 7) / 8;
+  }
+
+  bool SupportsMerge() const override { return true; }
+  Status Merge(const Summary& other) override {
+    const auto* rhs = dynamic_cast<const HashedMisraGriesSummary*>(&other);
+    if (rhs == nullptr || !(table_.hash() == rhs->table_.hash())) {
+      return IncompatibleMerge(Name());
+    }
+    table_ = HashedMisraGries::Merge(table_, rhs->table_);
+    return Status::Ok();
+  }
+
+ private:
+  // Standalone sizing (outside Algorithm 1 there is no sampling stage):
+  // T1 with 2/eps counters, T2 with 2/phi tracked ids, and a hash range
+  // large enough that collisions among universe items are delta-unlikely.
+  static HashedMisraGries MakeTable(const SummaryOptions& o) {
+    Rng hash_rng(Mix64(o.seed) ^ 0x7c9a1f3b5d2e4c6aULL);
+    const double n = static_cast<double>(std::max<uint64_t>(
+        o.universe_size, 2));
+    const double range_d =
+        std::min(9.0e18, std::max(1024.0, n * n / std::max(o.delta, 1e-9)));
+    return HashedMisraGries(
+        static_cast<size_t>(std::ceil(2.0 / o.epsilon)),
+        static_cast<size_t>(std::ceil(2.0 / o.phi)),
+        UniversalHash::Draw(hash_rng,
+                            static_cast<uint64_t>(range_d)),
+        KeyBits(o.universe_size));
+  }
+
+  double epsilon_;
+  HashedMisraGries table_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+using Registry = std::map<std::string, SummaryFactory>;
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+template <typename T>
+void RegisterAdapter(const std::string& name) {
+  RegisterSummary(name, [](const SummaryOptions& o) {
+    return std::unique_ptr<Summary>(new T(o));
+  });
+}
+
+void EnsureBuiltinsRegistered() {
+  static const bool done = [] {
+    RegisterAdapter<MisraGriesSummary>("misra_gries");
+    RegisterAdapter<SpaceSavingSummary>("space_saving");
+    RegisterAdapter<LossyCountingSummary>("lossy_counting");
+    RegisterAdapter<StickySamplingSummary>("sticky_sampling");
+    RegisterAdapter<ExactCounterSummary>("exact");
+    RegisterAdapter<CountMinSummary>("count_min");
+    RegisterAdapter<CountSketchSummary>("count_sketch");
+    RegisterAdapter<HashedMisraGriesSummary>("hashed_misra_gries");
+    internal::RegisterCoreSummaries();
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+void RegisterSummary(const std::string& name, SummaryFactory factory) {
+  GetRegistry()[name] = std::move(factory);
+}
+
+std::unique_ptr<Summary> MakeSummary(std::string_view name,
+                                     const SummaryOptions& options) {
+  EnsureBuiltinsRegistered();
+  const auto& registry = GetRegistry();
+  const auto it = registry.find(std::string(name));
+  if (it == registry.end()) return nullptr;
+  return it->second(options);
+}
+
+std::vector<std::string> RegisteredSummaryNames() {
+  EnsureBuiltinsRegistered();
+  std::vector<std::string> names;
+  names.reserve(GetRegistry().size());
+  for (const auto& [name, factory] : GetRegistry()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+}  // namespace l1hh

@@ -1,0 +1,140 @@
+// The unified summary interface: every heavy-hitter structure in this
+// repository — the classic baselines in src/summary/ and the paper's
+// Algorithm 1/2 wrappers in src/core/ — is usable through one abstract
+// API, so the CLI, the Table 1 benches, the examples, and the
+// parameterized interface tests can select algorithms by name.
+//
+// The model follows the paper's Definition 1 ((eps, phi)-List l1-heavy
+// hitters): a summary observes an insertion-only stream of item ids,
+// answers point queries `Estimate(item)`, and enumerates
+// `HeavyHitters(phi)` — every item with frequency > phi*m must appear,
+// nothing below (phi - eps)*m may appear, and estimates are within eps*m
+// of truth (deterministically or w.p. 1-delta, per structure; see
+// docs/ALGORITHMS.md for the exact guarantee each concrete class gives).
+//
+// Concrete structures keep their rich native APIs; the adapters that
+// implement this interface live in summary.cc (baselines) and
+// core/summary_adapters.cc (BdwSimple/BdwOptimal) and are reached through
+// the string-keyed factory `MakeSummary(name, options)`.
+#ifndef L1HH_SUMMARY_SUMMARY_H_
+#define L1HH_SUMMARY_SUMMARY_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace l1hh {
+
+/// One (item, estimated count) pair, in full-stream units (sampling-based
+/// structures rescale their internal counts before reporting).
+struct ItemEstimate {
+  uint64_t item = 0;
+  double estimate = 0;
+};
+
+/// The canonical report order: estimate descending, ties by item id
+/// ascending.  Shared by every adapter so reports compare element-wise.
+inline void SortByEstimateDesc(std::vector<ItemEstimate>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const ItemEstimate& a, const ItemEstimate& b) {
+              return a.estimate > b.estimate ||
+                     (a.estimate == b.estimate && a.item < b.item);
+            });
+}
+
+/// Construction parameters shared by every registered summary.  Individual
+/// structures consume the subset they need (e.g. MisraGries only uses
+/// epsilon and universe_size; the BDW algorithms additionally require
+/// stream_length, which Theorems 1-2 assume known).
+struct SummaryOptions {
+  double epsilon = 0.01;   // additive estimation error, as a fraction of m
+  double phi = 0.05;       // heavy-hitter threshold, as a fraction of m
+  double delta = 0.05;     // failure probability (randomized structures)
+  uint64_t universe_size = uint64_t{1} << 24;  // n: ids are in [0, n)
+  uint64_t stream_length = 0;  // m; required by bdw_simple / bdw_optimal
+  uint64_t seed = 1;           // PRNG / hash seed (randomized structures)
+};
+
+class Summary {
+ public:
+  virtual ~Summary() = default;
+
+  /// The registry name this summary was created under (e.g. "misra_gries").
+  virtual std::string_view Name() const = 0;
+
+  /// Processes `weight` occurrences of `item`.  Structures whose native
+  /// update is unit-weight (Misra-Gries, Space-Saving, the sampling-based
+  /// algorithms) apply the update `weight` times, so prefer weight == 1 on
+  /// hot paths unless the structure is a linear sketch.
+  virtual void Update(uint64_t item, uint64_t weight = 1) = 0;
+
+  /// Processes a batch of unit-weight updates.  The default forwards to
+  /// Update; implementations may override with a tighter loop.
+  virtual void UpdateBatch(std::span<const uint64_t> items) {
+    for (const uint64_t x : items) Update(x, 1);
+  }
+
+  /// Estimated frequency of `item` in full-stream units.  Whether this
+  /// over- or under-estimates (and by how much) is structure-specific.
+  virtual double Estimate(uint64_t item) const = 0;
+
+  /// Items estimated at or above roughly a phi fraction of the stream,
+  /// sorted by estimate descending.  Each structure thresholds so that its
+  /// own (eps, phi)-List contract holds: everything above phi*m is
+  /// reported, nothing below (phi - eps)*m.  Caveat: structures that
+  /// track a candidate set sized by the construction-time
+  /// SummaryOptions::phi (count_min, count_sketch, bdw_simple,
+  /// bdw_optimal, hashed_misra_gries) guarantee this only for query
+  /// phi >= construction phi; smaller query values are answered
+  /// best-effort from the tracked candidates.
+  virtual std::vector<ItemEstimate> HeavyHitters(double phi) const = 0;
+
+  /// Total weight processed so far (the stream position m').
+  virtual uint64_t ItemsProcessed() const = 0;
+
+  /// Paper-style space accounting in bytes (rounded up from the
+  /// structure's SpaceBits where available).
+  virtual size_t MemoryUsageBytes() const = 0;
+
+  /// Whether Merge() can combine this summary with a compatible sibling
+  /// (same registry name, same options/seed) built over a disjoint
+  /// substream.
+  virtual bool SupportsMerge() const { return false; }
+
+  /// In-place merge with `other`.  After an OK merge this summary answers
+  /// for the concatenation of both substreams.  Returns
+  /// FailedPrecondition when the structure does not support merging and
+  /// InvalidArgument when `other` is incompatible.
+  virtual Status Merge(const Summary& other);
+};
+
+// ---------------------------------------------------------------------------
+// String-keyed factory / registry.
+
+using SummaryFactory =
+    std::function<std::unique_ptr<Summary>(const SummaryOptions&)>;
+
+/// Registers (or replaces) a factory under `name`.  The built-in
+/// structures self-register on first registry use; call this to add
+/// project-local algorithms to the same CLI/bench/test plumbing.
+void RegisterSummary(const std::string& name, SummaryFactory factory);
+
+/// Creates a summary by registry name, or nullptr for unknown names.
+std::unique_ptr<Summary> MakeSummary(std::string_view name,
+                                     const SummaryOptions& options);
+
+/// All registered names, sorted, e.g. for `l1hh_cli list` and the
+/// parameterized interface test.
+std::vector<std::string> RegisteredSummaryNames();
+
+}  // namespace l1hh
+
+#endif  // L1HH_SUMMARY_SUMMARY_H_

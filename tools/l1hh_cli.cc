@@ -1,27 +1,34 @@
 // l1hh_cli — command-line front end for the library.
 //
-//   l1hh_cli generate --kind zipf --alpha 1.1 --n 16777216 --m 1000000
-//       [--seed 1]                          # one item id per line to stdout
-//   l1hh_cli heavy --epsilon 0.01 --phi 0.05 --m <length>
-//       [--algorithm optimal|simple|mg|spacesaving] [--n <universe>]
-//                                           # reads ids from stdin
-//   l1hh_cli max --epsilon 0.01 --m <length>        # approximate maximum
-//   l1hh_cli min --epsilon 0.05 --n <universe> --m <length>
+// Algorithms are selected by registry name (see `l1hh_cli list`); every
+// structure behind the unified l1hh::Summary interface is available.
 //
-// With no arguments, runs a self-contained demo.
+//   l1hh_cli list                             # registered algorithm names
+//   l1hh_cli generate --kind=zipf --alpha=1.1 --n=16777216 --m=1000000
+//       [--seed=1]                            # one item id per line, stdout
+//   l1hh_cli run --algo=bdw_optimal [--epsilon=0.01 --phi=0.05 ...]
+//                                             # self-generated Zipf stream,
+//                                             # reports HH + recall vs truth
+//   l1hh_cli heavy --algo=misra_gries --m=<length> [--phi=...]
+//                                             # reads ids from stdin
+//   l1hh_cli max --epsilon=0.01 --m=<length>  # approximate maximum
+//   l1hh_cli min --epsilon=0.05 --n=<universe> --m=<length>
+//
+// Flags accept both `--key=value` and `--key value`.  Legacy names
+// (optimal, simple, mg, spacesaving) are accepted as --algo aliases.
+// `l1hh_cli --algo=<name>` with no command is shorthand for `run`.
+// With no arguments at all, runs a self-contained demo.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "core/bdw_optimal.h"
-#include "core/bdw_simple.h"
 #include "core/epsilon_maximum.h"
 #include "core/epsilon_minimum.h"
 #include "stream/stream_generator.h"
-#include "summary/misra_gries.h"
-#include "summary/space_saving.h"
+#include "summary/evaluation.h"
+#include "summary/summary.h"
 
 namespace {
 
@@ -30,44 +37,78 @@ using namespace l1hh;
 struct Args {
   std::string command;
   std::string kind = "zipf";
-  std::string algorithm = "optimal";
+  std::string algorithm = "bdw_optimal";
   double alpha = 1.1;
   double epsilon = 0.01;
   double phi = 0.05;
   double delta = 0.05;
   uint64_t n = uint64_t{1} << 24;
-  uint64_t m = 1 << 20;
+  // 0 = "not given": stdin-reading commands fall back to the piped stream's
+  // length; generate/run fall back to kDefaultM.
+  uint64_t m = 0;
   uint64_t seed = 1;
 };
 
+constexpr uint64_t kDefaultM = 1 << 20;
+
+std::string CanonicalAlgoName(const std::string& name) {
+  if (name == "optimal") return "bdw_optimal";
+  if (name == "simple") return "bdw_simple";
+  if (name == "mg") return "misra_gries";
+  if (name == "spacesaving") return "space_saving";
+  return name;
+}
+
 bool Parse(int argc, char** argv, Args* out) {
-  if (argc < 2) return false;
-  out->command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
-    const std::string key = argv[i];
-    const char* value = argv[i + 1];
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    out->command = argv[i];
+    ++i;
+  }
+  for (; i < argc; ++i) {
+    std::string key = argv[i];
+    std::string value;
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s needs a value\n", key.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (value.empty()) {
+      std::fprintf(stderr, "flag %s needs a non-empty value\n", key.c_str());
+      return false;
+    }
     if (key == "--kind") {
       out->kind = value;
-    } else if (key == "--algorithm") {
-      out->algorithm = value;
+    } else if (key == "--algo" || key == "--algorithm") {
+      out->algorithm = CanonicalAlgoName(value);
     } else if (key == "--alpha") {
-      out->alpha = std::atof(value);
+      out->alpha = std::atof(value.c_str());
     } else if (key == "--epsilon") {
-      out->epsilon = std::atof(value);
+      out->epsilon = std::atof(value.c_str());
     } else if (key == "--phi") {
-      out->phi = std::atof(value);
+      out->phi = std::atof(value.c_str());
     } else if (key == "--delta") {
-      out->delta = std::atof(value);
+      out->delta = std::atof(value.c_str());
     } else if (key == "--n") {
-      out->n = std::strtoull(value, nullptr, 10);
+      out->n = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "--m") {
-      out->m = std::strtoull(value, nullptr, 10);
+      out->m = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "--seed") {
-      out->seed = std::strtoull(value, nullptr, 10);
+      out->seed = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
       return false;
     }
+  }
+  if (out->epsilon <= 0 || out->phi <= 0 || out->delta <= 0) {
+    std::fprintf(stderr, "--epsilon, --phi, and --delta must be > 0\n");
+    return false;
   }
   return true;
 }
@@ -82,12 +123,31 @@ std::vector<uint64_t> ReadStdinItems() {
   return items;
 }
 
+SummaryOptions ToSummaryOptions(const Args& a, uint64_t stream_length) {
+  SummaryOptions opt;
+  opt.epsilon = a.epsilon;
+  opt.phi = a.phi;
+  opt.delta = a.delta;
+  opt.universe_size = a.n;
+  opt.stream_length = stream_length;
+  opt.seed = a.seed;
+  return opt;
+}
+
+int CmdList() {
+  for (const auto& name : RegisteredSummaryNames()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
 int CmdGenerate(const Args& a) {
+  const uint64_t m = a.m != 0 ? a.m : kDefaultM;
   std::vector<uint64_t> stream;
   if (a.kind == "zipf") {
-    stream = MakeZipfStream(a.n, a.alpha, a.m, a.seed);
+    stream = MakeZipfStream(a.n, a.alpha, m, a.seed);
   } else if (a.kind == "uniform") {
-    stream = MakeUniformStream(a.n, a.m, a.seed);
+    stream = MakeUniformStream(a.n, m, a.seed);
   } else {
     std::fprintf(stderr, "unknown --kind %s (zipf|uniform)\n",
                  a.kind.c_str());
@@ -99,61 +159,60 @@ int CmdGenerate(const Args& a) {
   return 0;
 }
 
+/// Drives one registered summary over `items` and prints its report.
 int CmdHeavy(const Args& a, const std::vector<uint64_t>& items) {
   const uint64_t m = a.m != 0 ? a.m : items.size();
-  const auto print = [&](const char* name, size_t bits, uint64_t item,
-                         double count) {
-    std::printf("%-12s %12llu %14.0f %8.2f%%  (sketch: %zu bits)\n", name,
-                static_cast<unsigned long long>(item), count,
-                100.0 * count / static_cast<double>(m), bits);
-  };
-  if (a.algorithm == "optimal") {
-    BdwOptimal::Options opt;
-    opt.epsilon = a.epsilon;
-    opt.phi = a.phi;
-    opt.delta = a.delta;
-    opt.universe_size = a.n;
-    opt.stream_length = m;
-    BdwOptimal sketch(opt, a.seed);
-    for (const uint64_t x : items) sketch.Insert(x);
-    for (const auto& hh : sketch.Report()) {
-      print("optimal", sketch.SpaceBits(), hh.item, hh.estimated_count);
-    }
-  } else if (a.algorithm == "simple") {
-    BdwSimple::Options opt;
-    opt.epsilon = a.epsilon;
-    opt.phi = a.phi;
-    opt.delta = a.delta;
-    opt.universe_size = a.n;
-    opt.stream_length = m;
-    BdwSimple sketch(opt, a.seed);
-    for (const uint64_t x : items) sketch.Insert(x);
-    for (const auto& hh : sketch.Report()) {
-      print("simple", sketch.SpaceBits(), hh.item, hh.estimated_count);
-    }
-  } else if (a.algorithm == "mg") {
-    MisraGries sketch(static_cast<size_t>(1.0 / a.epsilon),
-                      UniverseBits(a.n));
-    for (const uint64_t x : items) sketch.Insert(x);
-    for (const auto& e : sketch.EntriesAbove(static_cast<uint64_t>(
-             (a.phi - a.epsilon) * static_cast<double>(m)))) {
-      print("mg", sketch.SpaceBits(), e.item,
-            static_cast<double>(e.count));
-    }
-  } else if (a.algorithm == "spacesaving") {
-    SpaceSaving sketch(static_cast<size_t>(1.0 / a.epsilon),
-                       UniverseBits(a.n));
-    for (const uint64_t x : items) sketch.Insert(x);
-    for (const auto& e : sketch.EntriesAbove(static_cast<uint64_t>(
-             a.phi * static_cast<double>(m)))) {
-      print("spacesaving", sketch.SpaceBits(), e.item,
-            static_cast<double>(e.count));
-    }
-  } else {
-    std::fprintf(stderr, "unknown --algorithm %s\n", a.algorithm.c_str());
+  auto summary = MakeSummary(a.algorithm, ToSummaryOptions(a, m));
+  if (summary == nullptr) {
+    std::fprintf(stderr, "unknown --algo %s; try `l1hh_cli list`\n",
+                 a.algorithm.c_str());
     return 2;
   }
+  summary->UpdateBatch(items);
+  const auto hitters = summary->HeavyHitters(a.phi);
+  std::printf("# %s: %zu heavy hitters at phi=%.3f over m=%llu "
+              "(%zu bytes)\n",
+              a.algorithm.c_str(), hitters.size(), a.phi,
+              static_cast<unsigned long long>(m),
+              summary->MemoryUsageBytes());
+  for (const auto& hh : hitters) {
+    std::printf("%-20s %12llu %14.0f %8.2f%%\n", a.algorithm.c_str(),
+                static_cast<unsigned long long>(hh.item), hh.estimate,
+                100.0 * hh.estimate / static_cast<double>(m));
+  }
   return 0;
+}
+
+/// Self-contained accuracy run: generates the stream and scores the
+/// report against exact ground truth via the shared evaluation harness.
+int CmdRun(const Args& a) {
+  const uint64_t m_arg = a.m != 0 ? a.m : kDefaultM;
+  const auto stream = MakeZipfStream(a.n, a.alpha, m_arg, a.seed);
+  const SummaryRunResult r = RunRegisteredSummary(
+      a.algorithm, ToSummaryOptions(a, stream.size()), stream, a.phi);
+  if (!r.ok) {
+    std::fprintf(stderr, "unknown --algo %s; try `l1hh_cli list`\n",
+                 a.algorithm.c_str());
+    return 2;
+  }
+  std::printf("algo=%s  zipf(alpha=%.2f)  n=%llu  m=%llu  eps=%.3f  "
+              "phi=%.3f  seed=%llu\n",
+              a.algorithm.c_str(), a.alpha,
+              static_cast<unsigned long long>(a.n),
+              static_cast<unsigned long long>(m_arg), a.epsilon, a.phi,
+              static_cast<unsigned long long>(a.seed));
+  std::printf("%-24s %14s %14s %9s\n", "item", "estimate", "exact", "err");
+  for (size_t i = 0; i < r.report.size(); ++i) {
+    const double f = static_cast<double>(r.report_exact[i]);
+    std::printf("%-24llu %14.0f %14.0f %8.2f%%\n",
+                static_cast<unsigned long long>(r.report[i].item),
+                r.report[i].estimate, f,
+                f > 0 ? 100.0 * (r.report[i].estimate - f) / f : 0.0);
+  }
+  std::printf("true phi-heavy items: %zu   recalled: %zu   reported: %zu   "
+              "memory: %zu bytes\n",
+              r.true_heavies, r.recalled, r.report.size(), r.memory_bytes);
+  return r.recalled == r.true_heavies ? 0 : 1;
 }
 
 int CmdMax(const Args& a, const std::vector<uint64_t>& items) {
@@ -189,24 +248,35 @@ int CmdMin(const Args& a, const std::vector<uint64_t>& items) {
 int Demo() {
   std::printf("l1hh demo: 2^20 Zipf(1.2) items, phi=5%%, eps=1%%\n");
   Args a;
-  const auto stream = MakeZipfStream(a.n, 1.2, a.m, 7);
-  return CmdHeavy(a, stream);
+  a.alpha = 1.2;
+  a.seed = 7;
+  return CmdRun(a);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
-  if (!Parse(argc, argv, &args)) {
+  if (argc < 2) {
     return Demo();
   }
+  if (!Parse(argc, argv, &args)) {
+    return 2;
+  }
+  if (args.command == "list") return CmdList();
   if (args.command == "generate") return CmdGenerate(args);
+  if (args.command.empty() || args.command == "run") return CmdRun(args);
+  // Validate the command BEFORE draining stdin, so a typo'd command prints
+  // usage instead of blocking on a terminal until EOF.
+  if (args.command != "heavy" && args.command != "max" &&
+      args.command != "min") {
+    std::fprintf(stderr,
+                 "usage: l1hh_cli list|generate|run|heavy|max|min [flags]\n"
+                 "see the header comment of tools/l1hh_cli.cc\n");
+    return 2;
+  }
   const std::vector<uint64_t> items = ReadStdinItems();
   if (args.command == "heavy") return CmdHeavy(args, items);
   if (args.command == "max") return CmdMax(args, items);
-  if (args.command == "min") return CmdMin(args, items);
-  std::fprintf(stderr,
-               "usage: l1hh_cli generate|heavy|max|min [flags]\n"
-               "see the header comment of tools/l1hh_cli.cc\n");
-  return 2;
+  return CmdMin(args, items);
 }
