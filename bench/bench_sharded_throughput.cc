@@ -1,0 +1,136 @@
+// Sharded-engine throughput: single-thread scalar vs batched ingestion
+// vs the ShardedEngine at 2 and 4 shards, for every registered summary.
+//
+//   ./bench_sharded_throughput [m] [alpha]     (defaults: 2^20 items, 1.1)
+//
+// Columns are ns/item and aggregate items/sec; `x-batch` is the K-shard
+// engine's speedup over the single-thread batched loop (the honest
+// baseline — the engine also pays its ring-buffer hop).  Parallel speedup
+// requires actual cores: on a 1-core machine the engine column measures
+// the overhead of the ring + drain threads, not the scale-out.
+//
+// Doubles as the batch-vs-scalar regression gate (ISSUE 2 satellite): the
+// process exits non-zero if any algorithm's UpdateBatch is slower than
+// its scalar Update loop beyond a 15% noise allowance, so a future
+// adapter change that quietly reverts a tight batch loop fails CI's
+// bench stage instead of landing silently.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/sharded_engine.h"
+#include "stream/stream_generator.h"
+#include "summary/summary.h"
+
+namespace {
+
+using namespace l1hh;
+
+double NsPerItem(const std::chrono::steady_clock::time_point& start,
+                 const std::chrono::steady_clock::time_point& end,
+                 size_t items) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(end -
+                                                                  start)
+                 .count()) /
+         static_cast<double>(items == 0 ? 1 : items);
+}
+
+double TimeScalar(const std::string& name, const SummaryOptions& options,
+                  const std::vector<uint64_t>& stream) {
+  auto summary = MakeSummary(name, options);
+  const auto start = std::chrono::steady_clock::now();
+  for (const uint64_t x : stream) summary->Update(x);
+  return NsPerItem(start, std::chrono::steady_clock::now(), stream.size());
+}
+
+double TimeBatch(const std::string& name, const SummaryOptions& options,
+                 const std::vector<uint64_t>& stream) {
+  auto summary = MakeSummary(name, options);
+  const auto start = std::chrono::steady_clock::now();
+  summary->UpdateBatch(stream);
+  return NsPerItem(start, std::chrono::steady_clock::now(), stream.size());
+}
+
+/// Returns ns/item through the engine (ingest + flush), or < 0 when the
+/// engine refuses the configuration (non-mergeable structure).
+double TimeEngine(const std::string& name, const SummaryOptions& options,
+                  const std::vector<uint64_t>& stream, size_t shards) {
+  ShardedEngineOptions engine_options;
+  engine_options.algorithm = name;
+  engine_options.summary = options;
+  engine_options.num_shards = shards;
+  auto engine = ShardedEngine::Create(engine_options);
+  if (engine == nullptr) return -1.0;
+  const auto start = std::chrono::steady_clock::now();
+  engine->UpdateBatch(stream);
+  engine->Flush();
+  return NsPerItem(start, std::chrono::steady_clock::now(), stream.size());
+}
+
+void PrintEngineCell(double ns, double batch_ns) {
+  if (ns < 0) {
+    std::printf("%10s %8s", "n/a", "");
+    return;
+  }
+  std::printf("%10.1f %7.2fx", ns, batch_ns / ns);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t m = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                              : uint64_t{1} << 20;
+  const double alpha = argc > 2 ? std::atof(argv[2]) : 1.1;
+  const uint64_t n = uint64_t{1} << 22;
+
+  SummaryOptions options;
+  options.epsilon = 0.005;
+  options.phi = 0.02;
+  options.delta = 0.05;
+  options.universe_size = n;
+  options.stream_length = m;
+  options.seed = 42;
+
+  const auto stream = MakeZipfStream(n, alpha, m, /*seed=*/3);
+  std::printf("sharded-engine throughput: zipf(%.2f), n=2^22, m=%llu, "
+              "hardware threads=%u\n",
+              alpha, static_cast<unsigned long long>(m),
+              std::thread::hardware_concurrency());
+  std::printf("(all columns ns/item; engine columns show speedup over the "
+              "single-thread batch baseline)\n\n");
+  std::printf("%-20s %10s %10s %8s %18s %18s\n", "algorithm", "scalar",
+              "batch", "b/s", "engine K=2", "engine K=4");
+
+  bool batch_regression = false;
+  for (const auto& name : RegisteredSummaryNames()) {
+    const double scalar_ns = TimeScalar(name, options, stream);
+    const double batch_ns = TimeBatch(name, options, stream);
+    std::printf("%-20s %10.1f %10.1f %7.2fx", name.c_str(), scalar_ns,
+                batch_ns, scalar_ns / batch_ns);
+    PrintEngineCell(TimeEngine(name, options, stream, 2), batch_ns);
+    PrintEngineCell(TimeEngine(name, options, stream, 4), batch_ns);
+    std::printf("\n");
+    // Regression gate: batch must not be slower than scalar (15% noise
+    // allowance; the tight loops should win, never lose).
+    if (batch_ns > 1.15 * scalar_ns) {
+      std::fprintf(stderr,
+                   "REGRESSION: %s UpdateBatch (%.1f ns) slower than "
+                   "scalar Update (%.1f ns)\n",
+                   name.c_str(), batch_ns, scalar_ns);
+      batch_regression = true;
+    }
+  }
+
+  std::printf("\nitems/sec at batch baseline vs 4-shard engine:\n");
+  for (const char* name : {"misra_gries", "count_min"}) {
+    const double batch_ns = TimeBatch(name, options, stream);
+    const double engine_ns = TimeEngine(name, options, stream, 4);
+    std::printf("  %-14s %.2fM/s -> %.2fM/s (%.2fx aggregate)\n", name,
+                1e3 / batch_ns, 1e3 / engine_ns, batch_ns / engine_ns);
+  }
+  return batch_regression ? 1 : 0;
+}

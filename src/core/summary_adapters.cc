@@ -45,6 +45,10 @@ class BdwSimpleSummary : public Summary {
     for (uint64_t i = 0; i < weight; ++i) impl_.Insert(item);
   }
 
+  void UpdateBatch(std::span<const uint64_t> items) override {
+    for (const uint64_t x : items) impl_.Insert(x);
+  }
+
   double Estimate(uint64_t item) const override {
     return impl_.EstimateCount(item);
   }
@@ -100,6 +104,10 @@ class BdwOptimalSummary : public Summary {
 
   void Update(uint64_t item, uint64_t weight) override {
     for (uint64_t i = 0; i < weight; ++i) impl_.Insert(item);
+  }
+
+  void UpdateBatch(std::span<const uint64_t> items) override {
+    for (const uint64_t x : items) impl_.Insert(x);
   }
 
   double Estimate(uint64_t item) const override {

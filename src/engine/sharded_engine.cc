@@ -1,0 +1,260 @@
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "util/random.h"
+
+namespace l1hh {
+namespace {
+
+// Worker idle policy: spin a little (items usually arrive back-to-back),
+// then yield, then sleep — so an idle engine does not burn a core, which
+// matters on machines where workers share cores with the producer.
+class IdleBackoff {
+ public:
+  void Idle() {
+    ++idle_rounds_;
+    if (idle_rounds_ < 64) return;
+    if (idle_rounds_ < 256) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  void Reset() { idle_rounds_ = 0; }
+
+ private:
+  unsigned idle_rounds_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ShardedEngine> ShardedEngine::Create(
+    const ShardedEngineOptions& options, Status* status) {
+  auto fail = [status](Status s) -> std::unique_ptr<ShardedEngine> {
+    if (status != nullptr) *status = std::move(s);
+    return nullptr;
+  };
+  if (options.num_shards == 0) {
+    return fail(Status::InvalidArgument("num_shards must be >= 1"));
+  }
+  auto probe = MakeSummary(options.algorithm, options.summary);
+  if (probe == nullptr) {
+    return fail(Status::InvalidArgument("unknown summary algorithm '" +
+                                        options.algorithm + "'"));
+  }
+  if (options.num_shards > 1 && !probe->SupportsMerge()) {
+    return fail(Status::FailedPrecondition(
+        "'" + options.algorithm +
+        "' does not support Merge; the engine refuses to shard it "
+        "(num_shards must be 1)"));
+  }
+  std::unique_ptr<ShardedEngine> engine(new ShardedEngine(options));
+  engine->shards_[0]->summary = std::move(probe);
+  for (size_t s = 1; s < engine->shards_.size(); ++s) {
+    engine->shards_[s]->summary =
+        MakeSummary(options.algorithm, options.summary);
+  }
+  engine->StartWorkers();
+  if (status != nullptr) *status = Status::Ok();
+  return engine;
+}
+
+ShardedEngine::ShardedEngine(const ShardedEngineOptions& options)
+    : options_(options) {
+  // drain_batch == 0 would make every worker pop nothing forever and
+  // Flush spin-wait indefinitely; clamp rather than hang.
+  options_.drain_batch = std::max<size_t>(options_.drain_batch, 1);
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(options_.queue_capacity));
+  }
+  staging_.resize(options_.num_shards);
+  const size_t stage = std::max<size_t>(64, options_.drain_batch);
+  for (auto& buffer : staging_) buffer.reserve(stage);
+}
+
+ShardedEngine::~ShardedEngine() {
+  Flush();
+  stop_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) worker.join();
+}
+
+void ShardedEngine::StartWorkers() {
+  const size_t shard_count = shards_.size();
+  size_t thread_count = options_.num_threads == 0 ? shard_count
+                                                  : options_.num_threads;
+  thread_count = std::min(std::max<size_t>(thread_count, 1), shard_count);
+  workers_.reserve(thread_count);
+  // Contiguous shard ranges, remainder spread over the first threads, so
+  // every shard has exactly one consumer.
+  const size_t base = shard_count / thread_count;
+  const size_t extra = shard_count % thread_count;
+  size_t first = 0;
+  for (size_t t = 0; t < thread_count; ++t) {
+    const size_t count = base + (t < extra ? 1 : 0);
+    const size_t last = first + count;
+    workers_.emplace_back(
+        [this, first, last] { WorkerLoop(first, last); });
+    first = last;
+  }
+}
+
+void ShardedEngine::WorkerLoop(size_t first_shard, size_t last_shard) {
+  std::vector<uint64_t> batch(options_.drain_batch);
+  IdleBackoff backoff;
+  while (true) {
+    size_t drained = 0;
+    for (size_t s = first_shard; s < last_shard; ++s) {
+      Shard& shard = *shards_[s];
+      const size_t n = shard.ring.PopBatch(batch.data(), batch.size());
+      if (n == 0) continue;
+      drained += n;
+      shard.summary->UpdateBatch({batch.data(), n});
+      // Release-publish the summary mutations; Flush acquires.
+      shard.applied.fetch_add(n, std::memory_order_release);
+    }
+    if (drained != 0) {
+      backoff.Reset();
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      // One more pass raced nothing in: all owned rings were empty and no
+      // producer can enqueue after stop (the destructor flushed first).
+      return;
+    }
+    backoff.Idle();
+  }
+}
+
+size_t ShardedEngine::ShardOf(uint64_t item) const {
+  // Mix before reducing: raw ids are often sequential, and a plain modulo
+  // would stripe them instead of hashing them.
+  return shards_.size() == 1
+             ? 0
+             : static_cast<size_t>(Mix64(item) % shards_.size());
+}
+
+void ShardedEngine::PushBlocking(Shard& shard, const uint64_t* data,
+                                 size_t n) {
+  IdleBackoff backoff;
+  size_t done = 0;
+  while (done < n) {
+    const size_t pushed = shard.ring.PushSome(data + done, n - done);
+    if (pushed == 0) {
+      backoff.Idle();  // backpressure: ring full, wait for the drain
+      continue;
+    }
+    backoff.Reset();
+    done += pushed;
+  }
+  shard.enqueued.fetch_add(n, std::memory_order_relaxed);
+}
+
+void ShardedEngine::Update(uint64_t item, uint64_t weight) {
+  Shard& shard = *shards_[ShardOf(item)];
+  for (uint64_t i = 0; i < weight; ++i) PushBlocking(shard, &item, 1);
+}
+
+void ShardedEngine::UpdateBatch(std::span<const uint64_t> items) {
+  if (shards_.size() == 1) {
+    // No partitioning needed; feed the ring directly.
+    PushBlocking(*shards_[0], items.data(), items.size());
+    return;
+  }
+  const size_t stage_cap = std::max<size_t>(64, options_.drain_batch);
+  for (const uint64_t item : items) {
+    std::vector<uint64_t>& stage = staging_[ShardOf(item)];
+    stage.push_back(item);
+    if (stage.size() >= stage_cap) {
+      PushBlocking(*shards_[ShardOf(item)], stage.data(), stage.size());
+      stage.clear();
+    }
+  }
+  FlushStaging();
+}
+
+void ShardedEngine::FlushStaging() {
+  for (size_t s = 0; s < staging_.size(); ++s) {
+    if (staging_[s].empty()) continue;
+    PushBlocking(*shards_[s], staging_[s].data(), staging_[s].size());
+    staging_[s].clear();
+  }
+}
+
+void ShardedEngine::Flush() {
+  FlushStaging();
+  IdleBackoff backoff;
+  for (auto& shard : shards_) {
+    const uint64_t target = shard->enqueued.load(std::memory_order_relaxed);
+    while (shard->applied.load(std::memory_order_acquire) < target) {
+      backoff.Idle();
+    }
+  }
+}
+
+uint64_t ShardedEngine::ItemsProcessed() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->applied.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::vector<uint64_t> ShardedEngine::ShardItemCounts() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    counts.push_back(shard->applied.load(std::memory_order_acquire));
+  }
+  return counts;
+}
+
+const Summary& ShardedEngine::MergedView() {
+  Flush();
+  if (shards_.size() == 1) return *shards_[0]->summary;
+  const uint64_t epoch = ItemsProcessed();
+  if (merged_valid_ && epoch == merged_epoch_) return *merged_;
+  // Rebuild: a fresh empty instance absorbs every shard.  All shards were
+  // constructed from the same options/seed, so the merges cannot fail on
+  // compatibility; if one does, surface it loudly (a silent partial merge
+  // would corrupt the global report).
+  merged_ = MakeSummary(options_.algorithm, options_.summary);
+  for (const auto& shard : shards_) {
+    const Status s = merged_->Merge(*shard->summary);
+    if (!s.ok()) {
+      std::fprintf(stderr, "ShardedEngine: shard merge failed: %s\n",
+                   s.ToString().c_str());
+      std::abort();
+    }
+  }
+  merged_epoch_ = epoch;
+  merged_valid_ = true;
+  return *merged_;
+}
+
+double ShardedEngine::Estimate(uint64_t item) {
+  return MergedView().Estimate(item);
+}
+
+std::vector<ItemEstimate> ShardedEngine::HeavyHitters(double phi) {
+  return MergedView().HeavyHitters(phi);
+}
+
+size_t ShardedEngine::MemoryUsageBytes() {
+  Flush();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->summary->MemoryUsageBytes() +
+             shard->ring.capacity() * sizeof(uint64_t);
+  }
+  if (merged_valid_) total += merged_->MemoryUsageBytes();
+  return total;
+}
+
+}  // namespace l1hh

@@ -1,0 +1,167 @@
+// ShardedEngine — the scale-out layer over the unified Summary interface.
+//
+// The paper's structures are mergeable (Misra-Gries and Space-Saving by
+// the classic merge, the linear sketches cell-wise, BdwSimple by sample
+// concatenation), which is exactly the property Woodruff's survey singles
+// out as the route to distributed and parallel deployment.  The engine
+// exploits it: the item universe is hash-partitioned across K shards,
+// each shard owns an independent instance of one factory-registered
+// Summary (same name, same options, same seed — the Merge compatibility
+// precondition), and every shard is fed through a lock-free SPSC ring
+// buffer drained in batches by a pool of worker threads.  Global answers
+// come from merging the shard summaries on demand behind a merge-epoch
+// cache, so repeated queries over an unchanged stream pay for one merge.
+//
+// Because shards see disjoint substreams (every occurrence of an item
+// lands on the same shard), the merged summary answers for the
+// concatenated stream exactly as a single summary would — within each
+// structure's documented merge error (see docs/ALGORITHMS.md's
+// mergeability table).  Structures that do not support Merge
+// (lossy_counting, sticky_sampling, bdw_optimal) are refused at
+// construction for K > 1; K == 1 degenerates to a single-summary engine
+// (still useful for moving ingestion off the caller's thread).
+//
+// Threading contract: exactly ONE controller thread calls Update /
+// UpdateBatch / Flush / Estimate / HeavyHitters / MergedView (the SPSC
+// producer side); the engine's internal workers are the consumers.  The
+// query methods flush first — they block until every enqueued item has
+// been applied — so results always reflect the full ingested prefix.
+#ifndef L1HH_ENGINE_SHARDED_ENGINE_H_
+#define L1HH_ENGINE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/spsc_ring.h"
+#include "summary/summary.h"
+#include "util/status.h"
+
+namespace l1hh {
+
+struct ShardedEngineOptions {
+  /// Registry name of the per-shard summary (see RegisteredSummaryNames).
+  std::string algorithm = "misra_gries";
+  /// Construction parameters handed verbatim to every shard.  The shared
+  /// seed is what makes the shard summaries Merge-compatible.
+  SummaryOptions summary;
+  /// Number of hash partitions (>= 1).  K > 1 requires the algorithm to
+  /// support Merge.
+  size_t num_shards = 4;
+  /// Worker threads draining the shard rings; 0 means one per shard.
+  /// Each shard is serviced by exactly one worker (SPSC consumer side).
+  size_t num_threads = 0;
+  /// Per-shard ring capacity in items (rounded up to a power of two).
+  size_t queue_capacity = size_t{1} << 16;
+  /// Maximum items a worker applies per UpdateBatch drain.
+  size_t drain_batch = 1024;
+};
+
+class ShardedEngine {
+ public:
+  /// Validates options, builds the shard summaries, and starts the worker
+  /// pool.  Returns nullptr (with the reason in *status when given) if the
+  /// algorithm is unregistered, K == 0, or K > 1 for a non-mergeable
+  /// structure.
+  static std::unique_ptr<ShardedEngine> Create(
+      const ShardedEngineOptions& options, Status* status = nullptr);
+
+  /// Stops and joins the workers; pending queued items are drained first.
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Enqueues `weight` occurrences of `item` (unit-weight stream
+  /// semantics, matching Summary::Update).  Blocks only on backpressure
+  /// (owning shard's ring full).
+  void Update(uint64_t item, uint64_t weight = 1);
+
+  /// Enqueues a batch, scatter-partitioned to the owning shards.
+  void UpdateBatch(std::span<const uint64_t> items);
+
+  /// Blocks until every item enqueued so far has been applied to its
+  /// shard summary.  Afterwards the shard summaries are quiescent and
+  /// safe to read from the controller thread.
+  void Flush();
+
+  /// Point query against the merged view.  (Routing to the owning shard
+  /// alone would be wrong for the sampling-based structures: a shard
+  /// rescales its sample by the configured full-stream length, so its
+  /// local estimate is inflated by ~K; the merged summary renormalizes
+  /// over the combined sample.)  Flushes.
+  double Estimate(uint64_t item);
+
+  /// Global report from the merged view.  Flushes.
+  std::vector<ItemEstimate> HeavyHitters(double phi);
+
+  /// The merged summary for the full ingested stream, rebuilt only when
+  /// new items have been applied since the last call (merge-epoch cache).
+  /// With K == 1 this is the lone shard itself.  Flushes; the reference
+  /// stays valid until the next non-const engine call.
+  const Summary& MergedView();
+
+  /// Total items applied across all shards (== enqueued after Flush).
+  uint64_t ItemsProcessed() const;
+
+  /// Shard summaries + rings + cached merge, in bytes.  Flushes first:
+  /// the shard summaries can only be read while the drain threads are
+  /// quiescent.
+  size_t MemoryUsageBytes();
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_threads() const { return workers_.size(); }
+  const std::string& algorithm() const { return options_.algorithm; }
+
+  /// The owning shard of an item — stable for the engine's lifetime.
+  size_t ShardOf(uint64_t item) const;
+
+  /// Items applied per shard (exact after Flush); the balance diagnostic
+  /// surfaced by the CLI and the throughput bench.
+  std::vector<uint64_t> ShardItemCounts() const;
+
+ private:
+  // Each shard owns its ring, its summary, and the enqueued/applied item
+  // counts whose equality defines quiescence.  `applied` is published
+  // with release order after every drain, so a controller that observes
+  // applied == enqueued also observes the summary mutations behind it.
+  struct Shard {
+    explicit Shard(size_t ring_capacity) : ring(ring_capacity) {}
+    SpscRing<uint64_t> ring;
+    std::unique_ptr<Summary> summary;
+    alignas(64) std::atomic<uint64_t> enqueued{0};
+    alignas(64) std::atomic<uint64_t> applied{0};
+  };
+
+  explicit ShardedEngine(const ShardedEngineOptions& options);
+
+  void StartWorkers();
+  void WorkerLoop(size_t first_shard, size_t last_shard);
+  // Blocks until all of `item` x weight is enqueued on shard `s`.
+  void PushBlocking(Shard& shard, const uint64_t* data, size_t n);
+  void FlushStaging();
+
+  ShardedEngineOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+
+  // Controller-thread scatter buffers: UpdateBatch stages items per shard
+  // and bulk-pushes, amortizing the ring's atomic traffic.
+  std::vector<std::vector<uint64_t>> staging_;
+
+  // Merge-epoch cache: `merged_` answers for the first `merged_epoch_`
+  // applied items and is rebuilt only when the epoch moves.
+  std::unique_ptr<Summary> merged_;
+  uint64_t merged_epoch_ = 0;
+  bool merged_valid_ = false;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_ENGINE_SHARDED_ENGINE_H_

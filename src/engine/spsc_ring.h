@@ -1,0 +1,106 @@
+// Lock-free single-producer/single-consumer ring buffer — the per-shard
+// ingestion queue of the sharded engine (engine/sharded_engine.h).
+//
+// The classic bounded SPSC design: a power-of-two slot array indexed by
+// two monotonically increasing positions.  The producer owns `tail_`, the
+// consumer owns `head_`; each side re-reads the other's position (with
+// acquire ordering) only when its cached copy says the ring looks full or
+// empty, so the steady-state push/pop touches a single shared cache line
+// per batch instead of per item.  All slot writes are published by the
+// release store of `tail_` and observed via the acquire load in the
+// consumer (and symmetrically for frees via `head_`), so the structure is
+// data-race-free without any locks.
+//
+// Exactly one thread may call the producer methods (TryPush/PushSome) and
+// exactly one thread the consumer methods (PopBatch/ApproxSize is safe on
+// either).  The engine enforces this: the ingestion thread produces, the
+// shard's drain thread consumes.
+#ifndef L1HH_ENGINE_SPSC_RING_H_
+#define L1HH_ENGINE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_util.h"
+
+namespace l1hh {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2) so index
+  /// wrapping is a mask, not a modulo.
+  explicit SpscRing(size_t capacity)
+      : capacity_(RoundUpPowerOfTwo(std::max<size_t>(capacity, 2))),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Producer: enqueue one value.  Returns false when the ring is full.
+  bool TryPush(const T& value) { return PushSome(&value, 1) == 1; }
+
+  /// Producer: enqueue up to `n` values from `data`; returns how many were
+  /// enqueued (0 when full).  Partial pushes keep stream order.
+  size_t PushSome(const T* data, size_t n) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    size_t free = capacity_ - static_cast<size_t>(tail - cached_head_);
+    if (free < n) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = capacity_ - static_cast<size_t>(tail - cached_head_);
+      if (free == 0) return 0;
+    }
+    const size_t count = n < free ? n : free;
+    for (size_t i = 0; i < count; ++i) {
+      slots_[static_cast<size_t>(tail + i) & mask_] = data[i];
+    }
+    tail_.store(tail + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Consumer: dequeue up to `max` values into `out`; returns how many
+  /// were dequeued (0 when empty).
+  size_t PopBatch(T* out, size_t max) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    size_t available = static_cast<size_t>(cached_tail_ - head);
+    if (available < max) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      available = static_cast<size_t>(cached_tail_ - head);
+      if (available == 0) return 0;
+    }
+    const size_t count = max < available ? max : available;
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = slots_[static_cast<size_t>(head + i) & mask_];
+    }
+    head_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Either side: a point-in-time occupancy estimate (exact when the other
+  /// side is quiescent, which is how the engine's Flush uses it).
+  size_t ApproxSize() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_acquire) -
+                               head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  const size_t capacity_;
+  const size_t mask_;
+  std::vector<T> slots_;
+
+  // Producer-owned line: its position plus a cached view of the consumer.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t cached_head_ = 0;
+  // Consumer-owned line, symmetrically.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t cached_tail_ = 0;
+};
+
+}  // namespace l1hh
+
+#endif  // L1HH_ENGINE_SPSC_RING_H_

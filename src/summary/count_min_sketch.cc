@@ -45,6 +45,27 @@ void CountMinSketch::Insert(uint64_t item, uint64_t count) {
   }
 }
 
+uint64_t CountMinSketch::InsertAndEstimate(uint64_t item) {
+  ++processed_;
+  if (conservative_) {
+    // Conservative update raises every row to the new lower bound, which
+    // is also the post-insert estimate.
+    const uint64_t target = Estimate(item) + 1;
+    for (size_t r = 0; r < hashes_.size(); ++r) {
+      uint64_t& cell = table_[Cell(r, item)];
+      cell = std::max(cell, target);
+    }
+    return target;
+  }
+  uint64_t best = UINT64_MAX;
+  for (size_t r = 0; r < hashes_.size(); ++r) {
+    uint64_t& cell = table_[Cell(r, item)];
+    ++cell;
+    best = std::min(best, cell);
+  }
+  return best;
+}
+
 uint64_t CountMinSketch::Estimate(uint64_t item) const {
   uint64_t best = UINT64_MAX;
   for (size_t r = 0; r < hashes_.size(); ++r) {
@@ -92,9 +113,8 @@ CountMinHeavyHitters::CountMinHeavyHitters(double epsilon, double phi,
                                     /*conservative=*/false)) {}
 
 void CountMinHeavyHitters::Insert(uint64_t item) {
-  cms_.Insert(item);
+  const uint64_t est = cms_.InsertAndEstimate(item);
   const uint64_t m_so_far = cms_.items_processed();
-  const uint64_t est = cms_.Estimate(item);
   if (static_cast<double>(est) >=
       (phi_ - epsilon_ / 2) * static_cast<double>(m_so_far)) {
     candidates_[item] = est;
@@ -111,6 +131,27 @@ void CountMinHeavyHitters::Insert(uint64_t item) {
       }
     }
   }
+}
+
+void CountMinHeavyHitters::InsertBatch(const uint64_t* items, size_t n) {
+  for (size_t i = 0; i < n; ++i) Insert(items[i]);
+}
+
+bool CountMinHeavyHitters::Compatible(
+    const CountMinHeavyHitters& other) const {
+  return phi_ == other.phi_ && epsilon_ == other.epsilon_ &&
+         cms_.Compatible(other.cms_);
+}
+
+bool CountMinHeavyHitters::MergeFrom(const CountMinHeavyHitters& other) {
+  if (!Compatible(other)) return false;
+  cms_ = CountMinSketch::Merge(cms_, other.cms_);
+  // Stored estimates are stale after the sum, but Report() re-queries the
+  // merged sketch, so the union only needs the candidate ids.
+  for (const auto& [item, est] : other.candidates_) {
+    candidates_.emplace(item, est);
+  }
+  return true;
 }
 
 std::vector<CountMinHeavyHitters::Entry> CountMinHeavyHitters::Report()

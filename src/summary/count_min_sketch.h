@@ -35,6 +35,11 @@ class CountMinSketch {
 
   void Insert(uint64_t item, uint64_t count = 1);
 
+  /// Insert one occurrence and return the post-insert estimate, hashing
+  /// each row once instead of twice — the fused hot path behind
+  /// CountMinHeavyHitters::Insert and the batched Summary adapter.
+  uint64_t InsertAndEstimate(uint64_t item);
+
   /// Overestimate (min over rows).
   uint64_t Estimate(uint64_t item) const;
 
@@ -87,6 +92,20 @@ class CountMinHeavyHitters {
                        uint64_t seed);
 
   void Insert(uint64_t item);
+
+  /// Tight batch ingestion: one pass over `items` without per-item
+  /// function-call overhead; state-identical to calling Insert in a loop.
+  void InsertBatch(const uint64_t* items, size_t n);
+
+  /// True iff `other` was built with the same (eps, phi) contract and a
+  /// Compatible underlying sketch, i.e. MergeFrom(other) is sound.
+  bool Compatible(const CountMinHeavyHitters& other) const;
+
+  /// Absorbs a sibling built over a disjoint substream: cell-wise sketch
+  /// sum (Count-Min is linear) plus candidate-set union; Report()
+  /// re-estimates candidates against the merged sketch.  Returns false
+  /// (and leaves this unchanged) when !Compatible(other).
+  bool MergeFrom(const CountMinHeavyHitters& other);
 
   /// Candidates re-filtered at (phi - eps/2) * m, sorted by estimate.
   std::vector<Entry> Report() const;

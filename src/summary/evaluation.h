@@ -1,8 +1,9 @@
 // Shared evaluation harness for the Summary registry: drive any
-// registered algorithm over a stream and score its HeavyHitters(phi)
-// report against exact ground truth.  Single source of truth for the
-// recall/precision bookkeeping used by the CLI (`l1hh_cli run`) and the
-// comparative benches (bench/bench_util.h).
+// registered algorithm over a stream — single-summary or through the
+// sharded engine — and score its HeavyHitters(phi) report against exact
+// ground truth.  Single source of truth for the recall/precision
+// bookkeeping used by the CLI (`l1hh_cli run`) and the comparative
+// benches (bench/bench_util.h, bench/bench_sharded_throughput.cc).
 #ifndef L1HH_SUMMARY_EVALUATION_H_
 #define L1HH_SUMMARY_EVALUATION_H_
 
@@ -13,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/sharded_engine.h"
 #include "summary/exact_counter.h"
 #include "summary/summary.h"
 
@@ -21,43 +23,33 @@ namespace l1hh {
 /// One factory-driven run of a registered summary over a stream, scored
 /// against the exact counts.
 struct SummaryRunResult {
-  bool ok = false;           // false if the name is not registered
+  bool ok = false;           // false if the name is not registered (or,
+                             // for sharded runs, refuses to shard)
+  std::string error;         // why ok == false
   size_t true_heavies = 0;   // |{x : f(x) > phi*m}|
   size_t recalled = 0;       // true heavies present in the report
   double recall = 1.0;       // recalled / true_heavies
   double precision = 1.0;    // fraction of reports with f >= (phi-eps)*m
   double max_abs_err = 0;    // max |estimate - f| over reported items
   size_t memory_bytes = 0;
-  double update_ns = 0;      // mean wall-clock per update
+  double update_ns = 0;      // mean wall-clock per update (ingest+flush)
   std::vector<ItemEstimate> report;   // HeavyHitters(phi), sorted
   std::vector<uint64_t> report_exact; // exact f(x) per report entry
 };
 
-inline SummaryRunResult RunRegisteredSummary(
-    const std::string& name, const SummaryOptions& options,
-    const std::vector<uint64_t>& stream, double phi) {
-  SummaryRunResult r;
-  auto summary = MakeSummary(name, options);
-  if (summary == nullptr) return r;
-  r.ok = true;
-
-  const auto start = std::chrono::steady_clock::now();
-  summary->UpdateBatch(stream);
-  const auto elapsed = std::chrono::steady_clock::now() - start;
-  r.update_ns =
-      static_cast<double>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-              .count()) /
-      static_cast<double>(stream.empty() ? 1 : stream.size());
-
+/// Scores `report` (already filled into `r.report`) against the exact
+/// counts of `stream`; fills the recall/precision/error fields.
+inline void ScoreSummaryReport(SummaryRunResult& r,
+                               const std::vector<uint64_t>& stream,
+                               double phi, double epsilon) {
   ExactCounter exact;
   for (const uint64_t x : stream) exact.Insert(x);
   const double m = static_cast<double>(stream.size());
   const auto truth =
       exact.HeavyHitters(static_cast<uint64_t>(phi * m) + 1);
-  r.report = summary->HeavyHitters(phi);
 
   r.true_heavies = truth.size();
+  r.recalled = 0;
   for (const auto& t : truth) {
     for (const auto& rep : r.report) {
       if (rep.item == t.item) {
@@ -70,11 +62,13 @@ inline SummaryRunResult RunRegisteredSummary(
                            : static_cast<double>(r.recalled) /
                                  static_cast<double>(truth.size());
   size_t precise = 0;
+  r.report_exact.clear();
   r.report_exact.reserve(r.report.size());
+  r.max_abs_err = 0;
   for (const auto& rep : r.report) {
     const uint64_t f = exact.Count(rep.item);
     r.report_exact.push_back(f);
-    if (static_cast<double>(f) >= (phi - options.epsilon) * m - 1.0) {
+    if (static_cast<double>(f) >= (phi - epsilon) * m - 1.0) {
       ++precise;
     }
     r.max_abs_err = std::max(
@@ -84,7 +78,68 @@ inline SummaryRunResult RunRegisteredSummary(
                     ? 1.0
                     : static_cast<double>(precise) /
                           static_cast<double>(r.report.size());
+}
+
+inline SummaryRunResult RunRegisteredSummary(
+    const std::string& name, const SummaryOptions& options,
+    const std::vector<uint64_t>& stream, double phi) {
+  SummaryRunResult r;
+  auto summary = MakeSummary(name, options);
+  if (summary == nullptr) {
+    r.error = "unknown algorithm '" + name + "'";
+    return r;
+  }
+  r.ok = true;
+
+  const auto start = std::chrono::steady_clock::now();
+  summary->UpdateBatch(stream);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  r.update_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()) /
+      static_cast<double>(stream.empty() ? 1 : stream.size());
+
+  r.report = summary->HeavyHitters(phi);
+  ScoreSummaryReport(r, stream, phi, options.epsilon);
   r.memory_bytes = summary->MemoryUsageBytes();
+  return r;
+}
+
+/// The same contract run driven through the ShardedEngine: ingest via the
+/// per-shard rings, flush, and score the merged report.  `update_ns`
+/// covers ingest + flush, i.e. end-to-end wall clock per item.
+inline SummaryRunResult RunShardedSummary(
+    const std::string& name, const SummaryOptions& options,
+    const std::vector<uint64_t>& stream, double phi, size_t num_shards,
+    size_t num_threads = 0) {
+  SummaryRunResult r;
+  ShardedEngineOptions engine_options;
+  engine_options.algorithm = name;
+  engine_options.summary = options;
+  engine_options.num_shards = num_shards;
+  engine_options.num_threads = num_threads;
+  Status status;
+  auto engine = ShardedEngine::Create(engine_options, &status);
+  if (engine == nullptr) {
+    r.error = status.ToString();
+    return r;
+  }
+  r.ok = true;
+
+  const auto start = std::chrono::steady_clock::now();
+  engine->UpdateBatch(stream);
+  engine->Flush();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  r.update_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()) /
+      static_cast<double>(stream.empty() ? 1 : stream.size());
+
+  r.report = engine->HeavyHitters(phi);
+  ScoreSummaryReport(r, stream, phi, options.epsilon);
+  r.memory_bytes = engine->MemoryUsageBytes();
   return r;
 }
 

@@ -81,6 +81,10 @@ class MisraGriesSummary : public Summary {
     for (uint64_t i = 0; i < weight; ++i) mg_.Insert(item);
   }
 
+  void UpdateBatch(std::span<const uint64_t> items) override {
+    for (const uint64_t x : items) mg_.Insert(x);
+  }
+
   double Estimate(uint64_t item) const override {
     return static_cast<double>(mg_.Estimate(item));
   }
@@ -125,6 +129,10 @@ class SpaceSavingSummary : public Summary {
     for (uint64_t i = 0; i < weight; ++i) ss_.Insert(item);
   }
 
+  void UpdateBatch(std::span<const uint64_t> items) override {
+    for (const uint64_t x : items) ss_.Insert(x);
+  }
+
   double Estimate(uint64_t item) const override {
     return static_cast<double>(ss_.Estimate(item));
   }
@@ -167,6 +175,10 @@ class LossyCountingSummary : public Summary {
     for (uint64_t i = 0; i < weight; ++i) lc_.Insert(item);
   }
 
+  void UpdateBatch(std::span<const uint64_t> items) override {
+    for (const uint64_t x : items) lc_.Insert(x);
+  }
+
   double Estimate(uint64_t item) const override {
     return static_cast<double>(lc_.Estimate(item));
   }
@@ -196,6 +208,10 @@ class StickySamplingSummary : public Summary {
 
   void Update(uint64_t item, uint64_t weight) override {
     for (uint64_t i = 0; i < weight; ++i) ss_.Insert(item);
+  }
+
+  void UpdateBatch(std::span<const uint64_t> items) override {
+    for (const uint64_t x : items) ss_.Insert(x);
   }
 
   double Estimate(uint64_t item) const override {
@@ -228,6 +244,10 @@ class ExactCounterSummary : public Summary {
 
   void Update(uint64_t item, uint64_t weight) override {
     exact_.Insert(item, weight);
+  }
+
+  void UpdateBatch(std::span<const uint64_t> items) override {
+    for (const uint64_t x : items) exact_.Insert(x);
   }
 
   double Estimate(uint64_t item) const override {
@@ -272,6 +292,12 @@ class CountMinSummary : public Summary {
     for (uint64_t i = 0; i < weight; ++i) cm_.Insert(item);
   }
 
+  // Tight batch path: InsertBatch runs the fused insert+estimate loop
+  // (one hash per row per item) with no virtual dispatch per item.
+  void UpdateBatch(std::span<const uint64_t> items) override {
+    cm_.InsertBatch(items.data(), items.size());
+  }
+
   double Estimate(uint64_t item) const override {
     return static_cast<double>(cm_.Estimate(item));
   }
@@ -297,6 +323,17 @@ class CountMinSummary : public Summary {
     return (cm_.SpaceBits() + 7) / 8;
   }
 
+  bool SupportsMerge() const override { return true; }
+  Status Merge(const Summary& other) override {
+    const auto* rhs = dynamic_cast<const CountMinSummary*>(&other);
+    // MergeFrom checks sketch compatibility (same dims, same hash seeds)
+    // and the (eps, phi) contract, then sums cell-wise (linear sketch).
+    if (rhs == nullptr || !cm_.MergeFrom(rhs->cm_)) {
+      return IncompatibleMerge(Name());
+    }
+    return Status::Ok();
+  }
+
  private:
   double epsilon_;
   CountMinHeavyHitters cm_;
@@ -319,11 +356,15 @@ class CountSketchSummary : public Summary {
   // threshold is kept, and the set is pruned when it overflows.
   void Update(uint64_t item, uint64_t weight) override {
     cs_.Insert(item, static_cast<int64_t>(weight));
-    const double m = static_cast<double>(cs_.items_processed());
-    const double track_at = 0.5 * phi_hint_ * m;
-    if (static_cast<double>(cs_.Estimate(item)) >= track_at) {
-      candidates_.insert(item);
-      if (candidates_.size() > max_candidates_) Prune(track_at);
+    TrackCandidate(item);
+  }
+
+  // Tight batch path: one non-virtual loop over insert + candidate
+  // tracking (state-identical to the Update loop).
+  void UpdateBatch(std::span<const uint64_t> items) override {
+    for (const uint64_t x : items) {
+      cs_.Insert(x, 1);
+      TrackCandidate(x);
     }
   }
 
@@ -363,6 +404,15 @@ class CountSketchSummary : public Summary {
   }
 
  private:
+  void TrackCandidate(uint64_t item) {
+    const double m = static_cast<double>(cs_.items_processed());
+    const double track_at = 0.5 * phi_hint_ * m;
+    if (static_cast<double>(cs_.Estimate(item)) >= track_at) {
+      candidates_.insert(item);
+      if (candidates_.size() > max_candidates_) Prune(track_at);
+    }
+  }
+
   void Prune(double keep_at) {
     for (auto it = candidates_.begin(); it != candidates_.end();) {
       if (static_cast<double>(cs_.Estimate(*it)) < keep_at) {
@@ -389,6 +439,10 @@ class HashedMisraGriesSummary : public Summary {
 
   void Update(uint64_t item, uint64_t weight) override {
     for (uint64_t i = 0; i < weight; ++i) table_.Insert(item);
+  }
+
+  void UpdateBatch(std::span<const uint64_t> items) override {
+    for (const uint64_t x : items) table_.Insert(x);
   }
 
   double Estimate(uint64_t item) const override {

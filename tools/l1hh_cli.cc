@@ -9,6 +9,9 @@
 //   l1hh_cli run --algo=bdw_optimal [--epsilon=0.01 --phi=0.05 ...]
 //                                             # self-generated Zipf stream,
 //                                             # reports HH + recall vs truth
+//   l1hh_cli run --algo=misra_gries --shards=4 [--threads=2]
+//                                             # same run through the sharded
+//                                             # parallel engine (src/engine/)
 //   l1hh_cli heavy --algo=misra_gries --m=<length> [--phi=...]
 //                                             # reads ids from stdin
 //   l1hh_cli max --epsilon=0.01 --m=<length>  # approximate maximum
@@ -47,6 +50,10 @@ struct Args {
   // length; generate/run fall back to kDefaultM.
   uint64_t m = 0;
   uint64_t seed = 1;
+  // Sharded-engine knobs for `run`: shards=1 runs the summary directly;
+  // shards>1 ingests through ShardedEngine (threads=0 -> one per shard).
+  uint64_t shards = 1;
+  uint64_t threads = 0;
 };
 
 constexpr uint64_t kDefaultM = 1 << 20;
@@ -101,6 +108,10 @@ bool Parse(int argc, char** argv, Args* out) {
       out->m = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "--seed") {
       out->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--shards") {
+      out->shards = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--threads") {
+      out->threads = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
       return false;
@@ -108,6 +119,10 @@ bool Parse(int argc, char** argv, Args* out) {
   }
   if (out->epsilon <= 0 || out->phi <= 0 || out->delta <= 0) {
     std::fprintf(stderr, "--epsilon, --phi, and --delta must be > 0\n");
+    return false;
+  }
+  if (out->shards == 0) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
     return false;
   }
   return true;
@@ -188,11 +203,14 @@ int CmdHeavy(const Args& a, const std::vector<uint64_t>& items) {
 int CmdRun(const Args& a) {
   const uint64_t m_arg = a.m != 0 ? a.m : kDefaultM;
   const auto stream = MakeZipfStream(a.n, a.alpha, m_arg, a.seed);
-  const SummaryRunResult r = RunRegisteredSummary(
-      a.algorithm, ToSummaryOptions(a, stream.size()), stream, a.phi);
+  const SummaryOptions options = ToSummaryOptions(a, stream.size());
+  const SummaryRunResult r =
+      a.shards > 1 ? RunShardedSummary(a.algorithm, options, stream, a.phi,
+                                       a.shards, a.threads)
+                   : RunRegisteredSummary(a.algorithm, options, stream,
+                                          a.phi);
   if (!r.ok) {
-    std::fprintf(stderr, "unknown --algo %s; try `l1hh_cli list`\n",
-                 a.algorithm.c_str());
+    std::fprintf(stderr, "%s; try `l1hh_cli list`\n", r.error.c_str());
     return 2;
   }
   std::printf("algo=%s  zipf(alpha=%.2f)  n=%llu  m=%llu  eps=%.3f  "
@@ -201,6 +219,12 @@ int CmdRun(const Args& a) {
               static_cast<unsigned long long>(a.n),
               static_cast<unsigned long long>(m_arg), a.epsilon, a.phi,
               static_cast<unsigned long long>(a.seed));
+  if (a.shards > 1) {
+    std::printf("engine: %llu shards, %llu threads (0 = one per shard), "
+                "%.1f ns/item end-to-end\n",
+                static_cast<unsigned long long>(a.shards),
+                static_cast<unsigned long long>(a.threads), r.update_ns);
+  }
   std::printf("%-24s %14s %14s %9s\n", "item", "estimate", "exact", "err");
   for (size_t i = 0; i < r.report.size(); ++i) {
     const double f = static_cast<double>(r.report_exact[i]);
