@@ -42,12 +42,14 @@ BdwOptimal::BdwOptimal(const Options& opt, uint64_t seed)
 
   eps_exp_ = ProbabilityToPow2Exponent(opt_.epsilon);
 
-  // Highest epoch a T2 cell can reach: T2 <= eps * 10 l (whp); clamp there.
-  const double t2_max = std::max(
-      2.0 * epoch_scale_,
-      10.0 * opt_.epsilon * static_cast<double>(l));
+  // Highest epoch the schedule can reach: the sample stays within ~10 l
+  // whp (and within m when m < l), so cap the schedule value
+  // eps * phi * s there.
+  const double v_max = std::max(
+      4.0 * epoch_scale_,
+      10.0 * opt_.epsilon * opt_.phi * static_cast<double>(l));
   max_epoch_ = std::max(
-      1, static_cast<int>(std::ceil(2.0 * std::log2(t2_max / epoch_scale_))));
+      1, static_cast<int>(std::ceil(2.0 * std::log2(v_max / epoch_scale_))));
 
   Rng hash_rng(Mix64(seed) ^ 0x5bd1e9955bd1e995ULL);
   hashes_.reserve(reps_);
@@ -58,33 +60,86 @@ BdwOptimal::BdwOptimal(const Options& opt, uint64_t seed)
   t3_.Reset(rows_ * reps_ * static_cast<size_t>(max_epoch_ + 1));
 }
 
-int BdwOptimal::EpochFor(uint64_t v) const {
-  if (static_cast<double>(v) < epoch_scale_) return -1;
-  const int t = static_cast<int>(std::floor(
-      2.0 * std::log2(static_cast<double>(v) / epoch_scale_)));
+int BdwOptimal::EpochAtSample(uint64_t s) const {
+  // epoch(s) = floor(2 log2(eps phi s / scale)) — the epoch the paper's
+  // per-cell rule would give an exactly phi-heavy cell after s samples —
+  // clamped to [0, max_epoch_].  Epoch 0 opens immediately (its counting
+  // probability, ~eps, is T2's subsampling rate), so unlike the per-cell
+  // scheme there is no invisible pre-epoch prefix to bias-correct.
+  const double v =
+      opt_.epsilon * opt_.phi * static_cast<double>(s);
+  if (v < epoch_scale_) return 0;  // below the scale the formula is negative
+  const int t = static_cast<int>(std::floor(2.0 * std::log2(v / epoch_scale_)));
   return std::min(t, max_epoch_);
+}
+
+void BdwOptimal::FastForwardToEpoch(int epoch) {
+  epoch_floor_ = std::min(std::max(epoch, epoch_floor_), max_epoch_);
+  if (current_epoch_ < epoch_floor_) current_epoch_ = epoch_floor_;
 }
 
 void BdwOptimal::Insert(ItemId item) {
   ++position_;
   if (!sampler_.Offer(rng_)) return;
   ++sampled_;
+  if (current_epoch_ < max_epoch_) {
+    const int scheduled = EpochAtSample(sampled_);
+    if (scheduled > current_epoch_) current_epoch_ = scheduled;
+  }
   t1_.Insert(item);
+  const int t = current_epoch_;
+  // Count with probability min(eps * 2^t, 1) = 2^{-(eps_exp - t)}.
+  const int k = std::max(eps_exp_ - t, 0);
   for (size_t j = 0; j < reps_; ++j) {
     const size_t i = static_cast<size_t>(hashes_[j](item));
-    const size_t cell = T2Cell(i, j);
     if (rng_.AllZeroBits(eps_exp_)) {
-      t2_.Increment(cell);
+      t2_.Increment(T2Cell(i, j));
     }
-    const int t = EpochFor(t2_.Get(cell));
-    if (t >= 0) {
-      // Count with probability min(eps * 2^t, 1) = 2^{-(eps_exp - t)}.
-      const int k = std::max(eps_exp_ - t, 0);
-      if (rng_.AllZeroBits(k)) {
-        t3_.Increment(T3Cell(i, j, t));
-      }
+    if (rng_.AllZeroBits(k)) {
+      t3_.Increment(T3Cell(i, j, t));
     }
   }
+}
+
+bool BdwOptimal::Compatible(const BdwOptimal& a, const BdwOptimal& b) {
+  return a.opt_.epsilon == b.opt_.epsilon && a.opt_.phi == b.opt_.phi &&
+         a.opt_.delta == b.opt_.delta &&
+         a.opt_.universe_size == b.opt_.universe_size &&
+         a.opt_.stream_length == b.opt_.stream_length &&
+         a.rows_ == b.rows_ && a.reps_ == b.reps_ &&
+         a.t1_.k() == b.t1_.k() &&  // MG merge truncates to the left k
+         a.eps_exp_ == b.eps_exp_ && a.max_epoch_ == b.max_epoch_ &&
+         a.epoch_scale_ == b.epoch_scale_ &&
+         a.sampler_.exponent() == b.sampler_.exponent() &&
+         a.hashes_ == b.hashes_;  // same seed <=> same drawn functions
+}
+
+Status BdwOptimal::MergeFrom(const BdwOptimal& other) {
+  if (!Compatible(*this, other)) {
+    return Status::InvalidArgument(
+        "BdwOptimal::MergeFrom requires sketches built with the same "
+        "options and seed");
+  }
+  // Reconcile epochs BEFORE combining: both instances sit on the shared
+  // schedule, so the common epoch is simply the maximum; fast-forward the
+  // behind side (us).  `other.current_epoch_` already dominates
+  // `other.epoch_floor_`, so floors propagate through merge chains.
+  FastForwardToEpoch(other.current_epoch_);
+  // T1: classic Misra–Gries merge — every item that is phi-heavy in the
+  // combined sample survives the (k+1)-st-largest subtraction.
+  t1_ = MisraGries::Merge(t1_, other.t1_);
+  // T2/T3: cell-wise sums.  Sound for any position-disjoint split: T2 is
+  // a plain subsampled count, and each T3[t] count is rescaled by its own
+  // epoch's probability at estimate time.
+  t2_.AddFrom(other.t2_);
+  t3_.AddFrom(other.t3_);
+  position_ += other.position_;
+  sampled_ += other.sampled_;
+  // The combined sample position may put the schedule past the common
+  // epoch; catch up so post-merge inserts count at the scheduled rate.
+  const int scheduled = EpochAtSample(sampled_);
+  if (scheduled > current_epoch_) current_epoch_ = scheduled;
+  return Status::Ok();
 }
 
 double BdwOptimal::EstimateRep(ItemId item, size_t rep) const {
@@ -95,12 +150,6 @@ double BdwOptimal::EstimateRep(ItemId item, size_t rep) const {
     if (c == 0) continue;
     const int k = std::max(eps_exp_ - t, 0);
     estimate += static_cast<double>(c) * std::ldexp(1.0, k);  // c * 2^k
-  }
-  if (opt_.constants.opt_bias_correction) {
-    // Arrivals before the cell's first epoch opened are invisible to T3;
-    // they number ~min(T2, epoch_scale)/eps.  Estimate them from T2.
-    const double v = static_cast<double>(t2_.Get(T2Cell(i, rep)));
-    estimate += std::min(v, epoch_scale_) * std::ldexp(1.0, eps_exp_);
   }
   return estimate;
 }
@@ -209,9 +258,9 @@ void BdwOptimal::Serialize(BitWriter& out) const {
   out.WriteBits(static_cast<uint64_t>(opt_.constants.opt_min_reps), 16);
   out.WriteDouble(opt_.constants.opt_rows_factor);
   out.WriteDouble(opt_.constants.opt_epoch_scale);
-  out.WriteBool(opt_.constants.opt_bias_correction);
   out.WriteCounter(position_);
   out.WriteCounter(sampled_);
+  out.WriteCounter(static_cast<uint64_t>(epoch_floor_));
   sampler_.Serialize(out);
   for (const auto& h : hashes_) h.Serialize(out);
   t1_.Serialize(out);
@@ -232,7 +281,6 @@ BdwOptimal BdwOptimal::Deserialize(BitReader& in, uint64_t seed) {
   opt.constants.opt_min_reps = static_cast<int>(in.ReadBits(16));
   opt.constants.opt_rows_factor = in.ReadDouble();
   opt.constants.opt_epoch_scale = in.ReadDouble();
-  opt.constants.opt_bias_correction = in.ReadBool();
   SanitizeWireParams(opt.epsilon, opt.phi, opt.delta, opt.universe_size,
                      opt.stream_length);
   // The constants also size allocations; clamp them to sane ranges.
@@ -254,6 +302,10 @@ BdwOptimal BdwOptimal::Deserialize(BitReader& in, uint64_t seed) {
   BdwOptimal out(opt, seed);
   out.position_ = in.ReadCounter();
   out.sampled_ = in.ReadCounter();
+  out.epoch_floor_ = static_cast<int>(std::min<uint64_t>(
+      in.ReadCounter(), static_cast<uint64_t>(out.max_epoch_)));
+  out.current_epoch_ =
+      std::max(out.epoch_floor_, out.EpochAtSample(out.sampled_));
   out.sampler_.Deserialize(in);
   for (auto& h : out.hashes_) h = UniversalHash::Deserialize(in);
   out.t1_ = MisraGries::Deserialize(in);

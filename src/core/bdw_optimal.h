@@ -7,13 +7,34 @@
 //     candidate set (every phi-heavy item of the sample survives);
 //   * for each of R = O(log(1/phi)) repetitions j, a universal hash h_j
 //     into O(1/eps) rows;
-//   * T2[i][j]: eps-subsampled running count of hashed id i — a factor-4
-//     tracker of f_i used to decide the current *epoch*;
+//   * T2[i][j]: eps-subsampled running count of hashed id i — the paper's
+//     factor-4 frequency tracker, kept here for space accounting and as a
+//     cross-check of the epoch schedule;
 //   * T3[i][j][t]: the "accelerated counters": an arrival in epoch t is
 //     counted with probability min(eps 2^t, 1), so counting probability
-//     grows as Theta(eps^2 f_i) and each estimator has O(eps^-2) variance;
+//     grows as Theta(eps^2 f_i) for phi-heavy items and each estimator has
+//     O(eps^-2) variance;
 //   * estimate = median over j of sum_t T3[i][j][t] / min(eps 2^t, 1);
 //     report T1 candidates whose estimate clears (phi - eps/2) * sample.
+//
+// Epoch schedule (deviation from the pseudocode, documented in
+// docs/ALGORITHMS.md): the paper advances each cell's epoch from its own
+// T2 value, which makes epochs *instance-local* — two sketches built over
+// disjoint substreams disagree about which probability an epoch-t count
+// was taken at relative to the union stream, so their T3 tables cannot be
+// reconciled.  Here the epoch is a pure function of the shared, seeded
+// configuration and the number of samples taken:
+//
+//     epoch(s) = clamp(floor(2 log2(eps phi s / scale)), 0, max_epoch)
+//
+// — the epoch the paper's rule would give an exactly phi-heavy cell after
+// s samples.  Every instance with the same Options walks the same
+// schedule, epochs only ever increase, and two instances at different
+// sample positions merge by fast-forwarding the behind one to the common
+// epoch (FastForwardToEpoch) and summing T2/T3 cell-wise: each T3[t]
+// count is divided by its *own* epoch's probability at estimate time, so
+// the merged estimator stays unbiased regardless of which instance
+// counted at which epoch.  See MergeFrom.
 //
 // Space: O(eps^-1 log phi^-1 + phi^-1 log n + log log m) bits — optimal by
 // the paper's Theorems 9 and 14.
@@ -65,10 +86,52 @@ class BdwOptimal {
   /// to full-stream units.
   double EstimateCount(ItemId item) const;
 
+  // ---- Distributed merge ----------------------------------------------
+
+  /// True iff the two sketches follow the same epoch schedule and hash
+  /// layout: equal (eps, phi, delta, n, m) options, equal derived shape
+  /// (rows, repetitions, subsampling exponent, epoch scale/cap), and the
+  /// same drawn hash functions (i.e. the same construction seed).  This
+  /// is the precondition of MergeFrom.
+  static bool Compatible(const BdwOptimal& a, const BdwOptimal& b);
+
+  /// In-place merge with a Compatible sketch built over a disjoint
+  /// substream (their combined length covered by options.stream_length).
+  /// Reconciliation: both instances sit somewhere on the shared epoch
+  /// schedule; this instance fast-forwards to the common (maximum)
+  /// epoch, then T1 merges by the classic Misra–Gries merge and T2/T3
+  /// combine cell-wise.  Summing T3 across instances is sound because
+  /// the estimator divides each epoch-t count by that epoch's own
+  /// probability — it never needs to know which instance counted it.
+  /// Afterwards this sketch answers for the concatenation of both
+  /// substreams.  Returns InvalidArgument (and changes nothing) when the
+  /// sketches are not Compatible.
+  Status MergeFrom(const BdwOptimal& other);
+
+  /// Raises the epoch floor to `epoch` (clamped to [current floor,
+  /// max_epoch]): future arrivals are counted at probability
+  /// min(eps 2^epoch, 1) or better.  Never lowers the epoch.  Past T3
+  /// counts are untouched — they remain divided by their own recorded
+  /// epoch's probability, so estimates stay unbiased; fast-forwarding
+  /// only trades a little space (higher counting rate) for variance no
+  /// worse than before.  Called by MergeFrom; public for tests and for
+  /// coordinators that know a global stream position.
+  void FastForwardToEpoch(int epoch);
+
+  /// The shared schedule: epoch after s samples, before any fast-forward
+  /// floor.  Deterministic in (Options, s); identical across instances
+  /// with equal Options.
+  int EpochAtSample(uint64_t s) const;
+
+  /// The epoch new arrivals are currently counted in:
+  /// max(EpochAtSample(samples_taken()), fast-forward floor).
+  int current_epoch() const { return current_epoch_; }
+
   uint64_t samples_taken() const { return sampled_; }
   uint64_t items_processed() const { return position_; }
   size_t repetitions() const { return hashes_.size(); }
   size_t rows() const { return rows_; }
+  int max_epoch() const { return max_epoch_; }
   const Options& options() const { return opt_; }
 
   /// Paper-style accounting: T1 + T2 (content) + T3 (sparse: only epochs
@@ -84,10 +147,6 @@ class BdwOptimal {
     return (row * reps_ + rep) * static_cast<size_t>(max_epoch_ + 1) +
            static_cast<size_t>(epoch);
   }
-
-  /// Epoch for a T2 value v: floor(2 log2(v / epoch_scale)), clamped to
-  /// [-1, max_epoch_]; -1 means "pre-epoch" (no T3 counting yet).
-  int EpochFor(uint64_t v) const;
 
   /// Per-repetition estimate of the sampled-stream frequency of item's
   /// hashed id.
@@ -107,6 +166,12 @@ class BdwOptimal {
   CompactCounterArray t3_;
   uint64_t position_ = 0;
   uint64_t sampled_ = 0;
+  // Epoch state: current_epoch_ = max(EpochAtSample(sampled_),
+  // epoch_floor_); the floor is raised by FastForwardToEpoch so a merge
+  // chain never lowers an instance's counting probability (keeps the
+  // schedule monotone and merges associative).
+  int current_epoch_ = 0;
+  int epoch_floor_ = 0;
 };
 
 }  // namespace l1hh

@@ -56,12 +56,14 @@ struct Constants {
   int opt_min_reps = 5;
   /// T2/T3 rows per repetition = opt_rows_factor / eps.
   double opt_rows_factor = 8.0;
-  /// Epoch scale: epoch t = floor(2 log2(T2 / opt_epoch_scale)); the paper
-  /// uses 1000 (t = floor(log(1e-6 T2^2))).
+  /// Epoch scale of the shared accelerated-counter schedule: after s
+  /// samples the epoch is t = floor(2 log2(eps phi s / opt_epoch_scale)),
+  /// i.e. the epoch the paper's per-cell rule (t = floor(2 log2(T2 /
+  /// scale)), scale 1000 in the pseudocode) would assign to an exactly
+  /// phi-heavy cell.  Keying the schedule to the sample position instead
+  /// of per-cell T2 values is what makes two instances' epochs
+  /// reconcilable at Merge time (docs/ALGORITHMS.md, BdwOptimal section).
   double opt_epoch_scale = 8.0;
-  /// Estimate the epoch<0 prefix from T2 instead of dropping it (reduces
-  /// the estimator's negative bias; off reproduces the paper literally).
-  bool opt_bias_correction = true;
 
   // ---- Algorithm 3 (Theorem 4, epsilon-Minimum) ----
   /// l1 = min_s1_factor * ln(6/(eps delta)) / eps.
@@ -101,7 +103,6 @@ struct Constants {
     c.opt_min_reps = 1;
     c.opt_rows_factor = 100.0;
     c.opt_epoch_scale = 1000.0;
-    c.opt_bias_correction = false;
     c.min_s1_factor = 6.0;
     c.min_s2_factor = 6.0;
     c.min_s3_factor = 6.0;

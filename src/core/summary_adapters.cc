@@ -98,7 +98,7 @@ class BdwSimpleSummary : public Summary {
 class BdwOptimalSummary : public Summary {
  public:
   explicit BdwOptimalSummary(const SummaryOptions& o)
-      : impl_(MakeOptions(o), o.seed) {}
+      : seed_(o.seed), impl_(MakeOptions(o), o.seed) {}
 
   std::string_view Name() const override { return "bdw_optimal"; }
 
@@ -127,6 +127,20 @@ class BdwOptimalSummary : public Summary {
     return (impl_.SpaceBits() + 7) / 8;
   }
 
+  bool SupportsMerge() const override { return true; }
+  Status Merge(const Summary& other) override {
+    const auto* rhs = dynamic_cast<const BdwOptimalSummary*>(&other);
+    // Same seed => same hash functions, sampling rate, and epoch
+    // schedule; BdwOptimal::Compatible re-verifies the derived shape.
+    if (rhs == nullptr || rhs->seed_ != seed_ ||
+        !BdwOptimal::Compatible(impl_, rhs->impl_)) {
+      return Status::InvalidArgument(
+          "Merge requires another 'bdw_optimal' with the same options and "
+          "seed");
+    }
+    return impl_.MergeFrom(rhs->impl_);
+  }
+
  private:
   static BdwOptimal::Options MakeOptions(const SummaryOptions& o) {
     BdwOptimal::Options opt;
@@ -138,6 +152,7 @@ class BdwOptimalSummary : public Summary {
     return opt;
   }
 
+  uint64_t seed_;
   BdwOptimal impl_;
 };
 

@@ -26,6 +26,15 @@ void CompactCounterArray::Add(size_t i, uint64_t delta) {
   overflow_[i] += delta;
 }
 
+bool CompactCounterArray::AddFrom(const CompactCounterArray& other) {
+  if (other.size_ != size_) return false;
+  for (size_t i = 0; i < size_; ++i) {
+    const uint64_t v = other.Get(i);
+    if (v != 0) Add(i, v);
+  }
+  return true;
+}
+
 size_t CompactCounterArray::SpaceBits() const {
   size_t bits = 0;
   for (size_t i = 0; i < size_; ++i) {

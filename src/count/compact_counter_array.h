@@ -43,6 +43,11 @@ class CompactCounterArray {
 
   void Increment(size_t i) { Add(i, 1); }
 
+  /// Cell-wise sum: counter[i] += other[i] for all i.  Returns false (and
+  /// changes nothing) when the arrays differ in length.  This is the
+  /// combination step of every table merge (e.g. BdwOptimal::MergeFrom).
+  bool AddFrom(const CompactCounterArray& other);
+
   /// Sum of all counters.
   uint64_t Total() const { return total_; }
 

@@ -48,6 +48,10 @@ std::unique_ptr<ShardedEngine> ShardedEngine::Create(
     return fail(Status::InvalidArgument("unknown summary algorithm '" +
                                         options.algorithm + "'"));
   }
+  // The refusal rule is keyed off the adapter's own SupportsMerge, so a
+  // structure becomes shardable the moment its Merge lands (bdw_optimal
+  // did via the shared epoch schedule; lossy_counting and sticky_sampling
+  // remain position-dependent and refused at K > 1).
   if (options.num_shards > 1 && !probe->SupportsMerge()) {
     return fail(Status::FailedPrecondition(
         "'" + options.algorithm +

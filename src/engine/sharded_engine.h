@@ -1,31 +1,52 @@
 // ShardedEngine — the scale-out layer over the unified Summary interface.
+// Architecture walkthrough: docs/ENGINE.md.
 //
 // The paper's structures are mergeable (Misra-Gries and Space-Saving by
 // the classic merge, the linear sketches cell-wise, BdwSimple by sample
-// concatenation), which is exactly the property Woodruff's survey singles
-// out as the route to distributed and parallel deployment.  The engine
-// exploits it: the item universe is hash-partitioned across K shards,
-// each shard owns an independent instance of one factory-registered
-// Summary (same name, same options, same seed — the Merge compatibility
-// precondition), and every shard is fed through a lock-free SPSC ring
-// buffer drained in batches by a pool of worker threads.  Global answers
-// come from merging the shard summaries on demand behind a merge-epoch
-// cache, so repeated queries over an unchanged stream pay for one merge.
+// concatenation, BdwOptimal by epoch-reconciled table sums), which is
+// exactly the property Woodruff's survey singles out as the route to
+// distributed and parallel deployment.  The engine exploits it: the item
+// universe is hash-partitioned across K shards, each shard owns an
+// independent instance of one factory-registered Summary (same name,
+// same options, same seed — the Merge compatibility precondition), and
+// every shard is fed through a lock-free SPSC ring buffer drained in
+// batches by a pool of worker threads.  Global answers come from merging
+// the shard summaries on demand behind a merge-epoch cache, so repeated
+// queries over an unchanged stream pay for one merge.
 //
 // Because shards see disjoint substreams (every occurrence of an item
 // lands on the same shard), the merged summary answers for the
 // concatenated stream exactly as a single summary would — within each
 // structure's documented merge error (see docs/ALGORITHMS.md's
-// mergeability table).  Structures that do not support Merge
-// (lossy_counting, sticky_sampling, bdw_optimal) are refused at
-// construction for K > 1; K == 1 degenerates to a single-summary engine
-// (still useful for moving ingestion off the caller's thread).
+// mergeability table).  This includes the paper's space-optimal
+// Algorithm 2 (`bdw_optimal`), whose accelerated-counter epochs follow a
+// schedule shared by all shards and are reconciled at merge time
+// (core/bdw_optimal.h).  Structures that do not support Merge
+// (lossy_counting, sticky_sampling) are refused at construction for
+// K > 1 rather than silently answering wrong; K == 1 degenerates to a
+// single-summary engine (still useful for moving ingestion off the
+// caller's thread).
 //
-// Threading contract: exactly ONE controller thread calls Update /
-// UpdateBatch / Flush / Estimate / HeavyHitters / MergedView (the SPSC
-// producer side); the engine's internal workers are the consumers.  The
-// query methods flush first — they block until every enqueued item has
-// been applied — so results always reflect the full ingested prefix.
+// ---- Thread-safety contract (what tests/sharded_engine_test.cc and the
+// CI TSan job enforce) -------------------------------------------------
+//
+//   * Exactly ONE controller thread may call Update / UpdateBatch /
+//     Flush / Estimate / HeavyHitters / MergedView / MemoryUsageBytes.
+//     These are the SPSC producer side of every shard ring plus the
+//     owner of the scatter-staging buffers and the merge cache; a second
+//     caller thread is a data race, not just a semantic error.
+//   * The engine's internal workers are the only ring consumers, and
+//     each shard is owned by exactly one worker.
+//   * Query methods flush first — they block until every enqueued item
+//     has been applied (release/acquire on per-shard enqueued/applied
+//     counters) — so results always reflect the full ingested prefix,
+//     and shard summaries are only read while the workers are quiescent.
+//   * ItemsProcessed / ShardItemCounts / ShardOf and the plain getters
+//     are safe from any thread at any time (atomic reads or immutable
+//     state); the counts they report lag ingestion until a Flush.
+//   * The reference returned by MergedView is valid until the next
+//     non-const engine call, and must only be used on the controller
+//     thread.
 #ifndef L1HH_ENGINE_SHARDED_ENGINE_H_
 #define L1HH_ENGINE_SHARDED_ENGINE_H_
 

@@ -11,10 +11,19 @@
 // consumer (and symmetrically for frees via `head_`), so the structure is
 // data-race-free without any locks.
 //
+// ---- Thread-safety contract -------------------------------------------
 // Exactly one thread may call the producer methods (TryPush/PushSome) and
-// exactly one thread the consumer methods (PopBatch/ApproxSize is safe on
-// either).  The engine enforces this: the ingestion thread produces, the
-// shard's drain thread consumes.
+// exactly one thread the consumer methods (PopBatch); ApproxSize is safe
+// on either side.  Two producers (or two consumers) race on the cached
+// positions and the slot array — use one ring per producer/consumer pair
+// instead.  The engine enforces this: the controller thread produces, the
+// shard's one drain worker consumes (docs/ENGINE.md).
+//
+// Implementation gotcha (regression-pinned by sharded_engine_test): a
+// consumer must refresh its cached tail whenever the cache cannot satisfy
+// the *requested* batch, not only when the ring looks empty — otherwise
+// PopBatch keeps serving short batches from a stale snapshot while the
+// producer has long since published more.
 #ifndef L1HH_ENGINE_SPSC_RING_H_
 #define L1HH_ENGINE_SPSC_RING_H_
 

@@ -63,6 +63,14 @@ struct SummaryOptions {
   uint64_t seed = 1;           // PRNG / hash seed (randomized structures)
 };
 
+// Thread-safety contract: a Summary is a single-threaded object.  No
+// method is safe to call concurrently with any other on the same
+// instance (including the const queries, which may share scratch state in
+// derived classes); callers that want parallelism run one instance per
+// thread over disjoint substreams and combine them with Merge — which is
+// exactly what the sharded engine (src/engine/) does, with a Flush
+// quiescence protocol guarding every read.  Distinct instances never
+// share mutable state and may be used from different threads freely.
 class Summary {
  public:
   virtual ~Summary() = default;
@@ -110,9 +118,23 @@ class Summary {
   virtual bool SupportsMerge() const { return false; }
 
   /// In-place merge with `other`.  After an OK merge this summary answers
-  /// for the concatenation of both substreams.  Returns
-  /// FailedPrecondition when the structure does not support merging and
-  /// InvalidArgument when `other` is incompatible.
+  /// for the concatenation of both substreams.
+  ///
+  /// Preconditions (what adapters check and tests/merge_property_test.cc
+  /// enforces):
+  ///   * `other` is the same registry type, built from the same
+  ///     SummaryOptions — merging, say, an eps=0.1 table into an eps=0.01
+  ///     contract would silently loosen the guarantee and is rejected;
+  ///   * randomized structures additionally require the same seed (same
+  ///     hash functions / sampling rate / epoch schedule);
+  ///   * the two summaries observed *position-disjoint* substreams whose
+  ///     combined length is covered by options.stream_length (the
+  ///     sampling-based structures rescale by it).
+  /// Returns FailedPrecondition when the structure does not support
+  /// merging and InvalidArgument (leaving this summary unchanged) when
+  /// `other` is incompatible.  Merging is commutative and associative
+  /// within each structure's documented additive error
+  /// (docs/ALGORITHMS.md#mergeability).
   virtual Status Merge(const Summary& other);
 };
 

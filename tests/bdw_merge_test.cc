@@ -1,0 +1,253 @@
+// Epoch-reconciliation suite for BdwOptimal's distributed merge (ISSUE 3):
+//   * merging instances parked at different epochs of the shared schedule
+//     fast-forwards the behind one and stays accurate;
+//   * FastForwardToEpoch only ever raises the epoch, clamps at max_epoch,
+//     and never perturbs estimates (it trades space for variance only);
+//   * Compatible/MergeFrom reject mismatched options and seeds, leaving
+//     the target untouched;
+//   * K-way shard-then-merge preserves the Definition 1 contract over a
+//     seed battery within the binomial failure budget (the core-level
+//     twin of the engine conformance suite).
+//
+// ctest label: conformance (runs under the CI sanitizer matrix).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/bdw_optimal.h"
+#include "stream/stream_generator.h"
+#include "summary/exact_counter.h"
+#include "summary/summary.h"
+#include "util/random.h"
+
+namespace l1hh {
+namespace {
+
+BdwOptimal::Options MakeOptions(double eps, double phi, uint64_t m,
+                                uint64_t n = uint64_t{1} << 24) {
+  BdwOptimal::Options opt;
+  opt.epsilon = eps;
+  opt.phi = phi;
+  opt.delta = 0.1;
+  opt.universe_size = n;
+  opt.stream_length = m;
+  return opt;
+}
+
+// A stream where item 7 occurs every 4th position and the rest is
+// near-distinct background — item 7 is 0.25-heavy wherever you cut it.
+void IngestPattern(BdwOptimal& sketch, uint64_t from, uint64_t to) {
+  for (uint64_t i = from; i < to; ++i) {
+    sketch.Insert(i % 4 == 0 ? 7 : 1000 + i % 9973);
+  }
+}
+
+TEST(BdwMergeTest, MergeReconcilesInstancesAtDifferentEpochs) {
+  const uint64_t m = 45000;
+  const auto opt = MakeOptions(0.02, 0.1, m);
+  BdwOptimal big(opt, 3), small(opt, 3);
+  IngestPattern(big, 0, 40000);      // most of the schedule walked
+  IngestPattern(small, 40000, m);    // barely past epoch 0
+  ASSERT_GT(big.current_epoch(), small.current_epoch())
+      << "test needs genuinely different epochs to exercise reconciliation";
+
+  const uint64_t total_samples = big.samples_taken() + small.samples_taken();
+  // Merge the BEHIND instance into the AHEAD one's state: small must
+  // fast-forward to the common epoch during MergeFrom.
+  ASSERT_TRUE(small.MergeFrom(big).ok());
+  EXPECT_GE(small.current_epoch(), big.current_epoch());
+  // No manual fast-forwards happened, so the merged epoch is exactly the
+  // schedule at the combined sample position.
+  EXPECT_EQ(small.current_epoch(), small.EpochAtSample(total_samples));
+  EXPECT_EQ(small.samples_taken(), total_samples);
+  EXPECT_EQ(small.items_processed(), m);
+
+  // Accuracy over the union stream: item 7 has exactly m/4 arrivals
+  // (positions 0, 4, ..., 44996 -> 11250).
+  const double truth = std::ceil(static_cast<double>(m) / 4.0);
+  EXPECT_NEAR(small.EstimateCount(7), truth,
+              1.5 * opt.epsilon * static_cast<double>(m));
+  bool reported = false;
+  for (const auto& hh : small.Report()) reported |= hh.item == 7;
+  EXPECT_TRUE(reported);
+}
+
+TEST(BdwMergeTest, MergePropagatesFastForwardFloors) {
+  const uint64_t m = 60000;
+  const auto opt = MakeOptions(0.02, 0.1, m);
+  BdwOptimal a(opt, 5), b(opt, 5);
+  IngestPattern(a, 0, 1000);
+  IngestPattern(b, 1000, 2000);
+  a.FastForwardToEpoch(a.max_epoch());
+  ASSERT_EQ(a.current_epoch(), a.max_epoch());
+  // b merges a: a's floor (carried in its current epoch) must win over
+  // b's own schedule position, so a later merge chain can never count at
+  // a probability below anything either side already reached.
+  ASSERT_TRUE(b.MergeFrom(a).ok());
+  EXPECT_EQ(b.current_epoch(), b.max_epoch());
+}
+
+TEST(BdwMergeTest, FastForwardOnlyRaisesAndClampsAtMaxEpoch) {
+  const uint64_t m = 50000;
+  BdwOptimal sketch(MakeOptions(0.02, 0.1, m), 9);
+  IngestPattern(sketch, 0, 20000);
+  const int mid = sketch.current_epoch();
+  sketch.FastForwardToEpoch(0);  // behind the present: must be a no-op
+  EXPECT_EQ(sketch.current_epoch(), mid);
+  sketch.FastForwardToEpoch(mid + 2);
+  EXPECT_EQ(sketch.current_epoch(), std::min(mid + 2, sketch.max_epoch()));
+  sketch.FastForwardToEpoch(1 << 20);  // far past the cap: clamps
+  EXPECT_EQ(sketch.current_epoch(), sketch.max_epoch());
+}
+
+TEST(BdwMergeTest, FastForwardDoesNotBiasEstimates) {
+  const uint64_t m = 50000;
+  const auto opt = MakeOptions(0.02, 0.1, m);
+  BdwOptimal plain(opt, 11), forwarded(opt, 11);
+  IngestPattern(plain, 0, m);
+  IngestPattern(forwarded, 0, m / 2);
+  // Jump straight to the top of the schedule mid-stream: the remaining
+  // arrivals are counted at probability 1-ish instead of the scheduled
+  // rate.  Estimates must stay on target (only variance/space change).
+  forwarded.FastForwardToEpoch(forwarded.max_epoch());
+  IngestPattern(forwarded, m / 2, m);
+  const double truth = std::ceil(static_cast<double>(m) / 4.0);
+  const double tol = 1.5 * opt.epsilon * static_cast<double>(m);
+  EXPECT_NEAR(plain.EstimateCount(7), truth, tol);
+  EXPECT_NEAR(forwarded.EstimateCount(7), truth, tol);
+}
+
+TEST(BdwMergeTest, CompatibleRequiresSameOptionsAndSeed) {
+  const uint64_t m = 40000;
+  const BdwOptimal base(MakeOptions(0.02, 0.1, m), 21);
+  const BdwOptimal twin(MakeOptions(0.02, 0.1, m), 21);
+  EXPECT_TRUE(BdwOptimal::Compatible(base, twin));
+
+  const BdwOptimal other_seed(MakeOptions(0.02, 0.1, m), 22);
+  EXPECT_FALSE(BdwOptimal::Compatible(base, other_seed))
+      << "different seed draws different hash functions";
+  const BdwOptimal other_eps(MakeOptions(0.05, 0.1, m), 21);
+  EXPECT_FALSE(BdwOptimal::Compatible(base, other_eps));
+  const BdwOptimal other_phi(MakeOptions(0.02, 0.2, m), 21);
+  EXPECT_FALSE(BdwOptimal::Compatible(base, other_phi));
+  const BdwOptimal other_m(MakeOptions(0.02, 0.1, 2 * m), 21);
+  EXPECT_FALSE(BdwOptimal::Compatible(base, other_m))
+      << "different m means a different sampling rate and schedule";
+}
+
+TEST(BdwMergeTest, MergeFromRejectsIncompatibleAndLeavesTargetUntouched) {
+  const uint64_t m = 40000;
+  BdwOptimal target(MakeOptions(0.02, 0.1, m), 31);
+  IngestPattern(target, 0, 10000);
+  const uint64_t samples_before = target.samples_taken();
+  const int epoch_before = target.current_epoch();
+
+  BdwOptimal mismatched(MakeOptions(0.02, 0.1, m), 32);
+  IngestPattern(mismatched, 10000, 20000);
+  EXPECT_FALSE(target.MergeFrom(mismatched).ok());
+  EXPECT_EQ(target.samples_taken(), samples_before);
+  EXPECT_EQ(target.current_epoch(), epoch_before);
+}
+
+TEST(BdwMergeTest, AdapterMergeRejectsMismatchedSeedAndOptions) {
+  SummaryOptions base;
+  base.epsilon = 0.02;
+  base.phi = 0.1;
+  base.universe_size = uint64_t{1} << 20;
+  base.stream_length = 40000;
+  base.seed = 7;
+
+  auto a = MakeSummary("bdw_optimal", base);
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->SupportsMerge());
+
+  SummaryOptions other_seed = base;
+  other_seed.seed = 8;
+  auto b = MakeSummary("bdw_optimal", other_seed);
+  EXPECT_FALSE(a->Merge(*b).ok());
+
+  SummaryOptions other_eps = base;
+  other_eps.epsilon = 0.05;
+  auto c = MakeSummary("bdw_optimal", other_eps);
+  EXPECT_FALSE(a->Merge(*c).ok());
+
+  auto d = MakeSummary("misra_gries", base);
+  EXPECT_FALSE(a->Merge(*d).ok()) << "cross-structure merge must fail";
+
+  auto e = MakeSummary("bdw_optimal", base);
+  EXPECT_TRUE(a->Merge(*e).ok());
+}
+
+// Definition 1 over a seed battery for K-way shard-then-merge, the
+// core-level statement behind "the optimal algorithm, sharded": items are
+// hash-partitioned (every occurrence on one shard, like the engine), all
+// shards share options and seed, and the epoch-reconciled merge must keep
+// recall, soundness, and estimate error within the same binomial failure
+// budget the single-instance conformance suite uses.
+TEST(BdwMergeTest, ShardThenMergeKeepsDefinitionOneOverSeeds) {
+  constexpr double kEps = 0.02, kPhi = 0.05, kDelta = 0.05;
+  constexpr uint64_t kM = 40000;
+  constexpr size_t kShards = 4;
+  constexpr int kRuns = 8;
+  // mean + 3 sigma of Binomial(kRuns, kDelta).
+  const int budget = static_cast<int>(std::ceil(
+      kRuns * kDelta + 3.0 * std::sqrt(kRuns * kDelta * (1.0 - kDelta))));
+
+  int failures = 0;
+  for (int run = 0; run < kRuns; ++run) {
+    const uint64_t seed = 4000 + 13 * static_cast<uint64_t>(run);
+    PlantedSpec spec;
+    // Straddle the contract thresholds: two clear heavies, one just above
+    // phi, one below (phi - eps) that must never be reported.
+    spec.planted_fractions = {0.12, 0.08, kPhi + 0.006,
+                              kPhi - kEps - 0.005};
+    spec.universe_size = uint64_t{1} << 20;
+    spec.stream_length = kM;
+    spec.order = StreamOrder::kHeaviesLast;
+    const PlantedStream s = MakePlantedStream(spec, seed);
+
+    const auto opt = MakeOptions(kEps, kPhi, kM, uint64_t{1} << 20);
+    std::vector<BdwOptimal> shards;
+    for (size_t k = 0; k < kShards; ++k) shards.emplace_back(opt, seed + 1);
+    ExactCounter exact;
+    for (const uint64_t x : s.items) {
+      shards[static_cast<size_t>(Mix64(x) % kShards)].Insert(x);
+      exact.Insert(x);
+    }
+    BdwOptimal& merged = shards[0];
+    for (size_t k = 1; k < kShards; ++k) {
+      ASSERT_TRUE(merged.MergeFrom(shards[k]).ok());
+    }
+
+    bool ok = true;
+    const double m = static_cast<double>(kM);
+    std::unordered_set<uint64_t> reported;
+    for (const auto& hh : merged.Report()) {
+      reported.insert(hh.item);
+      // Soundness + estimate accuracy of everything reported.
+      if (exact.Count(hh.item) <
+          static_cast<uint64_t>((kPhi - kEps) * m) - 1) {
+        ok = false;
+      }
+      if (std::abs(hh.estimated_count -
+                   static_cast<double>(exact.Count(hh.item))) >
+          1.5 * kEps * m) {
+        ok = false;
+      }
+    }
+    // Recall of everything above phi*m (the first three planted items).
+    for (const auto& t :
+         exact.HeavyHitters(static_cast<uint64_t>(kPhi * m) + 1)) {
+      if (reported.count(t.item) == 0) ok = false;
+    }
+    if (!ok) ++failures;
+  }
+  EXPECT_LE(failures, budget);
+}
+
+}  // namespace
+}  // namespace l1hh

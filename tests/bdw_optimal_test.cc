@@ -176,24 +176,43 @@ TEST(BdwOptimalTest, SpaceSlopeInLogNBeatsMisraGries) {
   EXPECT_GT(mg_slope, 8 * std::max(opt_slope, 1.0));
 }
 
-TEST(BdwOptimalTest, BiasCorrectionImprovesEstimates) {
+// The merge-enabling property of the epoch scheme: the epoch is a pure
+// function of (Options, samples taken) — identical across instances with
+// the same options, monotone in the sample position, and clamped to
+// [0, max_epoch].  (Per-instance state like the hash draws must not leak
+// into it; that is what makes shard epochs reconcilable.)
+TEST(BdwOptimalTest, EpochScheduleIsSharedDeterministicAndMonotone) {
   const uint64_t m = 60000;
-  const double eps = 0.02;
-  BdwOptimal::Options with = MakeOptions(eps, 0.2, m);
-  BdwOptimal::Options without = MakeOptions(eps, 0.2, m);
-  without.constants.opt_bias_correction = false;
-  double err_with = 0, err_without = 0;
-  const int trials = 6;
-  for (int t = 0; t < trials; ++t) {
-    BdwOptimal a(with, 100 + t), b(without, 100 + t);
-    for (uint64_t i = 0; i < m; ++i) {
-      a.Insert(i % 2);
-      b.Insert(i % 2);
-    }
-    err_with += std::abs(a.EstimateCount(0) - m / 2.0);
-    err_without += std::abs(b.EstimateCount(0) - m / 2.0);
+  const BdwOptimal a(MakeOptions(0.02, 0.1, m), 1);
+  const BdwOptimal b(MakeOptions(0.02, 0.1, m), 999);  // different seed
+  int prev = -1;
+  for (uint64_t s = 0; s <= m; s += 997) {
+    const int t = a.EpochAtSample(s);
+    EXPECT_EQ(t, b.EpochAtSample(s)) << "schedule depends on the seed";
+    EXPECT_GE(t, prev) << "schedule not monotone at s=" << s;
+    EXPECT_GE(t, 0);
+    EXPECT_LE(t, a.max_epoch());
+    prev = t;
   }
-  EXPECT_LE(err_with, err_without + 0.01 * m * trials);
+  // The schedule leaves epoch 0 once eps*phi*s clears the scale, so a
+  // full-length run must actually exercise several epochs.
+  EXPECT_GT(a.EpochAtSample(m), 2);
+}
+
+// current_epoch() tracks the schedule during ingestion: with these
+// options the sampler keeps everything (l > m), so samples == inserts.
+TEST(BdwOptimalTest, CurrentEpochFollowsScheduleDuringIngest) {
+  const uint64_t m = 50000;
+  BdwOptimal sketch(MakeOptions(0.02, 0.1, m), 5);
+  for (uint64_t i = 0; i < m; ++i) {
+    sketch.Insert(i % 100);
+    if (i % 5000 == 0) {
+      EXPECT_EQ(sketch.current_epoch(),
+                sketch.EpochAtSample(sketch.samples_taken()));
+    }
+  }
+  EXPECT_EQ(sketch.samples_taken(), m);
+  EXPECT_EQ(sketch.current_epoch(), sketch.EpochAtSample(m));
 }
 
 class BdwOptimalGrid

@@ -18,6 +18,7 @@
 #include "engine/sharded_engine.h"
 #include "stream/stream_generator.h"
 #include "summary/summary.h"
+#include "summary_test_util.h"
 #include "util/random.h"
 
 namespace l1hh {
@@ -39,14 +40,7 @@ SummaryOptions Options() {
 }
 
 std::vector<std::string> MergeableNames() {
-  std::vector<std::string> names;
-  for (const auto& name : RegisteredSummaryNames()) {
-    auto summary = MakeSummary(name, Options());
-    if (summary != nullptr && summary->SupportsMerge()) {
-      names.push_back(name);
-    }
-  }
-  return names;
+  return MergeableSummaryNames(Options());
 }
 
 class MergePropertyTest : public testing::TestWithParam<std::string> {
@@ -117,6 +111,19 @@ class MergePropertyTest : public testing::TestWithParam<std::string> {
     }
   }
 };
+
+// Pins the tentpole of ISSUE 3: the paper's space-optimal Algorithm 2 is
+// mergeable (epoch-reconciled MergeFrom) and therefore swept by every
+// property below and shardable by the engine.  If a refactor silently
+// drops SupportsMerge, the parameterized suite would just shrink — this
+// test makes that a failure instead.
+TEST(MergeableSetTest, PaperAlgorithmsAreMergeable) {
+  const auto names = MergeableNames();
+  for (const char* required : {"bdw_simple", "bdw_optimal"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << required << " must support Merge";
+  }
+}
 
 TEST_P(MergePropertyTest, MergeIsCommutative) {
   auto ab = Ingest(Parts()[0]);

@@ -186,11 +186,13 @@ TEST_P(SummaryInterfaceTest, MergeWithDifferentStructureFails) {
 // Same structure but different accuracy options must be rejected: merging
 // a k=100 table into a k=10 contract would silently loosen eps.
 TEST(SummaryMergeCompatTest, MismatchedOptionsRejected) {
-  for (const char* name : {"misra_gries", "space_saving"}) {
+  for (const char* name : {"misra_gries", "space_saving", "bdw_optimal"}) {
     SummaryOptions tight;
     tight.epsilon = 0.01;
+    tight.stream_length = kStreamLength;
     SummaryOptions loose;
     loose.epsilon = 0.1;
+    loose.stream_length = kStreamLength;
     auto a = MakeSummary(name, tight);
     auto b = MakeSummary(name, loose);
     ASSERT_NE(a, nullptr);

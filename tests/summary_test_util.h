@@ -1,0 +1,30 @@
+// Shared helpers for the parameterized summary suites.
+#ifndef L1HH_TESTS_SUMMARY_TEST_UTIL_H_
+#define L1HH_TESTS_SUMMARY_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "summary/summary.h"
+
+namespace l1hh {
+
+/// Registered names whose adapters support Merge under `options` — the
+/// algorithm set every merge/shard suite parameterizes over.  Pass the
+/// suite's own options so the probe matches what the suite constructs
+/// (the BDW adapters, for instance, require stream_length to be set).
+inline std::vector<std::string> MergeableSummaryNames(
+    const SummaryOptions& options) {
+  std::vector<std::string> names;
+  for (const auto& name : RegisteredSummaryNames()) {
+    auto summary = MakeSummary(name, options);
+    if (summary != nullptr && summary->SupportsMerge()) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+}  // namespace l1hh
+
+#endif  // L1HH_TESTS_SUMMARY_TEST_UTIL_H_

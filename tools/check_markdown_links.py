@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker (CI docs job; see .github/workflows).
+
+Scans the user-facing docs (README.md, ROADMAP.md, docs/*.md) for inline
+markdown links `[text](target)` and fails when
+
+  * a relative file target does not exist in the repository, or
+  * a `#fragment` (bare or on a .md target) does not match any header's
+    GitHub-style anchor slug in the target file.
+
+External links (http/https/mailto) are deliberately NOT fetched — the
+job must be hermetic and offline-safe.  Usage:
+
+  python3 tools/check_markdown_links.py [repo_root]
+
+Exit code 0 when every link resolves, 1 otherwise (each dangling link is
+reported on stderr as file:line: message).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+HEADER_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def slugify(header: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->hyphens."""
+    text = header.strip().replace("`", "")
+    # Drop markdown links/emphasis inside headers: keep the visible text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.lower()
+    out = []
+    for ch in text:
+        if ch.isalnum() or ch in "_-":
+            out.append(ch)
+        elif ch == " ":
+            out.append("-")
+        # every other character (punctuation, em-dashes, ...) is dropped
+    return "".join(out)
+
+
+def anchors_of(path: Path) -> set:
+    anchors = set()
+    in_code_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        m = HEADER_RE.match(line)
+        if m:
+            anchors.add(slugify(m.group(2)))
+    return anchors
+
+
+def check_file(md: Path, root: Path, anchor_cache: dict) -> list:
+    errors = []
+    in_code_fence = False
+    for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(EXTERNAL):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (md.parent / path_part).resolve()
+                if not resolved.exists():
+                    errors.append(f"{md.relative_to(root)}:{lineno}: "
+                                  f"dangling link target '{target}'")
+                    continue
+            else:
+                resolved = md.resolve()
+            if fragment and resolved.suffix == ".md":
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = anchors_of(resolved)
+                if fragment.lower() not in anchor_cache[resolved]:
+                    errors.append(
+                        f"{md.relative_to(root)}:{lineno}: anchor "
+                        f"'#{fragment}' not found in "
+                        f"{resolved.relative_to(root)}")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    files = [root / "README.md", root / "ROADMAP.md"]
+    files += sorted((root / "docs").glob("*.md"))
+    files = [f for f in files if f.exists()]
+    if not files:
+        print("check_markdown_links: no markdown files found", file=sys.stderr)
+        return 1
+
+    anchor_cache = {}
+    errors = []
+    for md in files:
+        errors += check_file(md, root, anchor_cache)
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_markdown_links: {len(files)} files, "
+          f"{len(errors)} dangling link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
