@@ -1,0 +1,123 @@
+// Snapshots end to end: the two deployment moves docs/SNAPSHOTS.md
+// describes, as one runnable program.
+//
+//   1. Scatter/gather: two worker processes (simulated here) each
+//      summarize their own partition of a stream — same options, same
+//      seed, --m set to the COMBINED length — and write snapshot files.
+//      A coordinator that never saw a raw item loads and merges the
+//      files into one Definition-1-conformant fleet-wide report.
+//   2. Crash/resume: a 4-shard engine checkpoints mid-stream, "crashes"
+//      (is destroyed), is restored from the checkpoint directory, and
+//      finishes the stream.  The restored run reports exactly what an
+//      uninterrupted run would.
+//
+// Expected output: the planted heavy item 424242 at ~10% in the merged
+// coordinator report; then identical heavy-hitter lines from the
+// uninterrupted and the checkpoint-restored engine, and a final
+// "restored == uninterrupted: yes".
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/sharded_engine.h"
+#include "io/snapshot.h"
+#include "stream/stream_generator.h"
+#include "summary/summary.h"
+
+int main() {
+  using namespace l1hh;
+
+  const uint64_t m = 1 << 19;
+  SummaryOptions opt;
+  opt.epsilon = 0.01;
+  opt.phi = 0.05;
+  opt.universe_size = uint64_t{1} << 24;
+  opt.stream_length = m;  // the COMBINED length, fleet-wide
+  opt.seed = 42;          // shared seed = merge-compatible summaries
+
+  // A Zipf stream with one planted cross-partition heavy item.
+  std::vector<uint64_t> stream =
+      MakeZipfStream(opt.universe_size, 1.1, m, /*seed=*/7);
+  for (size_t i = 0; i < stream.size(); i += 10) stream[i] = 424242;
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "l1hh_checkpoint_demo")
+          .string();
+  std::filesystem::create_directories(dir);
+
+  // ---- 1. Scatter/gather via snapshot files ----------------------------
+  // Item-partitioned, like the engine's hash partitioning: every
+  // occurrence of an id lands on the same worker.
+  auto worker_a = MakeSummary("bdw_optimal", opt);
+  auto worker_b = MakeSummary("bdw_optimal", opt);
+  for (const uint64_t x : stream) {
+    (x % 2 == 0 ? worker_a : worker_b)->Update(x);
+  }
+  const std::string file_a = dir + "/worker_a.l1hh";
+  const std::string file_b = dir + "/worker_b.l1hh";
+  SaveSummaryToFile(*worker_a, file_a);
+  SaveSummaryToFile(*worker_b, file_b);
+
+  Status status;
+  auto merged = LoadSummaryFromFile(file_a, &status);
+  auto other = LoadSummaryFromFile(file_b, &status);
+  if (merged == nullptr || other == nullptr) {
+    std::fprintf(stderr, "coordinator load failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  status = merged->Merge(*other);
+  if (!status.ok()) {
+    std::fprintf(stderr, "coordinator merge failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("coordinator: merged %llu + %llu worker items from "
+              "%zu-byte snapshots\n",
+              static_cast<unsigned long long>(worker_a->ItemsProcessed()),
+              static_cast<unsigned long long>(worker_b->ItemsProcessed()),
+              static_cast<size_t>(std::filesystem::file_size(file_a)));
+  for (const auto& hh : merged->HeavyHitters(opt.phi)) {
+    std::printf("  item %-10llu ~%.0f (%.1f%%)\n",
+                static_cast<unsigned long long>(hh.item), hh.estimate,
+                100.0 * hh.estimate / static_cast<double>(m));
+  }
+
+  // ---- 2. Crash/resume via engine checkpoint ---------------------------
+  ShardedEngineOptions engine_opt;
+  engine_opt.algorithm = "bdw_optimal";
+  engine_opt.summary = opt;
+  engine_opt.num_shards = 4;
+
+  auto uninterrupted = ShardedEngine::Create(engine_opt, &status);
+  auto doomed = ShardedEngine::Create(engine_opt, &status);
+  const size_t half = stream.size() / 2;
+  uninterrupted->UpdateBatch(stream);
+  doomed->UpdateBatch({stream.data(), half});
+  const std::string ckpt = dir + "/engine_ckpt";
+  if (!doomed->Checkpoint(ckpt).ok()) return 1;
+  doomed.reset();  // "crash"
+
+  auto restored = ShardedEngine::Restore(ckpt, &status);
+  if (restored == nullptr) {
+    std::fprintf(stderr, "restore failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  restored->UpdateBatch({stream.data() + half, stream.size() - half});
+
+  const auto a = uninterrupted->HeavyHitters(opt.phi);
+  const auto b = restored->HeavyHitters(opt.phi);
+  bool identical = a.size() == b.size();
+  for (size_t i = 0; identical && i < a.size(); ++i) {
+    identical = a[i].item == b[i].item && a[i].estimate == b[i].estimate;
+    std::printf("  uninterrupted %-10llu %.0f | restored %-10llu %.0f\n",
+                static_cast<unsigned long long>(a[i].item), a[i].estimate,
+                static_cast<unsigned long long>(b[i].item), b[i].estimate);
+  }
+  std::printf("restored == uninterrupted: %s\n", identical ? "yes" : "NO");
+
+  std::filesystem::remove_all(dir);
+  return identical ? 0 : 1;
+}

@@ -314,4 +314,10 @@ BdwOptimal BdwOptimal::Deserialize(BitReader& in, uint64_t seed) {
   return out;
 }
 
+void BdwOptimal::SerializeRngState(BitWriter& out) const {
+  rng_.Serialize(out);
+}
+
+void BdwOptimal::DeserializeRngState(BitReader& in) { rng_.Deserialize(in); }
+
 }  // namespace l1hh

@@ -141,6 +141,12 @@ class BdwOptimal {
   void Serialize(BitWriter& out) const;
   static BdwOptimal Deserialize(BitReader& in, uint64_t seed);
 
+  /// Snapshot support: persists the live PRNG state so a restored sketch
+  /// continues the exact random sequence of the saved one (same contract
+  /// as BdwSimple::SerializeRngState).
+  void SerializeRngState(BitWriter& out) const;
+  void DeserializeRngState(BitReader& in);
+
  private:
   size_t T2Cell(size_t row, size_t rep) const { return row * reps_ + rep; }
   size_t T3Cell(size_t row, size_t rep, int epoch) const {

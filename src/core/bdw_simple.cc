@@ -149,4 +149,10 @@ BdwSimple BdwSimple::Deserialize(BitReader& in, uint64_t seed) {
   return out;
 }
 
+void BdwSimple::SerializeRngState(BitWriter& out) const {
+  rng_.Serialize(out);
+}
+
+void BdwSimple::DeserializeRngState(BitReader& in) { rng_.Deserialize(in); }
+
 }  // namespace l1hh

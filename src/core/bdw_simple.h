@@ -77,6 +77,14 @@ class BdwSimple {
   void Serialize(BitWriter& out) const;
   static BdwSimple Deserialize(BitReader& in, uint64_t seed);
 
+  /// Snapshot support: persists the live PRNG state so a restored sketch
+  /// continues the exact random sequence of the saved one.  Appended after
+  /// Serialize() by the snapshot payloads (src/io/); the communication
+  /// games keep sending Serialize() alone — Bob never inserts with Alice's
+  /// generator, and the message stays at its measured bit size.
+  void SerializeRngState(BitWriter& out) const;
+  void DeserializeRngState(BitReader& in);
+
  private:
   BdwSimple(const Options& options, uint64_t seed, HashedMisraGries table);
 

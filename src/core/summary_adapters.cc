@@ -37,9 +37,10 @@ std::vector<ItemEstimate> FilterTopK(const std::vector<HeavyHitter>& top,
 class BdwSimpleSummary : public Summary {
  public:
   explicit BdwSimpleSummary(const SummaryOptions& o)
-      : seed_(o.seed), impl_(MakeOptions(o), o.seed) {}
+      : options_(o), seed_(o.seed), impl_(MakeOptions(o), o.seed) {}
 
   std::string_view Name() const override { return "bdw_simple"; }
+  SummaryOptions Options() const override { return options_; }
 
   void Update(uint64_t item, uint64_t weight) override {
     for (uint64_t i = 0; i < weight; ++i) impl_.Insert(item);
@@ -80,6 +81,30 @@ class BdwSimpleSummary : public Summary {
     return Status::Ok();
   }
 
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveTo(BitWriter& out) const override {
+    impl_.Serialize(out);
+    impl_.SerializeRngState(out);
+    return Status::Ok();
+  }
+  Status LoadFrom(BitReader& in) override {
+    BdwSimple loaded = BdwSimple::Deserialize(in, seed_);
+    loaded.DeserializeRngState(in);
+    if (in.overflow()) return in.status();
+    // The wire carries the sketch's own options; they must agree with the
+    // header options this adapter was constructed from.
+    const BdwSimple::Options& a = loaded.options();
+    const BdwSimple::Options& b = impl_.options();
+    if (a.epsilon != b.epsilon || a.phi != b.phi || a.delta != b.delta ||
+        a.universe_size != b.universe_size ||
+        a.stream_length != b.stream_length) {
+      return Status::Corruption(
+          "'bdw_simple' snapshot payload options disagree with the header");
+    }
+    impl_ = std::move(loaded);
+    return Status::Ok();
+  }
+
  private:
   static BdwSimple::Options MakeOptions(const SummaryOptions& o) {
     BdwSimple::Options opt;
@@ -91,6 +116,7 @@ class BdwSimpleSummary : public Summary {
     return opt;
   }
 
+  SummaryOptions options_;
   uint64_t seed_;
   BdwSimple impl_;
 };
@@ -98,9 +124,10 @@ class BdwSimpleSummary : public Summary {
 class BdwOptimalSummary : public Summary {
  public:
   explicit BdwOptimalSummary(const SummaryOptions& o)
-      : seed_(o.seed), impl_(MakeOptions(o), o.seed) {}
+      : options_(o), seed_(o.seed), impl_(MakeOptions(o), o.seed) {}
 
   std::string_view Name() const override { return "bdw_optimal"; }
+  SummaryOptions Options() const override { return options_; }
 
   void Update(uint64_t item, uint64_t weight) override {
     for (uint64_t i = 0; i < weight; ++i) impl_.Insert(item);
@@ -141,6 +168,27 @@ class BdwOptimalSummary : public Summary {
     return impl_.MergeFrom(rhs->impl_);
   }
 
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveTo(BitWriter& out) const override {
+    impl_.Serialize(out);
+    impl_.SerializeRngState(out);
+    return Status::Ok();
+  }
+  Status LoadFrom(BitReader& in) override {
+    BdwOptimal loaded = BdwOptimal::Deserialize(in, seed_);
+    loaded.DeserializeRngState(in);
+    if (in.overflow()) return in.status();
+    // Compatible() re-verifies the full derived shape (rows, repetitions,
+    // epoch schedule, drawn hashes) against the instance the header
+    // options constructed — the same precondition Merge relies on.
+    if (!BdwOptimal::Compatible(impl_, loaded)) {
+      return Status::Corruption(
+          "'bdw_optimal' snapshot payload options disagree with the header");
+    }
+    impl_ = std::move(loaded);
+    return Status::Ok();
+  }
+
  private:
   static BdwOptimal::Options MakeOptions(const SummaryOptions& o) {
     BdwOptimal::Options opt;
@@ -152,6 +200,7 @@ class BdwOptimalSummary : public Summary {
     return opt;
   }
 
+  SummaryOptions options_;
   uint64_t seed_;
   BdwOptimal impl_;
 };

@@ -4,9 +4,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <utility>
 
+#include "io/snapshot.h"
 #include "util/random.h"
 
 namespace l1hh {
@@ -31,6 +35,17 @@ class IdleBackoff {
  private:
   unsigned idle_rounds_ = 0;
 };
+
+// One snapshot file per shard, named by shard index so the manifest and
+// the directory listing agree without a lookup table.
+std::string ShardFileName(size_t shard) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04zu.l1hh", shard);
+  return name;
+}
+
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kManifestHeader = "l1hh-checkpoint v1";
 
 }  // namespace
 
@@ -248,6 +263,171 @@ double ShardedEngine::Estimate(uint64_t item) {
 
 std::vector<ItemEstimate> ShardedEngine::HeavyHitters(double phi) {
   return MergedView().HeavyHitters(phi);
+}
+
+Status ShardedEngine::Checkpoint(const std::string& dir) {
+  Flush();  // quiesce: workers idle, shard summaries safe to read
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create checkpoint directory '" +
+                                   dir + "': " + ec.message());
+  }
+  // Invalidate any previous checkpoint BEFORE touching its shard files: a
+  // crash while rewriting must leave a manifest-less directory Restore
+  // refuses, never a stale manifest over mixed-epoch shards.
+  const std::string manifest_path =
+      (std::filesystem::path(dir) / kManifestName).string();
+  std::filesystem::remove(manifest_path, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot clear previous manifest '" +
+                                   manifest_path + "': " + ec.message());
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Status saved = SaveSummaryToFile(
+        *shards_[s]->summary,
+        (std::filesystem::path(dir) / ShardFileName(s)).string());
+    if (!saved.ok()) return saved;
+  }
+  // The manifest goes last: its presence marks the checkpoint complete, so
+  // a crash mid-checkpoint leaves a directory Restore refuses cleanly.
+  std::ofstream manifest(manifest_path, std::ios::trunc);
+  if (!manifest) {
+    return Status::InvalidArgument("cannot write '" + manifest_path + "'");
+  }
+  manifest << kManifestHeader << "\n"
+           << "algorithm=" << options_.algorithm << "\n"
+           << "num_shards=" << shards_.size() << "\n"
+           << "items_processed=" << ItemsProcessed() << "\n";
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    manifest << "shard=" << ShardFileName(s) << "\n";
+  }
+  manifest.flush();
+  if (!manifest) {
+    return Status::InvalidArgument("short write to '" + manifest_path + "'");
+  }
+  return Status::Ok();
+}
+
+std::unique_ptr<ShardedEngine> ShardedEngine::Restore(
+    const std::string& dir, const ShardedEngineOptions& exec,
+    Status* status) {
+  auto fail = [status](Status s) -> std::unique_ptr<ShardedEngine> {
+    if (status != nullptr) *status = std::move(s);
+    return nullptr;
+  };
+  const std::string manifest_path =
+      (std::filesystem::path(dir) / kManifestName).string();
+  std::ifstream manifest(manifest_path);
+  if (!manifest) {
+    return fail(Status::InvalidArgument(
+        "'" + dir + "' is not a checkpoint directory (no " + kManifestName +
+        ")"));
+  }
+  std::string line;
+  if (!std::getline(manifest, line) || line != kManifestHeader) {
+    return fail(Status::Corruption("unrecognized manifest header in '" +
+                                   manifest_path + "'"));
+  }
+  std::string algorithm;
+  uint64_t num_shards = 0;
+  std::vector<std::string> shard_files;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return fail(Status::Corruption("malformed manifest line '" + line +
+                                     "' in '" + manifest_path + "'"));
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "algorithm") {
+      algorithm = value;
+    } else if (key == "num_shards") {
+      num_shards = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "shard") {
+      // Checkpoint writes shard files as shard-NNNN.l1hh in index order;
+      // anything else (path separators, duplicates, reordering) is a
+      // tampered manifest, not a checkpoint we wrote.
+      if (value != ShardFileName(shard_files.size())) {
+        return fail(Status::Corruption("unexpected shard file name '" +
+                                       value + "' in '" + manifest_path +
+                                       "' (expected '" +
+                                       ShardFileName(shard_files.size()) +
+                                       "')"));
+      }
+      shard_files.push_back(value);
+    } else if (key != "items_processed") {
+      // Unknown keys are rejected, not skipped: a v1 reader must not
+      // half-understand a future manifest.
+      return fail(Status::InvalidArgument("unknown manifest key '" + key +
+                                          "' in '" + manifest_path + "'"));
+    }
+  }
+  if (algorithm.empty() || num_shards == 0 ||
+      shard_files.size() != num_shards) {
+    return fail(Status::Corruption(
+        "manifest '" + manifest_path + "' is incomplete (algorithm='" +
+        algorithm + "', num_shards=" + std::to_string(num_shards) + ", " +
+        std::to_string(shard_files.size()) + " shard files)"));
+  }
+
+  std::vector<std::unique_ptr<Summary>> loaded;
+  loaded.reserve(shard_files.size());
+  for (const std::string& file : shard_files) {
+    Status load_status;
+    auto summary = LoadSummaryFromFile(
+        (std::filesystem::path(dir) / file).string(), &load_status);
+    if (summary == nullptr) return fail(std::move(load_status));
+    if (summary->Name() != algorithm) {
+      return fail(Status::Corruption(
+          "shard file '" + file + "' holds '" +
+          std::string(summary->Name()) + "', manifest says '" + algorithm +
+          "'"));
+    }
+    loaded.push_back(std::move(summary));
+  }
+  if (num_shards > 1 && !loaded[0]->SupportsMerge()) {
+    return fail(Status::FailedPrecondition(
+        "'" + algorithm + "' does not support Merge; a multi-shard "
+        "checkpoint of it cannot be valid"));
+  }
+  // All shards must come from ONE checkpoint: same options and seed, or
+  // the first MergedView() query would fail on Merge compatibility (and
+  // abort).  Catch a spliced-in foreign shard file here, as a Status.
+  const SummaryOptions base = loaded[0]->Options();
+  for (size_t s = 1; s < loaded.size(); ++s) {
+    const SummaryOptions o = loaded[s]->Options();
+    if (o.epsilon != base.epsilon || o.phi != base.phi ||
+        o.delta != base.delta || o.universe_size != base.universe_size ||
+        o.stream_length != base.stream_length || o.seed != base.seed) {
+      return fail(Status::Corruption(
+          "shard file '" + shard_files[s] + "' was built with different "
+          "options or seed than '" + shard_files[0] +
+          "'; not shards of one checkpoint"));
+    }
+  }
+
+  ShardedEngineOptions options = exec;
+  options.algorithm = algorithm;
+  options.summary = loaded[0]->Options();
+  options.num_shards = static_cast<size_t>(num_shards);
+  std::unique_ptr<ShardedEngine> engine(new ShardedEngine(options));
+  for (size_t s = 0; s < engine->shards_.size(); ++s) {
+    const uint64_t processed = loaded[s]->ItemsProcessed();
+    engine->shards_[s]->summary = std::move(loaded[s]);
+    // Pre-thread-start stores: the worker pool has not launched yet.
+    engine->shards_[s]->enqueued.store(processed, std::memory_order_relaxed);
+    engine->shards_[s]->applied.store(processed, std::memory_order_relaxed);
+  }
+  engine->StartWorkers();
+  if (status != nullptr) *status = Status::Ok();
+  return engine;
+}
+
+std::unique_ptr<ShardedEngine> ShardedEngine::Restore(const std::string& dir,
+                                                      Status* status) {
+  return Restore(dir, ShardedEngineOptions{}, status);
 }
 
 size_t ShardedEngine::MemoryUsageBytes() {

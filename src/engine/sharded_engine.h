@@ -139,6 +139,31 @@ class ShardedEngine {
   size_t num_threads() const { return workers_.size(); }
   const std::string& algorithm() const { return options_.algorithm; }
 
+  // ---- Checkpoint / Restore (docs/SNAPSHOTS.md, docs/ENGINE.md) ---------
+
+  /// Flush-quiesces, then writes a restartable checkpoint into `dir`
+  /// (created if missing): one self-describing snapshot file per shard
+  /// (src/io/snapshot.h) plus a MANIFEST recording the algorithm, the
+  /// shard count, and the shard file names.  The manifest is written
+  /// last, so a directory with a MANIFEST is a complete checkpoint.
+  /// Controller thread only; overwrites any previous checkpoint in `dir`.
+  Status Checkpoint(const std::string& dir);
+
+  /// Rebuilds an engine from a Checkpoint directory and resumes ingestion
+  /// exactly where it left off: same algorithm, same per-shard options and
+  /// seed (read from the shard snapshot headers), same shard count, and
+  /// per-shard summaries restored bit-exactly — continuing the run is
+  /// indistinguishable from never having stopped.  `exec` supplies only
+  /// the execution knobs (num_threads, queue_capacity, drain_batch); its
+  /// algorithm/summary/num_shards fields are ignored in favor of the
+  /// checkpoint's.  Returns nullptr with the reason in *status on any
+  /// corrupt or inconsistent checkpoint.
+  static std::unique_ptr<ShardedEngine> Restore(
+      const std::string& dir, const ShardedEngineOptions& exec,
+      Status* status = nullptr);
+  static std::unique_ptr<ShardedEngine> Restore(const std::string& dir,
+                                                Status* status = nullptr);
+
   /// The owning shard of an item — stable for the engine's lifetime.
   size_t ShardOf(uint64_t item) const;
 

@@ -1,0 +1,268 @@
+#include "io/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <utility>
+
+#include "util/bit_stream.h"
+#include "util/crc32.h"
+
+namespace l1hh {
+namespace {
+
+constexpr char kMagic[8] = {'L', '1', 'H', 'H', 'S', 'N', 'A', 'P'};
+constexpr size_t kPreambleBytes = 8 + 4 + 8;  // magic + version + stream_bits
+constexpr size_t kTrailerBytes = 4;           // CRC-32
+constexpr size_t kMaxNameLength = 128;
+
+void AppendU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void AppendU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t ParseU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t ParseU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Domain check on header options BEFORE they reach a factory: adapter
+/// constructors divide by epsilon/phi and cast the results to integers,
+/// so a hostile value (0, denormal, negative, NaN) in a CRC-resealed
+/// container would be UB or an uncaught length_error, not a Status.
+Status ValidateHeaderOptions(const SummaryOptions& opt) {
+  const auto in_unit = [](double v) { return v > 1e-9 && v <= 1.0; };
+  if (!in_unit(opt.epsilon) || !in_unit(opt.phi) || !in_unit(opt.delta)) {
+    return Status::Corruption(
+        "snapshot header options out of domain (epsilon/phi/delta must be "
+        "in (0, 1])");
+  }
+  if (opt.universe_size < 2) {
+    return Status::Corruption(
+        "snapshot header universe_size is implausible");
+  }
+  return Status::Ok();
+}
+
+void WriteHeader(BitWriter& out, const Summary& summary) {
+  const std::string name(summary.Name());
+  out.WriteBits(name.size(), 8);
+  for (const char c : name) {
+    out.WriteBits(static_cast<uint8_t>(c), 8);
+  }
+  const SummaryOptions opt = summary.Options();
+  out.WriteDouble(opt.epsilon);
+  out.WriteDouble(opt.phi);
+  out.WriteDouble(opt.delta);
+  out.WriteU64(opt.universe_size);
+  out.WriteU64(opt.stream_length);
+  out.WriteU64(opt.seed);
+  out.WriteU64(summary.ItemsProcessed());
+}
+
+/// Validates the container around the bit stream (magic, version, length
+/// consistency, CRC) and parses the bit-stream header into *info.  On
+/// success *words holds the unpacked bit-stream and *reader is positioned
+/// at the first payload bit; *words must outlive *reader.
+Status ParseContainer(std::span<const uint8_t> bytes, SnapshotInfo* info,
+                      std::vector<uint64_t>* words,
+                      std::optional<BitReader>* reader) {
+  if (bytes.size() < kPreambleBytes + kTrailerBytes) {
+    return Status::Corruption("snapshot too short (" +
+                              std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a l1hh snapshot (bad magic)");
+  }
+  const uint32_t version = ParseU32(bytes.data() + 8);
+  if (version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot format version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  // CRC over everything but the trailer, checked BEFORE trusting any
+  // variable-length field: random corruption and truncation both land here.
+  const uint32_t expected_crc = ParseU32(bytes.data() + bytes.size() - 4);
+  const uint32_t actual_crc = Crc32(bytes.data(), bytes.size() - 4);
+  if (expected_crc != actual_crc) {
+    return Status::Corruption("snapshot CRC mismatch (file corrupt)");
+  }
+  const uint64_t stream_bits = ParseU64(bytes.data() + 12);
+  const uint64_t stream_words = (stream_bits + 63) / 64;
+  if (kPreambleBytes + stream_words * 8 + kTrailerBytes != bytes.size()) {
+    return Status::Corruption(
+        "snapshot length disagrees with its header (" +
+        std::to_string(bytes.size()) + " bytes for " +
+        std::to_string(stream_bits) + " stream bits)");
+  }
+  words->resize(stream_words);
+  for (uint64_t w = 0; w < stream_words; ++w) {
+    (*words)[w] = ParseU64(bytes.data() + kPreambleBytes + w * 8);
+  }
+  reader->emplace(words->data(), words->size(),
+                  static_cast<size_t>(stream_bits));
+  BitReader& in = **reader;
+
+  const uint64_t name_length = in.ReadBits(8);
+  if (name_length == 0 || name_length > kMaxNameLength) {
+    return Status::Corruption("snapshot algorithm name has implausible "
+                              "length " +
+                              std::to_string(name_length));
+  }
+  std::string name;
+  name.reserve(name_length);
+  for (uint64_t i = 0; i < name_length; ++i) {
+    name.push_back(static_cast<char>(in.ReadBits(8)));
+  }
+  info->algorithm = std::move(name);
+  info->options.epsilon = in.ReadDouble();
+  info->options.phi = in.ReadDouble();
+  info->options.delta = in.ReadDouble();
+  info->options.universe_size = in.ReadU64();
+  info->options.stream_length = in.ReadU64();
+  info->options.seed = in.ReadU64();
+  info->items_processed = in.ReadU64();
+  info->payload_bits = in.ReadU64();
+  info->total_bytes = bytes.size();
+  if (in.overflow()) return in.status();
+  if (info->payload_bits != in.remaining_bits()) {
+    return Status::Corruption(
+        "snapshot payload length mismatch: header claims " +
+        std::to_string(info->payload_bits) + " bits, container holds " +
+        std::to_string(in.remaining_bits()));
+  }
+  return ValidateHeaderOptions(info->options);
+}
+
+}  // namespace
+
+Status SaveSummary(const Summary& summary, std::vector<uint8_t>* out) {
+  if (!summary.SupportsSnapshot()) {
+    return Status::FailedPrecondition(std::string(summary.Name()) +
+                                      " does not support snapshots");
+  }
+  // The payload goes into its own writer first so its exact bit length is
+  // known before the header field announcing it is written.
+  BitWriter payload;
+  const Status saved = summary.SaveTo(payload);
+  if (!saved.ok()) return saved;
+
+  BitWriter stream;
+  WriteHeader(stream, summary);
+  stream.WriteU64(payload.size_bits());
+  size_t left = payload.size_bits();
+  for (size_t w = 0; left > 0; ++w) {
+    const int chunk = left >= 64 ? 64 : static_cast<int>(left);
+    stream.WriteBits(payload.words()[w], chunk);
+    left -= static_cast<size_t>(chunk);
+  }
+
+  out->clear();
+  out->reserve(kPreambleBytes + stream.words().size() * 8 + kTrailerBytes);
+  out->insert(out->end(), kMagic, kMagic + sizeof(kMagic));
+  AppendU32(*out, kSnapshotFormatVersion);
+  AppendU64(*out, stream.size_bits());
+  for (const uint64_t word : stream.words()) AppendU64(*out, word);
+  AppendU32(*out, Crc32(out->data(), out->size()));
+  return Status::Ok();
+}
+
+Status SaveSummaryToFile(const Summary& summary, const std::string& path) {
+  std::vector<uint8_t> bytes;
+  const Status s = SaveSummary(summary, &bytes);
+  if (!s.ok()) return s;
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  file.flush();
+  if (!file) {
+    return Status::InvalidArgument("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Status ReadSnapshotInfo(std::span<const uint8_t> bytes, SnapshotInfo* info) {
+  std::vector<uint64_t> words;
+  std::optional<BitReader> reader;
+  return ParseContainer(bytes, info, &words, &reader);
+}
+
+Status ReadSnapshotInfoFromFile(const std::string& path, SnapshotInfo* info) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::InvalidArgument("cannot open '" + path + "' for reading");
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                             std::istreambuf_iterator<char>());
+  return ReadSnapshotInfo(bytes, info);
+}
+
+std::unique_ptr<Summary> LoadSummary(std::span<const uint8_t> bytes,
+                                     Status* status) {
+  Status local;
+  Status& out_status = status != nullptr ? *status : local;
+
+  SnapshotInfo info;
+  std::vector<uint64_t> words;
+  std::optional<BitReader> reader;
+  out_status = ParseContainer(bytes, &info, &words, &reader);
+  if (!out_status.ok()) return nullptr;
+
+  std::unique_ptr<Summary> summary =
+      MakeSummary(info.algorithm, info.options);
+  if (summary == nullptr) {
+    out_status = Status::InvalidArgument(
+        "snapshot names unregistered algorithm '" + info.algorithm + "'");
+    return nullptr;
+  }
+  if (!summary->SupportsSnapshot()) {
+    out_status = Status::FailedPrecondition(
+        "'" + info.algorithm + "' does not support snapshots");
+    return nullptr;
+  }
+  out_status = summary->LoadFrom(*reader);
+  if (!out_status.ok()) return nullptr;
+  if (reader->overflow()) {
+    out_status = reader->status();
+    return nullptr;
+  }
+  if (reader->remaining_bits() != 0) {
+    out_status = Status::Corruption(
+        "snapshot payload has " + std::to_string(reader->remaining_bits()) +
+        " trailing bits after '" + info.algorithm + "' state");
+    return nullptr;
+  }
+  out_status = Status::Ok();
+  return summary;
+}
+
+std::unique_ptr<Summary> LoadSummaryFromFile(const std::string& path,
+                                             Status* status) {
+  Status local;
+  Status& out_status = status != nullptr ? *status : local;
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    out_status =
+        Status::InvalidArgument("cannot open '" + path + "' for reading");
+    return nullptr;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                             std::istreambuf_iterator<char>());
+  return LoadSummary(bytes, status);
+}
+
+}  // namespace l1hh

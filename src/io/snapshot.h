@@ -1,0 +1,79 @@
+// Versioned snapshot container for summaries — the persistence layer that
+// makes the paper's headline bit-size claim measurable on the wire.
+//
+// Every structure in this library already serializes itself bit-exactly
+// (util/bit_stream.h); a snapshot wraps that payload in a self-describing
+// container so a file written today can be validated, rejected, or
+// reconstructed by a different process later:
+//
+//   bytes  0..7   magic "L1HHSNAP"
+//   bytes  8..11  format version (u32 LE) — readers reject other versions
+//   bytes 12..19  stream_bits (u64 LE): valid bits in the bit-stream section
+//   bytes 20..    bit-stream section, ceil(stream_bits / 64) u64 LE words:
+//                   registry name (8-bit length + 8-bit chars)
+//                   SummaryOptions: epsilon, phi, delta (doubles),
+//                     universe_size, stream_length, seed (u64s)
+//                   items_processed (u64)
+//                   payload_bits (u64)
+//                   payload: exactly payload_bits bits from Summary::SaveTo
+//   last 4 bytes  CRC-32 (IEEE) over every preceding byte (u32 LE)
+//
+// Corrupt, truncated, over-long, or version-bumped input always returns a
+// Status error — never UB, never a crash (tests/snapshot_roundtrip_test.cc
+// fuzzes this under the sanitizer CI job).  `payload_bits` is the honest
+// bit-size of the structure state itself, the number the bench layer
+// compares against SpaceBits() and the paper's space bound.
+//
+// Byte-level format spec and compatibility rules: docs/SNAPSHOTS.md.
+#ifndef L1HH_IO_SNAPSHOT_H_
+#define L1HH_IO_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "summary/summary.h"
+#include "util/status.h"
+
+namespace l1hh {
+
+/// The format this build writes; readers accept exactly this version.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Header fields of a snapshot, readable without reconstructing the
+/// summary (used by ShardedEngine::Restore and `l1hh_cli load`).
+struct SnapshotInfo {
+  std::string algorithm;          // registry name, e.g. "bdw_optimal"
+  SummaryOptions options;         // construction options incl. seed
+  uint64_t items_processed = 0;   // stream position at save time
+  uint64_t payload_bits = 0;      // bit-size of the structure state
+  uint64_t total_bytes = 0;       // whole container incl. header + CRC
+};
+
+/// Serializes `summary` (which must SupportsSnapshot) into a
+/// self-describing byte container.
+Status SaveSummary(const Summary& summary, std::vector<uint8_t>* out);
+
+/// SaveSummary + atomic-ish file write (write then rename is overkill for
+/// this layer; the CRC trailer catches torn writes on load).
+Status SaveSummaryToFile(const Summary& summary, const std::string& path);
+
+/// Parses and validates a container header (magic, version, CRC, length
+/// consistency) without touching the payload.
+Status ReadSnapshotInfo(std::span<const uint8_t> bytes, SnapshotInfo* info);
+Status ReadSnapshotInfoFromFile(const std::string& path, SnapshotInfo* info);
+
+/// Reconstructs the summary a container describes: validates the header,
+/// creates the registered algorithm from the embedded options, and
+/// restores the payload.  Returns nullptr with the reason in *status
+/// (always set when non-null) on any failure.
+std::unique_ptr<Summary> LoadSummary(std::span<const uint8_t> bytes,
+                                     Status* status = nullptr);
+std::unique_ptr<Summary> LoadSummaryFromFile(const std::string& path,
+                                             Status* status = nullptr);
+
+}  // namespace l1hh
+
+#endif  // L1HH_IO_SNAPSHOT_H_

@@ -176,6 +176,34 @@ size_t CountMinHeavyHitters::SpaceBits() const {
   return cms_.SpaceBits() + candidates_.size() * (64 + 32);
 }
 
+void CountMinHeavyHitters::Serialize(BitWriter& out) const {
+  cms_.Serialize(out);
+  out.WriteCounter(candidates_.size());
+  for (const auto& [item, est] : candidates_) {
+    out.WriteU64(item);
+    out.WriteCounter(est);
+  }
+}
+
+bool CountMinHeavyHitters::DeserializeFrom(BitReader& in) {
+  CountMinSketch loaded = CountMinSketch::Deserialize(in);
+  if (in.overflow() || !loaded.Compatible(cms_)) return false;
+  const uint64_t entries = in.CheckedCount(in.ReadCounter());
+  std::unordered_map<uint64_t, uint64_t> candidates;
+  // Each entry costs >= 65 bits, so cap the pre-allocation by what the
+  // wire can actually hold (CheckedCount's bound is per-bit, loose).
+  candidates.reserve(
+      std::min<uint64_t>(entries, in.remaining_bits() / 65 + 1));
+  for (uint64_t i = 0; i < entries && !in.overflow(); ++i) {
+    const uint64_t item = in.ReadU64();
+    candidates[item] = in.ReadCounter();
+  }
+  if (in.overflow()) return false;
+  cms_ = std::move(loaded);
+  candidates_ = std::move(candidates);
+  return true;
+}
+
 void CountMinSketch::Serialize(BitWriter& out) const {
   out.WriteGamma(width_);
   out.WriteGamma(hashes_.size());
@@ -189,6 +217,17 @@ CountMinSketch CountMinSketch::Deserialize(BitReader& in) {
   Options opt;
   opt.width = in.ReadGamma();
   opt.depth = in.ReadGamma();
+  // Every cell costs >= 1 bit on the wire, so a plausible message has at
+  // least width * depth bits left; hostile dimensions must not drive the
+  // table allocation.  Divide instead of multiplying — the product of two
+  // wire-controlled u64s can wrap past the check.
+  const uint64_t cm_budget = in.remaining_bits() + 64;
+  if (opt.width > cm_budget || opt.depth > cm_budget ||
+      opt.width > cm_budget / std::max<size_t>(opt.depth, 1) ||
+      in.CheckedCount(opt.width * std::max<size_t>(opt.depth, 1)) == 0) {
+    opt.width = 2;
+    opt.depth = 1;
+  }
   opt.conservative = in.ReadBool();
   CountMinSketch cms(opt, /*seed=*/0);
   cms.processed_ = in.ReadCounter();

@@ -115,6 +115,13 @@ class CountMinHeavyHitters {
 
   size_t SpaceBits() const;
 
+  /// Snapshot support: the sketch plus the tracked candidate set.  The
+  /// (eps, phi) contract is NOT written; DeserializeFrom restores into an
+  /// instance constructed with the same parameters and returns false
+  /// (leaving this unchanged) when the wire sketch's shape differs.
+  void Serialize(BitWriter& out) const;
+  bool DeserializeFrom(BitReader& in);
+
  private:
   double phi_;
   double epsilon_;

@@ -93,8 +93,18 @@ void CountSketch::Serialize(BitWriter& out) const {
 }
 
 CountSketch CountSketch::Deserialize(BitReader& in) {
-  const size_t width = in.ReadGamma();
-  const size_t depth = in.ReadGamma();
+  size_t width = in.ReadGamma();
+  size_t depth = in.ReadGamma();
+  // Every cell costs >= 2 bits on the wire; hostile dimensions must not
+  // drive the table allocation.  Divide instead of multiplying — the
+  // product of two wire-controlled u64s can wrap past the check.
+  const uint64_t cs_budget = in.remaining_bits() + 64;
+  if (width > cs_budget || depth > cs_budget ||
+      width > cs_budget / std::max<size_t>(depth, 1) ||
+      in.CheckedCount(width * std::max<size_t>(depth, 1)) == 0) {
+    width = 2;
+    depth = 1;
+  }
   CountSketch cs(width, depth, /*seed=*/0);
   cs.processed_ = in.ReadCounter();
   for (auto& h : cs.index_hashes_) h = MultiplyShiftHash::Deserialize(in);

@@ -80,9 +80,13 @@ inline void ScoreSummaryReport(SummaryRunResult& r,
                           static_cast<double>(r.report.size());
 }
 
+/// `keep`, when non-null, receives the driven summary after scoring — for
+/// callers that want to do more with the state than read the report (the
+/// CLI's `run --save=FILE` snapshots it).
 inline SummaryRunResult RunRegisteredSummary(
     const std::string& name, const SummaryOptions& options,
-    const std::vector<uint64_t>& stream, double phi) {
+    const std::vector<uint64_t>& stream, double phi,
+    std::unique_ptr<Summary>* keep = nullptr) {
   SummaryRunResult r;
   auto summary = MakeSummary(name, options);
   if (summary == nullptr) {
@@ -103,6 +107,7 @@ inline SummaryRunResult RunRegisteredSummary(
   r.report = summary->HeavyHitters(phi);
   ScoreSummaryReport(r, stream, phi, options.epsilon);
   r.memory_bytes = summary->MemoryUsageBytes();
+  if (keep != nullptr) *keep = std::move(summary);
   return r;
 }
 
@@ -112,7 +117,8 @@ inline SummaryRunResult RunRegisteredSummary(
 inline SummaryRunResult RunShardedSummary(
     const std::string& name, const SummaryOptions& options,
     const std::vector<uint64_t>& stream, double phi, size_t num_shards,
-    size_t num_threads = 0) {
+    size_t num_threads = 0,
+    std::unique_ptr<ShardedEngine>* keep = nullptr) {
   SummaryRunResult r;
   ShardedEngineOptions engine_options;
   engine_options.algorithm = name;
@@ -140,6 +146,7 @@ inline SummaryRunResult RunShardedSummary(
   r.report = engine->HeavyHitters(phi);
   ScoreSummaryReport(r, stream, phi, options.epsilon);
   r.memory_bytes = engine->MemoryUsageBytes();
+  if (keep != nullptr) *keep = std::move(engine);
   return r;
 }
 

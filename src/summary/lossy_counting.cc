@@ -83,6 +83,11 @@ void LossyCounting::Serialize(BitWriter& out) const {
   out.WriteBits(static_cast<uint64_t>(key_bits_), 8);
   out.WriteCounter(processed_);
   out.WriteCounter(current_bucket_);
+  // Space accounting travels too: SpaceBits() charges the table's peak
+  // occupancy and widest counter, which the surviving entries alone
+  // cannot reconstruct.
+  out.WriteCounter(peak_tracked_);
+  out.WriteCounter(max_count_);
   out.WriteGamma(table_.size() + 1);
   for (const auto& [item, cd] : table_) {
     out.WriteU64(item);
@@ -92,11 +97,16 @@ void LossyCounting::Serialize(BitWriter& out) const {
 }
 
 LossyCounting LossyCounting::Deserialize(BitReader& in) {
-  const double epsilon = in.ReadDouble();
+  double epsilon = in.ReadDouble();
+  // A hostile epsilon (0, NaN, negative) would make the constructor's
+  // ceil(1/eps) -> integer cast undefined; clamp to the valid domain.
+  if (!(epsilon > 1e-9 && epsilon <= 1.0)) epsilon = 0.01;
   const int key_bits = static_cast<int>(in.ReadBits(8));
   LossyCounting lc(epsilon, key_bits);
   lc.processed_ = in.ReadCounter();
   lc.current_bucket_ = in.ReadCounter();
+  lc.peak_tracked_ = static_cast<size_t>(in.ReadCounter());
+  lc.max_count_ = in.ReadCounter();
   const size_t n = in.CheckedCount(in.ReadGamma() - 1);
   for (size_t i = 0; i < n; ++i) {
     const uint64_t item = in.ReadU64();
@@ -104,6 +114,7 @@ LossyCounting LossyCounting::Deserialize(BitReader& in) {
     const uint64_t delta = in.ReadCounter();
     lc.table_.emplace(item, std::make_pair(count, delta));
   }
+  lc.peak_tracked_ = std::max(lc.peak_tracked_, lc.table_.size());
   return lc;
 }
 

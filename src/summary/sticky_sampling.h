@@ -41,6 +41,15 @@ class StickySampling {
   /// Peak-capacity accounting, like LossyCounting.
   size_t SpaceBits() const;
 
+  /// Snapshot support: persists the dynamic state — table, sampling rate,
+  /// boundaries, AND the live PRNG state, so a restored instance continues
+  /// the exact random sequence of the saved one.  The configuration
+  /// (epsilon, support, delta, key_bits) is NOT written; Deserialize is a
+  /// member function restoring into an instance constructed with the same
+  /// parameters.
+  void Serialize(BitWriter& out) const;
+  void Deserialize(BitReader& in);
+
  private:
   void Resample();  // halve admission rate, geometric coin-down per entry
 

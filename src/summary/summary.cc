@@ -35,6 +35,18 @@ Status Summary::Merge(const Summary& other) {
                                     " does not support Merge");
 }
 
+Status Summary::SaveTo(BitWriter& out) const {
+  (void)out;
+  return Status::FailedPrecondition(std::string(Name()) +
+                                    " does not support snapshots");
+}
+
+Status Summary::LoadFrom(BitReader& in) {
+  (void)in;
+  return Status::FailedPrecondition(std::string(Name()) +
+                                    " does not support snapshots");
+}
+
 namespace {
 
 /// ceil(fraction * m), clamped to >= 1 so empty streams report nothing.
@@ -66,16 +78,25 @@ Status IncompatibleMerge(std::string_view name) {
                                  "' built with the same options and seed");
 }
 
+Status SnapshotShapeMismatch(std::string_view name) {
+  return Status::Corruption(
+      "'" + std::string(name) +
+      "' snapshot payload does not match the shape implied by the header "
+      "options");
+}
+
 // ---------------------------------------------------------------------------
 
 class MisraGriesSummary : public Summary {
  public:
   explicit MisraGriesSummary(const SummaryOptions& o)
-      : epsilon_(o.epsilon),
+      : options_(o),
+        epsilon_(o.epsilon),
         mg_(static_cast<size_t>(std::ceil(1.0 / o.epsilon)),
             KeyBits(o.universe_size)) {}
 
   std::string_view Name() const override { return "misra_gries"; }
+  SummaryOptions Options() const override { return options_; }
 
   void Update(uint64_t item, uint64_t weight) override {
     for (uint64_t i = 0; i < weight; ++i) mg_.Insert(item);
@@ -112,7 +133,21 @@ class MisraGriesSummary : public Summary {
     return Status::Ok();
   }
 
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveTo(BitWriter& out) const override {
+    mg_.Serialize(out);
+    return Status::Ok();
+  }
+  Status LoadFrom(BitReader& in) override {
+    MisraGries loaded = MisraGries::Deserialize(in);
+    if (in.overflow()) return in.status();
+    if (loaded.k() != mg_.k()) return SnapshotShapeMismatch(Name());
+    mg_ = std::move(loaded);
+    return Status::Ok();
+  }
+
  private:
+  SummaryOptions options_;
   double epsilon_;
   MisraGries mg_;
 };
@@ -120,10 +155,12 @@ class MisraGriesSummary : public Summary {
 class SpaceSavingSummary : public Summary {
  public:
   explicit SpaceSavingSummary(const SummaryOptions& o)
-      : ss_(static_cast<size_t>(std::ceil(1.0 / o.epsilon)),
+      : options_(o),
+        ss_(static_cast<size_t>(std::ceil(1.0 / o.epsilon)),
             KeyBits(o.universe_size)) {}
 
   std::string_view Name() const override { return "space_saving"; }
+  SummaryOptions Options() const override { return options_; }
 
   void Update(uint64_t item, uint64_t weight) override {
     for (uint64_t i = 0; i < weight; ++i) ss_.Insert(item);
@@ -160,16 +197,31 @@ class SpaceSavingSummary : public Summary {
     return Status::Ok();
   }
 
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveTo(BitWriter& out) const override {
+    ss_.Serialize(out);
+    return Status::Ok();
+  }
+  Status LoadFrom(BitReader& in) override {
+    SpaceSaving loaded = SpaceSaving::Deserialize(in);
+    if (in.overflow()) return in.status();
+    if (loaded.k() != ss_.k()) return SnapshotShapeMismatch(Name());
+    ss_ = std::move(loaded);
+    return Status::Ok();
+  }
+
  private:
+  SummaryOptions options_;
   SpaceSaving ss_;
 };
 
 class LossyCountingSummary : public Summary {
  public:
   explicit LossyCountingSummary(const SummaryOptions& o)
-      : lc_(o.epsilon, KeyBits(o.universe_size)) {}
+      : options_(o), lc_(o.epsilon, KeyBits(o.universe_size)) {}
 
   std::string_view Name() const override { return "lossy_counting"; }
+  SummaryOptions Options() const override { return options_; }
 
   void Update(uint64_t item, uint64_t weight) override {
     for (uint64_t i = 0; i < weight; ++i) lc_.Insert(item);
@@ -195,16 +247,34 @@ class LossyCountingSummary : public Summary {
     return (lc_.SpaceBits() + 7) / 8;
   }
 
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveTo(BitWriter& out) const override {
+    lc_.Serialize(out);
+    return Status::Ok();
+  }
+  Status LoadFrom(BitReader& in) override {
+    LossyCounting loaded = LossyCounting::Deserialize(in);
+    if (in.overflow()) return in.status();
+    if (loaded.epsilon() != lc_.epsilon()) {
+      return SnapshotShapeMismatch(Name());
+    }
+    lc_ = std::move(loaded);
+    return Status::Ok();
+  }
+
  private:
+  SummaryOptions options_;
   LossyCounting lc_;
 };
 
 class StickySamplingSummary : public Summary {
  public:
   explicit StickySamplingSummary(const SummaryOptions& o)
-      : ss_(o.epsilon, o.phi, o.delta, o.seed, KeyBits(o.universe_size)) {}
+      : options_(o),
+        ss_(o.epsilon, o.phi, o.delta, o.seed, KeyBits(o.universe_size)) {}
 
   std::string_view Name() const override { return "sticky_sampling"; }
+  SummaryOptions Options() const override { return options_; }
 
   void Update(uint64_t item, uint64_t weight) override {
     for (uint64_t i = 0; i < weight; ++i) ss_.Insert(item);
@@ -232,15 +302,30 @@ class StickySamplingSummary : public Summary {
     return (ss_.SpaceBits() + 7) / 8;
   }
 
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveTo(BitWriter& out) const override {
+    ss_.Serialize(out);
+    return Status::Ok();
+  }
+  Status LoadFrom(BitReader& in) override {
+    // Member-function Deserialize: configuration stays as constructed from
+    // the header options; only the dynamic state (table, rate, PRNG) is
+    // replaced, and only if the payload is intact.
+    ss_.Deserialize(in);
+    return in.status();
+  }
+
  private:
+  SummaryOptions options_;
   StickySampling ss_;
 };
 
 class ExactCounterSummary : public Summary {
  public:
-  explicit ExactCounterSummary(const SummaryOptions&) {}
+  explicit ExactCounterSummary(const SummaryOptions& o) : options_(o) {}
 
   std::string_view Name() const override { return "exact"; }
+  SummaryOptions Options() const override { return options_; }
 
   void Update(uint64_t item, uint64_t weight) override {
     exact_.Insert(item, weight);
@@ -277,16 +362,42 @@ class ExactCounterSummary : public Summary {
     return Status::Ok();
   }
 
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveTo(BitWriter& out) const override {
+    const auto entries = exact_.SortedByCountDesc();
+    out.WriteCounter(entries.size());
+    for (const auto& e : entries) {
+      out.WriteU64(e.item);
+      out.WriteCounter(e.count);
+    }
+    return Status::Ok();
+  }
+  Status LoadFrom(BitReader& in) override {
+    const uint64_t entries = in.CheckedCount(in.ReadCounter());
+    ExactCounter loaded;
+    for (uint64_t i = 0; i < entries && !in.overflow(); ++i) {
+      const uint64_t item = in.ReadU64();
+      loaded.Insert(item, in.ReadCounter());
+    }
+    if (in.overflow()) return in.status();
+    exact_ = std::move(loaded);
+    return Status::Ok();
+  }
+
  private:
+  SummaryOptions options_;
   ExactCounter exact_;
 };
 
 class CountMinSummary : public Summary {
  public:
   explicit CountMinSummary(const SummaryOptions& o)
-      : epsilon_(o.epsilon), cm_(o.epsilon, o.phi, o.delta, o.seed) {}
+      : options_(o),
+        epsilon_(o.epsilon),
+        cm_(o.epsilon, o.phi, o.delta, o.seed) {}
 
   std::string_view Name() const override { return "count_min"; }
+  SummaryOptions Options() const override { return options_; }
 
   void Update(uint64_t item, uint64_t weight) override {
     for (uint64_t i = 0; i < weight; ++i) cm_.Insert(item);
@@ -334,7 +445,20 @@ class CountMinSummary : public Summary {
     return Status::Ok();
   }
 
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveTo(BitWriter& out) const override {
+    cm_.Serialize(out);
+    return Status::Ok();
+  }
+  Status LoadFrom(BitReader& in) override {
+    if (!cm_.DeserializeFrom(in)) {
+      return in.overflow() ? in.status() : SnapshotShapeMismatch(Name());
+    }
+    return Status::Ok();
+  }
+
  private:
+  SummaryOptions options_;
   double epsilon_;
   CountMinHeavyHitters cm_;
 };
@@ -342,13 +466,15 @@ class CountMinSummary : public Summary {
 class CountSketchSummary : public Summary {
  public:
   explicit CountSketchSummary(const SummaryOptions& o)
-      : epsilon_(o.epsilon),
+      : options_(o),
+        epsilon_(o.epsilon),
         phi_hint_(o.phi),
         max_candidates_(std::max<size_t>(
             64, static_cast<size_t>(std::ceil(8.0 / o.phi)))),
         cs_(CountSketch::ForError(o.epsilon, o.delta, o.seed)) {}
 
   std::string_view Name() const override { return "count_sketch"; }
+  SummaryOptions Options() const override { return options_; }
 
   // Standard CountSketch gives point queries only; heavy-hitter
   // candidates are tracked the same way CountMinHeavyHitters does: any
@@ -403,6 +529,31 @@ class CountSketchSummary : public Summary {
     return Status::Ok();
   }
 
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveTo(BitWriter& out) const override {
+    cs_.Serialize(out);
+    out.WriteCounter(candidates_.size());
+    for (const uint64_t item : candidates_) out.WriteU64(item);
+    return Status::Ok();
+  }
+  Status LoadFrom(BitReader& in) override {
+    CountSketch loaded = CountSketch::Deserialize(in);
+    if (in.overflow()) return in.status();
+    if (!loaded.Compatible(cs_)) return SnapshotShapeMismatch(Name());
+    const uint64_t entries = in.CheckedCount(in.ReadCounter());
+    std::unordered_set<uint64_t> candidates;
+    // Each candidate costs 64 wire bits; don't pre-allocate past that.
+    candidates.reserve(
+        std::min<uint64_t>(entries, in.remaining_bits() / 64 + 1));
+    for (uint64_t i = 0; i < entries && !in.overflow(); ++i) {
+      candidates.insert(in.ReadU64());
+    }
+    if (in.overflow()) return in.status();
+    cs_ = std::move(loaded);
+    candidates_ = std::move(candidates);
+    return Status::Ok();
+  }
+
  private:
   void TrackCandidate(uint64_t item) {
     const double m = static_cast<double>(cs_.items_processed());
@@ -423,6 +574,7 @@ class CountSketchSummary : public Summary {
     }
   }
 
+  SummaryOptions options_;
   double epsilon_;
   double phi_hint_;
   size_t max_candidates_;
@@ -433,9 +585,10 @@ class CountSketchSummary : public Summary {
 class HashedMisraGriesSummary : public Summary {
  public:
   explicit HashedMisraGriesSummary(const SummaryOptions& o)
-      : epsilon_(o.epsilon), table_(MakeTable(o)) {}
+      : options_(o), epsilon_(o.epsilon), table_(MakeTable(o)) {}
 
   std::string_view Name() const override { return "hashed_misra_gries"; }
+  SummaryOptions Options() const override { return options_; }
 
   void Update(uint64_t item, uint64_t weight) override {
     for (uint64_t i = 0; i < weight; ++i) table_.Insert(item);
@@ -478,6 +631,23 @@ class HashedMisraGriesSummary : public Summary {
     return Status::Ok();
   }
 
+  bool SupportsSnapshot() const override { return true; }
+  Status SaveTo(BitWriter& out) const override {
+    table_.Serialize(out);
+    return Status::Ok();
+  }
+  Status LoadFrom(BitReader& in) override {
+    HashedMisraGries loaded = HashedMisraGries::Deserialize(in);
+    if (in.overflow()) return in.status();
+    // Same construction seed <=> same drawn hash; anything else is a
+    // header/payload mismatch.
+    if (!(loaded.hash() == table_.hash())) {
+      return SnapshotShapeMismatch(Name());
+    }
+    table_ = std::move(loaded);
+    return Status::Ok();
+  }
+
  private:
   // Standalone sizing (outside Algorithm 1 there is no sampling stage):
   // T1 with 2/eps counters, T2 with 2/phi tracked ids, and a hash range
@@ -496,6 +666,7 @@ class HashedMisraGriesSummary : public Summary {
         KeyBits(o.universe_size));
   }
 
+  SummaryOptions options_;
   double epsilon_;
   HashedMisraGries table_;
 };

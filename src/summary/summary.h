@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/bit_stream.h"
 #include "util/status.h"
 
 namespace l1hh {
@@ -136,6 +137,37 @@ class Summary {
   /// within each structure's documented additive error
   /// (docs/ALGORITHMS.md#mergeability).
   virtual Status Merge(const Summary& other);
+
+  // ---- Snapshots (versioned persistence, docs/SNAPSHOTS.md) -------------
+  //
+  // Every built-in structure supports snapshots.  SaveTo/LoadFrom move the
+  // raw state bits; the self-describing container around them (magic,
+  // format version, registry name, options, CRC) lives in src/io/snapshot.h,
+  // which is also where `LoadSummary(path)` reconstructs the right concrete
+  // type from a header.
+
+  /// Whether SaveTo/LoadFrom can persist this summary's full state.
+  virtual bool SupportsSnapshot() const { return false; }
+
+  /// The exact SummaryOptions (including the seed) this summary was
+  /// constructed from.  Snapshot headers echo these so LoadSummary can
+  /// rebuild the instance; a structure that overrides SupportsSnapshot
+  /// must override this too.
+  virtual SummaryOptions Options() const { return SummaryOptions{}; }
+
+  /// Appends this summary's complete state (including any live PRNG
+  /// state, so a restored instance continues the exact random sequence)
+  /// as a raw bit payload.  Returns FailedPrecondition when unsupported.
+  virtual Status SaveTo(BitWriter& out) const;
+
+  /// Restores state from a payload written by SaveTo on a summary that was
+  /// created with the same registry name, SummaryOptions, and seed — which
+  /// is how the snapshot container calls it: construct from the header's
+  /// options, then LoadFrom the payload.  On any error (truncated input,
+  /// shape mismatch with this instance's construction) returns Corruption
+  /// and leaves this summary in a safe (possibly empty) state; it never
+  /// invokes UB on hostile bits.
+  virtual Status LoadFrom(BitReader& in);
 };
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <string>
 
 namespace l1hh {
 
@@ -38,16 +39,16 @@ void BitWriter::WriteDouble(double d) {
 uint64_t BitReader::ReadBits(int nbits) {
   if (nbits == 0) return 0;
   if (pos_ + static_cast<size_t>(nbits) > limit_bits_) {
-    overflow_ = true;
+    MarkOverflow();
     pos_ = limit_bits_;
     return 0;
   }
   const size_t word_index = pos_ >> 6;
   const int bit_offset = static_cast<int>(pos_ & 63);
-  uint64_t value = (*words_)[word_index] >> bit_offset;
+  uint64_t value = words_[word_index] >> bit_offset;
   const int taken = 64 - bit_offset;
   if (taken < nbits) {
-    value |= (*words_)[word_index + 1] << taken;
+    value |= words_[word_index + 1] << taken;
   }
   if (nbits < 64) value &= (uint64_t{1} << nbits) - 1;
   pos_ += static_cast<size_t>(nbits);
@@ -59,7 +60,7 @@ uint64_t BitReader::ReadGamma() {
   while (!overflow_ && ReadBits(1) == 0) {
     ++len;
     if (len > 64) {
-      overflow_ = true;
+      MarkOverflow();
       return 1;
     }
   }
@@ -73,6 +74,13 @@ double BitReader::ReadDouble() {
   double d;
   std::memcpy(&d, &bits, sizeof(d));
   return d;
+}
+
+Status BitReader::status() const {
+  if (!overflow_) return Status::Ok();
+  return Status::Corruption(
+      "bit stream overflow: read past the end at bit " +
+      std::to_string(overflow_pos_) + " of " + std::to_string(limit_bits_));
 }
 
 }  // namespace l1hh

@@ -3,7 +3,8 @@
 // The communication games of Section 4 measure Alice's message in bits: a
 // sketch Serialize()s itself into a BitWriter and the message size is the
 // exact number of bits written.  Every sketch in this library round-trips
-// through these streams.
+// through these streams, and the snapshot subsystem (src/io/) persists the
+// same bit streams to disk behind a self-describing container.
 #ifndef L1HH_UTIL_BIT_STREAM_H_
 #define L1HH_UTIL_BIT_STREAM_H_
 
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "util/bit_util.h"
+#include "util/status.h"
 
 namespace l1hh {
 
@@ -43,11 +45,23 @@ class BitWriter {
 
 class BitReader {
  public:
+  /// The writer must not be written to while this reader is live: the
+  /// reader borrows the writer's word buffer, and a write that grows it
+  /// may reallocate out from under the reader.
   explicit BitReader(const BitWriter& writer)
-      : words_(&writer.words()), limit_bits_(writer.size_bits()) {}
+      : words_(writer.words().data()), limit_bits_(writer.size_bits()) {}
+
+  /// Reads an external word buffer (e.g. a snapshot file unpacked into
+  /// little-endian u64 words).  `limit_bits` must be covered by the
+  /// buffer; an inconsistent caller value is clamped so no read can go
+  /// past `word_count * 64` bits.
+  BitReader(const uint64_t* words, size_t word_count, size_t limit_bits)
+      : words_(words),
+        limit_bits_(limit_bits > word_count * 64 ? word_count * 64
+                                                 : limit_bits) {}
 
   /// Reads `nbits` bits (LSB first).  Reading past the end returns zeros and
-  /// sets overflow().
+  /// sets overflow(); the first out-of-bounds position is kept for status().
   uint64_t ReadBits(int nbits);
 
   uint64_t ReadGamma();
@@ -61,21 +75,36 @@ class BitReader {
   size_t remaining_bits() const { return limit_bits_ - pos_; }
   bool overflow() const { return overflow_; }
 
+  /// Bit position of the first out-of-bounds read (only meaningful when
+  /// overflow() is true).
+  size_t overflow_position() const { return overflow_pos_; }
+
+  /// Ok while every read stayed in bounds; otherwise a Corruption status
+  /// naming the first offending bit position — the error a deserializer
+  /// should propagate instead of trusting zero-filled reads.
+  Status status() const;
+
   /// Sanity bound for a count field about to drive an allocation: a
   /// well-formed message cannot contain more elements than it has bits.
   /// Returns `count` if plausible, else marks overflow and returns 0.
   uint64_t CheckedCount(uint64_t count) {
     if (count > remaining_bits() + 64) {
-      overflow_ = true;
+      MarkOverflow();
       return 0;
     }
     return count;
   }
 
  private:
-  const std::vector<uint64_t>* words_;
+  void MarkOverflow() {
+    if (!overflow_) overflow_pos_ = pos_;
+    overflow_ = true;
+  }
+
+  const uint64_t* words_;
   size_t limit_bits_;
   size_t pos_ = 0;
+  size_t overflow_pos_ = 0;
   bool overflow_ = false;
 };
 

@@ -1,0 +1,53 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// trailer of the snapshot container (src/io/snapshot.h).  Header-only and
+// dependency-free on purpose: snapshots must be checkable by anything that
+// can read bytes, and the checksum has to catch the truncations and bit
+// flips the corruption tests inject before a payload reaches Deserialize.
+#ifndef L1HH_UTIL_CRC32_H_
+#define L1HH_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace l1hh {
+
+namespace internal {
+
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace internal
+
+/// Continues a CRC computation: pass the previous return value as `crc` to
+/// checksum data arriving in chunks; start from 0.
+inline uint32_t Crc32Update(uint32_t crc, const void* data, size_t len) {
+  const auto& table = internal::Crc32Table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a byte range.
+inline uint32_t Crc32(const void* data, size_t len) {
+  return Crc32Update(0, data, len);
+}
+
+}  // namespace l1hh
+
+#endif  // L1HH_UTIL_CRC32_H_

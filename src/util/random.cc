@@ -1,5 +1,7 @@
 #include "util/random.h"
 
+#include "util/bit_stream.h"
+
 namespace l1hh {
 
 uint64_t SplitMix64(uint64_t& state) {
@@ -24,6 +26,18 @@ void Rng::Seed(uint64_t seed) {
     state_[0] = 0x9e3779b97f4a7c15ULL;
   }
   words_drawn_ = 0;
+}
+
+void Rng::Serialize(BitWriter& out) const {
+  uint64_t state[kStateWords];
+  SaveState(state);
+  for (const uint64_t w : state) out.WriteU64(w);
+}
+
+void Rng::Deserialize(BitReader& in) {
+  uint64_t state[kStateWords];
+  for (auto& w : state) w = in.ReadU64();
+  if (!in.overflow()) RestoreState(state);
 }
 
 }  // namespace l1hh

@@ -14,6 +14,9 @@
 
 namespace l1hh {
 
+class BitWriter;
+class BitReader;
+
 class Rng {
  public:
   explicit Rng(uint64_t seed) { Seed(seed); }
@@ -87,6 +90,29 @@ class Rng {
   /// Total raw 64-bit words drawn since construction/seeding.
   uint64_t words_drawn() const { return words_drawn_; }
   uint64_t bits_drawn() const { return words_drawn_ * 64; }
+
+  // ---- Snapshot support -------------------------------------------------
+  // A checkpointed structure that owns an Rng must persist the generator
+  // state, not just the seed: a restored instance then continues the exact
+  // random sequence of the saved one, so checkpoint -> restore -> continue
+  // is bit-identical to an uninterrupted run (tests/snapshot_roundtrip_test).
+
+  static constexpr int kStateWords = 5;  // state_[4] + words_drawn_
+
+  void SaveState(uint64_t out[kStateWords]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+    out[4] = words_drawn_;
+  }
+
+  void RestoreState(const uint64_t in[kStateWords]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+    words_drawn_ = in[4];
+  }
+
+  /// The bit-stream form of SaveState/RestoreState (kStateWords u64s).
+  /// Deserialize leaves the generator untouched on a truncated stream.
+  void Serialize(BitWriter& out) const;
+  void Deserialize(BitReader& in);
 
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

@@ -95,5 +95,50 @@ TEST(BitStreamTest, RandomizedMixedRoundTrip) {
   }
 }
 
+TEST(BitReaderTest, OverflowRecordsPositionAndStatus) {
+  BitWriter w;
+  w.WriteBits(0x2A, 10);
+  BitReader r(w);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.ReadBits(8), 0x2Au);
+  EXPECT_EQ(r.ReadBits(8), 0u);  // only 2 bits left: out of bounds
+  EXPECT_TRUE(r.overflow());
+  EXPECT_EQ(r.overflow_position(), 8u);  // where the bad read began
+  const Status s = r.status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("bit 8"), std::string::npos) << s.ToString();
+  // Subsequent failures keep the FIRST offending position.
+  (void)r.ReadU64();
+  EXPECT_EQ(r.overflow_position(), 8u);
+}
+
+TEST(BitReaderTest, ExternalBufferConstructorReadsAndClampsLimit) {
+  const uint64_t words[2] = {0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL};
+  {
+    BitReader r(words, 2, 128);
+    EXPECT_EQ(r.ReadU64(), words[0]);
+    EXPECT_EQ(r.ReadU64(), words[1]);
+    EXPECT_FALSE(r.overflow());
+  }
+  {
+    // A limit beyond the buffer must be clamped, not trusted: reading the
+    // claimed 200 bits stops cleanly at 128.
+    BitReader r(words, 2, 200);
+    EXPECT_EQ(r.remaining_bits(), 128u);
+    (void)r.ReadU64();
+    (void)r.ReadU64();
+    (void)r.ReadBits(1);
+    EXPECT_TRUE(r.overflow());
+  }
+  {
+    // Bit-level limit below a word boundary.
+    BitReader r(words, 1, 12);
+    EXPECT_EQ(r.ReadBits(12), 0xDEFu);
+    EXPECT_FALSE(r.overflow());
+    (void)r.ReadBits(1);
+    EXPECT_TRUE(r.overflow());
+  }
+}
+
 }  // namespace
 }  // namespace l1hh

@@ -12,23 +12,45 @@
 //   l1hh_cli run --algo=misra_gries --shards=4 [--threads=2]
 //                                             # same run through the sharded
 //                                             # parallel engine (src/engine/)
+//   l1hh_cli run --algo=count_min --save=run.l1hh
+//                                             # ... and snapshot the summary
+//                                             # (sharded: the merged view)
 //   l1hh_cli heavy --algo=misra_gries --m=<length> [--phi=...]
 //                                             # reads ids from stdin
+//   l1hh_cli save --algo=count_min --out=a.l1hh --m=<FULL stream length>
+//                                             # ingest stdin, write snapshot
+//                                             # (see docs/SNAPSHOTS.md)
+//   l1hh_cli load a.l1hh [--phi=...]          # print a snapshot's header +
+//                                             # heavy-hitter report
+//   l1hh_cli merge a.l1hh b.l1hh [--phi=P]    # coordinator: merge snapshots
+//                                             # from N processes, report HH
 //   l1hh_cli max --epsilon=0.01 --m=<length>  # approximate maximum
 //   l1hh_cli min --epsilon=0.05 --n=<universe> --m=<length>
 //
-// Flags accept both `--key=value` and `--key value`.  Legacy names
-// (optimal, simple, mg, spacesaving) are accepted as --algo aliases.
+// Flags accept both `--key=value` and `--key value`; unknown flags are
+// rejected (with a did-you-mean hint), never silently ignored.  Legacy
+// names (optimal, simple, mg, spacesaving) are accepted as --algo aliases.
 // `l1hh_cli --algo=<name>` with no command is shorthand for `run`.
 // With no arguments at all, runs a self-contained demo.
+//
+// Distributed workflow (docs/SNAPSHOTS.md has the worked version): N
+// processes each `save` a summary of their partition — built with the
+// SAME --epsilon/--phi/--seed and with --m set to the FULL combined
+// stream length — and a coordinator `merge`s the snapshot files into one
+// Definition-1-conformant report.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "core/epsilon_maximum.h"
 #include "core/epsilon_minimum.h"
+#include "engine/sharded_engine.h"
+#include "io/snapshot.h"
 #include "stream/stream_generator.h"
 #include "summary/evaluation.h"
 #include "summary/summary.h"
@@ -44,6 +66,7 @@ struct Args {
   double alpha = 1.1;
   double epsilon = 0.01;
   double phi = 0.05;
+  bool phi_given = false;  // load/merge default to the snapshot's phi
   double delta = 0.05;
   uint64_t n = uint64_t{1} << 24;
   // 0 = "not given": stdin-reading commands fall back to the piped stream's
@@ -54,6 +77,11 @@ struct Args {
   // shards>1 ingests through ShardedEngine (threads=0 -> one per shard).
   uint64_t shards = 1;
   uint64_t threads = 0;
+  // Snapshot paths: --out for `save`, --save for `run`, positionals for
+  // `load` / `merge`.
+  std::string out;
+  std::string save_path;
+  std::vector<std::string> positional;
 };
 
 constexpr uint64_t kDefaultM = 1 << 20;
@@ -66,6 +94,47 @@ std::string CanonicalAlgoName(const std::string& name) {
   return name;
 }
 
+/// Flags the parser understands, for the did-you-mean hint.
+const char* const kKnownFlags[] = {
+    "--kind",  "--algo", "--algorithm", "--alpha",   "--epsilon",
+    "--phi",   "--delta", "--n",        "--m",       "--seed",
+    "--shards", "--threads", "--out",   "--save",
+};
+
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+void PrintUnknownFlag(const std::string& key) {
+  std::string best;
+  size_t best_distance = 3;  // suggest only near misses
+  for (const char* known : kKnownFlags) {
+    const size_t d = EditDistance(key, known);
+    if (d < best_distance) {
+      best_distance = d;
+      best = known;
+    }
+  }
+  if (best.empty()) {
+    std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
+  } else {
+    std::fprintf(stderr, "unknown flag: %s (did you mean %s?)\n",
+                 key.c_str(), best.c_str());
+  }
+}
+
 bool Parse(int argc, char** argv, Args* out) {
   int i = 1;
   if (i < argc && argv[i][0] != '-') {
@@ -74,6 +143,12 @@ bool Parse(int argc, char** argv, Args* out) {
   }
   for (; i < argc; ++i) {
     std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      // Bare tokens after the command are positional arguments (the
+      // snapshot files of `load` / `merge`).
+      out->positional.push_back(key);
+      continue;
+    }
     std::string value;
     const size_t eq = key.find('=');
     if (eq != std::string::npos) {
@@ -100,6 +175,7 @@ bool Parse(int argc, char** argv, Args* out) {
       out->epsilon = std::atof(value.c_str());
     } else if (key == "--phi") {
       out->phi = std::atof(value.c_str());
+      out->phi_given = true;
     } else if (key == "--delta") {
       out->delta = std::atof(value.c_str());
     } else if (key == "--n") {
@@ -112,8 +188,12 @@ bool Parse(int argc, char** argv, Args* out) {
       out->shards = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "--threads") {
       out->threads = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--out") {
+      out->out = value;
+    } else if (key == "--save") {
+      out->save_path = value;
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n", key.c_str());
+      PrintUnknownFlag(key);
       return false;
     }
   }
@@ -198,17 +278,144 @@ int CmdHeavy(const Args& a, const std::vector<uint64_t>& items) {
   return 0;
 }
 
+/// Ingests stdin into one summary and writes a snapshot file.  In the
+/// distributed workflow every worker runs this over its own partition,
+/// with --m set to the FULL combined stream length (the sampling-based
+/// structures size their rate by it) and identical contract flags.
+int CmdSave(const Args& a, const std::vector<uint64_t>& items) {
+  if (a.out.empty()) {
+    std::fprintf(stderr, "save needs --out=FILE\n");
+    return 2;
+  }
+  const uint64_t m = a.m != 0 ? a.m : items.size();
+  auto summary = MakeSummary(a.algorithm, ToSummaryOptions(a, m));
+  if (summary == nullptr) {
+    std::fprintf(stderr, "unknown --algo %s; try `l1hh_cli list`\n",
+                 a.algorithm.c_str());
+    return 2;
+  }
+  summary->UpdateBatch(items);
+  const Status saved = SaveSummaryToFile(*summary, a.out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %s: %zu items -> %s (%zu bytes in memory)\n",
+              a.algorithm.c_str(), items.size(), a.out.c_str(),
+              summary->MemoryUsageBytes());
+  return 0;
+}
+
+void PrintSnapshotHeader(const char* path, const SnapshotInfo& info) {
+  std::printf("# %s: algo=%s  eps=%.4f  phi=%.4f  delta=%.4f  n=%llu  "
+              "m=%llu  seed=%llu  items=%llu  payload=%llu bits  "
+              "file=%llu bytes\n",
+              path, info.algorithm.c_str(), info.options.epsilon,
+              info.options.phi, info.options.delta,
+              static_cast<unsigned long long>(info.options.universe_size),
+              static_cast<unsigned long long>(info.options.stream_length),
+              static_cast<unsigned long long>(info.options.seed),
+              static_cast<unsigned long long>(info.items_processed),
+              static_cast<unsigned long long>(info.payload_bits),
+              static_cast<unsigned long long>(info.total_bytes));
+}
+
+void PrintReport(const Summary& summary, double phi) {
+  const auto hitters = summary.HeavyHitters(phi);
+  const auto m = static_cast<double>(summary.ItemsProcessed());
+  std::printf("# %zu heavy hitters at phi=%.3f over %llu ingested items\n",
+              hitters.size(), phi,
+              static_cast<unsigned long long>(summary.ItemsProcessed()));
+  for (const auto& hh : hitters) {
+    std::printf("%-24llu %14.0f %8.2f%%\n",
+                static_cast<unsigned long long>(hh.item), hh.estimate,
+                m > 0 ? 100.0 * hh.estimate / m : 0.0);
+  }
+}
+
+/// Prints a snapshot's header and heavy-hitter report.
+int CmdLoad(const Args& a) {
+  if (a.positional.size() != 1) {
+    std::fprintf(stderr, "usage: l1hh_cli load <snapshot> [--phi=P]\n");
+    return 2;
+  }
+  const std::string& path = a.positional[0];
+  // One file read; the header peek and the reconstruction each parse the
+  // shared buffer (twice through the container — fine on a CLI path, and
+  // it guarantees both views describe the same bytes).
+  std::ifstream file(path, std::ios::binary);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                             std::istreambuf_iterator<char>());
+  if (!file && bytes.empty()) {
+    std::fprintf(stderr, "load failed: cannot read '%s'\n", path.c_str());
+    return 1;
+  }
+  SnapshotInfo info;
+  Status status = ReadSnapshotInfo(bytes, &info);
+  if (!status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  auto summary = LoadSummary(bytes, &status);
+  if (summary == nullptr) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  PrintSnapshotHeader(path.c_str(), info);
+  PrintReport(*summary, a.phi_given ? a.phi : info.options.phi);
+  return 0;
+}
+
+/// Coordinator end of the distributed workflow: loads every snapshot,
+/// merges them into one summary, and prints the combined report.
+int CmdMerge(const Args& a) {
+  if (a.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: l1hh_cli merge <snapshot>... [--phi=P]\n");
+    return 2;
+  }
+  Status status;
+  auto merged = LoadSummaryFromFile(a.positional[0], &status);
+  if (merged == nullptr) {
+    std::fprintf(stderr, "merge: cannot load '%s': %s\n",
+                 a.positional[0].c_str(), status.ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 1; i < a.positional.size(); ++i) {
+    auto next = LoadSummaryFromFile(a.positional[i], &status);
+    if (next == nullptr) {
+      std::fprintf(stderr, "merge: cannot load '%s': %s\n",
+                   a.positional[i].c_str(), status.ToString().c_str());
+      return 1;
+    }
+    status = merged->Merge(*next);
+    if (!status.ok()) {
+      std::fprintf(stderr, "merge: '%s' + '%s': %s\n",
+                   a.positional[0].c_str(), a.positional[i].c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("# merged %zu snapshot(s), algo=%s\n", a.positional.size(),
+              std::string(merged->Name()).c_str());
+  PrintReport(*merged,
+              a.phi_given ? a.phi : merged->Options().phi);
+  return 0;
+}
+
 /// Self-contained accuracy run: generates the stream and scores the
 /// report against exact ground truth via the shared evaluation harness.
 int CmdRun(const Args& a) {
   const uint64_t m_arg = a.m != 0 ? a.m : kDefaultM;
   const auto stream = MakeZipfStream(a.n, a.alpha, m_arg, a.seed);
   const SummaryOptions options = ToSummaryOptions(a, stream.size());
+  std::unique_ptr<Summary> summary;
+  std::unique_ptr<ShardedEngine> engine;
   const SummaryRunResult r =
       a.shards > 1 ? RunShardedSummary(a.algorithm, options, stream, a.phi,
-                                       a.shards, a.threads)
+                                       a.shards, a.threads, &engine)
                    : RunRegisteredSummary(a.algorithm, options, stream,
-                                          a.phi);
+                                          a.phi, &summary);
   if (!r.ok) {
     std::fprintf(stderr, "%s; try `l1hh_cli list`\n", r.error.c_str());
     return 2;
@@ -236,6 +443,18 @@ int CmdRun(const Args& a) {
   std::printf("true phi-heavy items: %zu   recalled: %zu   reported: %zu   "
               "memory: %zu bytes\n",
               r.true_heavies, r.recalled, r.report.size(), r.memory_bytes);
+  if (!a.save_path.empty()) {
+    // Sharded runs snapshot the merged view — one file a coordinator can
+    // merge with other runs, same as a single-summary snapshot.
+    const Status saved =
+        a.shards > 1 ? SaveSummaryToFile(engine->MergedView(), a.save_path)
+                     : SaveSummaryToFile(*summary, a.save_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "--save failed: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot written to %s\n", a.save_path.c_str());
+  }
   return r.recalled == r.true_heavies ? 0 : 1;
 }
 
@@ -290,17 +509,33 @@ int main(int argc, char** argv) {
   if (args.command == "list") return CmdList();
   if (args.command == "generate") return CmdGenerate(args);
   if (args.command.empty() || args.command == "run") return CmdRun(args);
+  if (args.command == "load") return CmdLoad(args);
+  if (args.command == "merge") return CmdMerge(args);
   // Validate the command BEFORE draining stdin, so a typo'd command prints
   // usage instead of blocking on a terminal until EOF.
-  if (args.command != "heavy" && args.command != "max" &&
-      args.command != "min") {
-    std::fprintf(stderr,
-                 "usage: l1hh_cli list|generate|run|heavy|max|min [flags]\n"
-                 "see the header comment of tools/l1hh_cli.cc\n");
+  if (args.command != "heavy" && args.command != "save" &&
+      args.command != "max" && args.command != "min") {
+    std::fprintf(
+        stderr,
+        "usage: l1hh_cli list|generate|run|heavy|save|load|merge|max|min "
+        "[flags]\n"
+        "  run    [--algo --shards --threads --save=FILE ...]  self-scored "
+        "Zipf run\n"
+        "  heavy  --algo=NAME --m=M [--phi=P]     report HH over stdin "
+        "ids\n"
+        "  save   --algo=NAME --out=FILE --m=M    ingest stdin, write "
+        "snapshot\n"
+        "  load   <snapshot> [--phi=P]            print snapshot header + "
+        "report\n"
+        "  merge  <snapshot>... [--phi=P]         combine worker "
+        "snapshots\n"
+        "see the header comment of tools/l1hh_cli.cc and "
+        "docs/SNAPSHOTS.md\n");
     return 2;
   }
   const std::vector<uint64_t> items = ReadStdinItems();
   if (args.command == "heavy") return CmdHeavy(args, items);
+  if (args.command == "save") return CmdSave(args, items);
   if (args.command == "max") return CmdMax(args, items);
   return CmdMin(args, items);
 }
