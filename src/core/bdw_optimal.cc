@@ -247,6 +247,14 @@ size_t BdwOptimal::SpaceBits() const {
 }
 
 void BdwOptimal::Serialize(BitWriter& out) const {
+  SerializeImpl(out, /*sparse_grids=*/false);
+}
+
+void BdwOptimal::SerializeSparse(BitWriter& out) const {
+  SerializeImpl(out, /*sparse_grids=*/true);
+}
+
+void BdwOptimal::SerializeImpl(BitWriter& out, bool sparse_grids) const {
   out.WriteDouble(opt_.epsilon);
   out.WriteDouble(opt_.phi);
   out.WriteDouble(opt_.delta);
@@ -264,11 +272,25 @@ void BdwOptimal::Serialize(BitWriter& out) const {
   sampler_.Serialize(out);
   for (const auto& h : hashes_) h.Serialize(out);
   t1_.Serialize(out);
-  t2_.Serialize(out);
-  t3_.Serialize(out);
+  if (sparse_grids) {
+    t2_.SerializeSparse(out);
+    t3_.SerializeSparse(out);
+  } else {
+    t2_.Serialize(out);
+    t3_.Serialize(out);
+  }
 }
 
 BdwOptimal BdwOptimal::Deserialize(BitReader& in, uint64_t seed) {
+  return DeserializeImpl(in, seed, /*sparse_grids=*/false);
+}
+
+BdwOptimal BdwOptimal::DeserializeSparse(BitReader& in, uint64_t seed) {
+  return DeserializeImpl(in, seed, /*sparse_grids=*/true);
+}
+
+BdwOptimal BdwOptimal::DeserializeImpl(BitReader& in, uint64_t seed,
+                                       bool sparse_grids) {
   Options opt;
   opt.epsilon = in.ReadDouble();
   opt.phi = in.ReadDouble();
@@ -309,8 +331,18 @@ BdwOptimal BdwOptimal::Deserialize(BitReader& in, uint64_t seed) {
   out.sampler_.Deserialize(in);
   for (auto& h : out.hashes_) h = UniversalHash::Deserialize(in);
   out.t1_ = MisraGries::Deserialize(in);
-  out.t2_.Deserialize(in);
-  out.t3_.Deserialize(in);
+  if (sparse_grids) {
+    // Expected grid shapes come from the (sanitized) wire options the
+    // constructor just sized `out` by — the sparse encoding's size field
+    // is validated against them, never trusted for an allocation.
+    out.t2_.DeserializeSparse(in, out.rows_ * out.reps_);
+    out.t3_.DeserializeSparse(in, out.rows_ * out.reps_ *
+                                      static_cast<size_t>(out.max_epoch_ +
+                                                          1));
+  } else {
+    out.t2_.Deserialize(in);
+    out.t3_.Deserialize(in);
+  }
   return out;
 }
 

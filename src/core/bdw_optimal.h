@@ -138,8 +138,18 @@ class BdwOptimal {
   /// actually opened per cell are charged) + hash seeds + sampler.
   size_t SpaceBits() const;
 
+  /// Message encoding (dense T2/T3 grids, one gamma code per cell): what
+  /// the Section 4 communication games send, so the measured message
+  /// size tracks the structure's cell count.
   void Serialize(BitWriter& out) const;
   static BdwOptimal Deserialize(BitReader& in, uint64_t seed);
+
+  /// Snapshot encoding: identical except T2/T3 use the sparse gap-coded
+  /// cell format (CompactCounterArray::SerializeSparse), collapsing the
+  /// zero runs that dominate the dense grids — this is what SaveTo
+  /// persists; see docs/SNAPSHOTS.md#measured-sizes.
+  void SerializeSparse(BitWriter& out) const;
+  static BdwOptimal DeserializeSparse(BitReader& in, uint64_t seed);
 
   /// Snapshot support: persists the live PRNG state so a restored sketch
   /// continues the exact random sequence of the saved one (same contract
@@ -148,6 +158,10 @@ class BdwOptimal {
   void DeserializeRngState(BitReader& in);
 
  private:
+  void SerializeImpl(BitWriter& out, bool sparse_grids) const;
+  static BdwOptimal DeserializeImpl(BitReader& in, uint64_t seed,
+                                    bool sparse_grids);
+
   size_t T2Cell(size_t row, size_t rep) const { return row * reps_ + rep; }
   size_t T3Cell(size_t row, size_t rep, int epoch) const {
     return (row * reps_ + rep) * static_cast<size_t>(max_epoch_ + 1) +

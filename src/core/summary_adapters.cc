@@ -169,13 +169,17 @@ class BdwOptimalSummary : public Summary {
   }
 
   bool SupportsSnapshot() const override { return true; }
+  // Snapshots use the sparse T2/T3 grid encoding (the mostly-zero dense
+  // grids dominated the wire size); the comm games keep sending the
+  // dense Serialize(), so their measured message sizes still track the
+  // cell count.
   Status SaveTo(BitWriter& out) const override {
-    impl_.Serialize(out);
+    impl_.SerializeSparse(out);
     impl_.SerializeRngState(out);
     return Status::Ok();
   }
   Status LoadFrom(BitReader& in) override {
-    BdwOptimal loaded = BdwOptimal::Deserialize(in, seed_);
+    BdwOptimal loaded = BdwOptimal::DeserializeSparse(in, seed_);
     loaded.DeserializeRngState(in);
     if (in.overflow()) return in.status();
     // Compatible() re-verifies the full derived shape (rows, repetitions,

@@ -60,8 +60,30 @@ class CompactCounterArray {
   /// Actual process memory held by this structure.
   size_t HeapBytes() const;
 
+  /// Dense wire encoding: one gamma code per cell (1 bit per empty cell).
+  /// This is what the Section 4 communication games send — the message
+  /// size tracks the structure's cell count, the quantity the
+  /// message-vs-eps experiments chart.
   void Serialize(BitWriter& out) const;
   void Deserialize(BitReader& in);
+
+  /// Snapshot wire encoding: nonzero cells as gamma-coded (gap, value)
+  /// pairs when the grid is sparse — low-occupancy T2/T3 states (window
+  /// buckets, shard partials, early checkpoints) cost Theta(nonzero)
+  /// instead of Theta(size) bits — with an automatic dense fallback
+  /// (1-bit format flag) for saturated grids, where gap codes would only
+  /// add overhead.  This is what the snapshot path persists (measured
+  /// table: docs/SNAPSHOTS.md).
+  void SerializeSparse(BitWriter& out) const;
+
+  /// Restores a SerializeSparse payload.  `expected_size` is the cell
+  /// count the caller's configuration implies (e.g. rows * reps for T2);
+  /// a payload claiming any other size marks the reader corrupt WITHOUT
+  /// allocating.  The wire size can legitimately dwarf the payload bits
+  /// (that is the point of the sparse encoding), so — unlike the dense
+  /// format — the size field cannot be sanity-bounded by the bits
+  /// remaining, only by the caller's expectation.
+  void DeserializeSparse(BitReader& in, size_t expected_size);
 
  private:
   static constexpr uint8_t kNibbleMax = 15;  // nibble value 15 == "spilled"

@@ -12,6 +12,7 @@
 
 #include "io/snapshot.h"
 #include "util/random.h"
+#include "window/sliding_window_summary.h"
 
 namespace l1hh {
 namespace {
@@ -58,10 +59,13 @@ std::unique_ptr<ShardedEngine> ShardedEngine::Create(
   if (options.num_shards == 0) {
     return fail(Status::InvalidArgument("num_shards must be >= 1"));
   }
-  auto probe = MakeSummary(options.algorithm, options.summary);
+  Status make_status;
+  auto probe = MakeSummary(options.algorithm, options.summary, &make_status);
   if (probe == nullptr) {
-    return fail(Status::InvalidArgument("unknown summary algorithm '" +
-                                        options.algorithm + "'"));
+    // The factory's own reason: "unknown summary algorithm" for a bad
+    // name, the specific windowed refusal (non-mergeable inner, hostile
+    // geometry) for a windowed: spelling.
+    return fail(std::move(make_status));
   }
   // The refusal rule is keyed off the adapter's own SupportsMerge, so a
   // structure becomes shardable the moment its Merge lands (bdw_optimal
@@ -79,9 +83,33 @@ std::unique_ptr<ShardedEngine> ShardedEngine::Create(
     engine->shards_[s]->summary =
         MakeSummary(options.algorithm, options.summary);
   }
+  engine->BindWindows(/*restored_rotations=*/0);
   engine->StartWorkers();
   if (status != nullptr) *status = Status::Ok();
   return engine;
+}
+
+void ShardedEngine::BindWindows(uint64_t restored_rotations) {
+  windows_.clear();
+  if (dynamic_cast<SlidingWindowSummary*>(shards_[0]->summary.get()) ==
+      nullptr) {
+    return;
+  }
+  windows_.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    auto* window =
+        static_cast<SlidingWindowSummary*>(shard->summary.get());
+    // Shard-local update counts must never rotate a ring: all K rings
+    // rotate together at global bucket boundaries, driven from here.
+    window->set_external_rotation(true);
+    windows_.push_back(window);
+  }
+  rotation_stride_ = windows_[0]->bucket_width();
+  global_enqueued_ = 0;
+  for (const auto& shard : shards_) {
+    global_enqueued_ += shard->enqueued.load(std::memory_order_relaxed);
+  }
+  next_rotation_at_ = (restored_rotations + 1) * rotation_stride_;
 }
 
 ShardedEngine::ShardedEngine(const ShardedEngineOptions& options)
@@ -175,12 +203,48 @@ void ShardedEngine::PushBlocking(Shard& shard, const uint64_t* data,
   shard.enqueued.fetch_add(n, std::memory_order_relaxed);
 }
 
-void ShardedEngine::Update(uint64_t item, uint64_t weight) {
-  Shard& shard = *shards_[ShardOf(item)];
-  for (uint64_t i = 0; i < weight; ++i) PushBlocking(shard, &item, 1);
+void ShardedEngine::RotateAllShards() {
+  // Rotation mutates shard summaries, which is only safe while the drain
+  // workers are quiescent — the same protocol every query uses (Flush
+  // drains the staging buffers first, then waits for applied == enqueued).
+  Flush();
+  for (auto* window : windows_) window->Rotate();
+  // Rotation changes state without moving the applied count; a cached
+  // merge would silently keep serving the evicted bucket.
+  merged_valid_ = false;
 }
 
-void ShardedEngine::UpdateBatch(std::span<const uint64_t> items) {
+template <typename PushFn>
+void ShardedEngine::IngestWindowed(uint64_t total, PushFn&& push) {
+  uint64_t offset = 0;
+  while (offset < total) {
+    // Lazy rotation, matching the standalone ring: the boundary bucket
+    // stays live until the first item PAST the boundary arrives, so a
+    // stream ending exactly on a boundary covers a full window.
+    if (global_enqueued_ == next_rotation_at_) {
+      RotateAllShards();
+      next_rotation_at_ += rotation_stride_;
+    }
+    const uint64_t take =
+        std::min(total - offset, next_rotation_at_ - global_enqueued_);
+    push(offset, take);
+    global_enqueued_ += take;
+    offset += take;
+  }
+}
+
+void ShardedEngine::Update(uint64_t item, uint64_t weight) {
+  Shard& shard = *shards_[ShardOf(item)];
+  if (windows_.empty()) {
+    for (uint64_t i = 0; i < weight; ++i) PushBlocking(shard, &item, 1);
+    return;
+  }
+  IngestWindowed(weight, [this, &shard, item](uint64_t, uint64_t count) {
+    for (uint64_t i = 0; i < count; ++i) PushBlocking(shard, &item, 1);
+  });
+}
+
+void ShardedEngine::ScatterPush(std::span<const uint64_t> items) {
   if (shards_.size() == 1) {
     // No partitioning needed; feed the ring directly.
     PushBlocking(*shards_[0], items.data(), items.size());
@@ -196,6 +260,22 @@ void ShardedEngine::UpdateBatch(std::span<const uint64_t> items) {
     }
   }
   FlushStaging();
+}
+
+void ShardedEngine::UpdateBatch(std::span<const uint64_t> items) {
+  if (windows_.empty()) {
+    ScatterPush(items);
+    return;
+  }
+  // Split the batch at global bucket boundaries: everything before a
+  // boundary is scattered and fully applied, then all K rings rotate
+  // together, so shard buckets always partition the same global range.
+  IngestWindowed(items.size(),
+                 [this, items](uint64_t offset, uint64_t count) {
+                   ScatterPush(items.subspan(
+                       static_cast<size_t>(offset),
+                       static_cast<size_t>(count)));
+                 });
 }
 
 void ShardedEngine::FlushStaging() {
@@ -397,14 +477,59 @@ std::unique_ptr<ShardedEngine> ShardedEngine::Restore(
   // abort).  Catch a spliced-in foreign shard file here, as a Status.
   const SummaryOptions base = loaded[0]->Options();
   for (size_t s = 1; s < loaded.size(); ++s) {
-    const SummaryOptions o = loaded[s]->Options();
-    if (o.epsilon != base.epsilon || o.phi != base.phi ||
-        o.delta != base.delta || o.universe_size != base.universe_size ||
-        o.stream_length != base.stream_length || o.seed != base.seed) {
+    if (!(loaded[s]->Options() == base)) {
       return fail(Status::Corruption(
           "shard file '" + shard_files[s] + "' was built with different "
           "options or seed than '" + shard_files[0] +
           "'; not shards of one checkpoint"));
+    }
+  }
+
+  // Windowed checkpoints additionally require rotation-aligned rings:
+  // every shard window must have crossed the same number of global bucket
+  // boundaries, or the restored rings would not be bucket-wise mergeable.
+  uint64_t restored_rotations = 0;
+  if (const auto* window0 =
+          dynamic_cast<const SlidingWindowSummary*>(loaded[0].get())) {
+    restored_rotations = window0->rotations();
+    for (size_t s = 1; s < loaded.size(); ++s) {
+      const auto* window =
+          static_cast<const SlidingWindowSummary*>(loaded[s].get());
+      if (window->rotations() != restored_rotations) {
+        return fail(Status::Corruption(
+            "shard file '" + shard_files[s] + "' rotated " +
+            std::to_string(window->rotations()) + " times, '" +
+            shard_files[0] + "' " + std::to_string(restored_rotations) +
+            "; not windows of one lockstep checkpoint"));
+      }
+    }
+    uint64_t total = 0;
+    for (const auto& summary : loaded) total += summary->ItemsProcessed();
+    const uint64_t stride = window0->bucket_width();
+    // Between Update calls the lazy-rotation protocol admits exactly one
+    // rotation count per item total: floor((total-1)/stride) — at a
+    // boundary the full bucket's rotation is still pending the next
+    // item.  Derive it by DIVISION: `restored_rotations` comes off the
+    // wire, and multiplying by it could wrap u64 past this check (the
+    // same hardening the snapshot width*depth checks got in PR 4).
+    const uint64_t expected_rotations =
+        total == 0 ? 0 : (total - 1) / stride;
+    // Also bound it so BindWindows' (rotations + 1) * stride cannot wrap
+    // u64 (which would park next_rotation_at_ behind the global clock
+    // and silently stop rotation forever).
+    if (expected_rotations >= ~uint64_t{0} / stride - 1) {
+      return fail(Status::Corruption(
+          "checkpoint claims an implausible combined item count " +
+          std::to_string(total)));
+    }
+    if (restored_rotations != expected_rotations) {
+      return fail(Status::Corruption(
+          "checkpoint window rotation count " +
+          std::to_string(restored_rotations) +
+          " disagrees with the combined item count " +
+          std::to_string(total) + " (bucket width " +
+          std::to_string(stride) + " implies " +
+          std::to_string(expected_rotations) + ")"));
     }
   }
 
@@ -420,6 +545,7 @@ std::unique_ptr<ShardedEngine> ShardedEngine::Restore(
     engine->shards_[s]->enqueued.store(processed, std::memory_order_relaxed);
     engine->shards_[s]->applied.store(processed, std::memory_order_relaxed);
   }
+  engine->BindWindows(restored_rotations);
   engine->StartWorkers();
   if (status != nullptr) *status = Status::Ok();
   return engine;

@@ -65,6 +65,8 @@
 
 namespace l1hh {
 
+class SlidingWindowSummary;
+
 struct ShardedEngineOptions {
   /// Registry name of the per-shard summary (see RegisteredSummaryNames).
   std::string algorithm = "misra_gries";
@@ -167,6 +169,16 @@ class ShardedEngine {
   /// The owning shard of an item — stable for the engine's lifetime.
   size_t ShardOf(uint64_t item) const;
 
+  /// True when the per-shard summaries are `windowed:<algo>` containers.
+  /// Windowed operation changes one thing about ingestion: bucket
+  /// rotation is driven by the GLOBAL enqueued count, not each shard's
+  /// local count — the controller splits every batch at global bucket
+  /// boundaries, flush-quiesces at each one, and rotates all K shard
+  /// rings together, so bucket i covers the same global time range on
+  /// every shard and the rings stay bucket-wise mergeable
+  /// (docs/WINDOWS.md#sharded-windows).
+  bool windowed() const { return !windows_.empty(); }
+
   /// Items applied per shard (exact after Flush); the balance diagnostic
   /// surfaced by the CLI and the throughput bench.
   std::vector<uint64_t> ShardItemCounts() const;
@@ -191,6 +203,24 @@ class ShardedEngine {
   // Blocks until all of `item` x weight is enqueued on shard `s`.
   void PushBlocking(Shard& shard, const uint64_t* data, size_t n);
   void FlushStaging();
+  // The pre-windowing UpdateBatch body: scatter-partition to the shard
+  // staging buffers and bulk-push.
+  void ScatterPush(std::span<const uint64_t> items);
+  // Captures the per-shard SlidingWindowSummary pointers (or clears them
+  // for a plain algorithm) and switches the windows to external rotation;
+  // `restored_rotations` seeds the global rotation clock after Restore.
+  void BindWindows(uint64_t restored_rotations);
+  // Flush-quiesces and rotates every shard ring together (controller
+  // thread, global bucket boundary).
+  void RotateAllShards();
+  // The windowed ingestion protocol, shared by Update and UpdateBatch:
+  // splits `total` incoming items at global bucket boundaries, rotating
+  // lazily (on the first item PAST a boundary) and advancing the global
+  // clock; `push(offset, count)` enqueues the next chunk.  Templated so
+  // the per-item Update path pays no closure allocation (defined in the
+  // .cc; both instantiations live there).
+  template <typename PushFn>
+  void IngestWindowed(uint64_t total, PushFn&& push);
 
   ShardedEngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -202,10 +232,19 @@ class ShardedEngine {
   std::vector<std::vector<uint64_t>> staging_;
 
   // Merge-epoch cache: `merged_` answers for the first `merged_epoch_`
-  // applied items and is rebuilt only when the epoch moves.
+  // applied items and is rebuilt only when the epoch moves (or a window
+  // rotation changes state without moving it).
   std::unique_ptr<Summary> merged_;
   uint64_t merged_epoch_ = 0;
   bool merged_valid_ = false;
+
+  // Windowed operation (controller-thread state): the shard windows in
+  // external-rotation mode, the global bucket width, and the global
+  // enqueued position at which the next lockstep rotation fires.
+  std::vector<SlidingWindowSummary*> windows_;
+  uint64_t rotation_stride_ = 0;
+  uint64_t global_enqueued_ = 0;
+  uint64_t next_rotation_at_ = 0;
 };
 
 }  // namespace l1hh

@@ -67,6 +67,8 @@ void WriteHeader(BitWriter& out, const Summary& summary) {
   out.WriteU64(opt.universe_size);
   out.WriteU64(opt.stream_length);
   out.WriteU64(opt.seed);
+  out.WriteU64(opt.window_size);
+  out.WriteU64(opt.window_buckets);
   out.WriteU64(summary.ItemsProcessed());
 }
 
@@ -132,6 +134,8 @@ Status ParseContainer(std::span<const uint8_t> bytes, SnapshotInfo* info,
   info->options.universe_size = in.ReadU64();
   info->options.stream_length = in.ReadU64();
   info->options.seed = in.ReadU64();
+  info->options.window_size = in.ReadU64();
+  info->options.window_buckets = in.ReadU64();
   info->items_processed = in.ReadU64();
   info->payload_bits = in.ReadU64();
   info->total_bytes = bytes.size();
@@ -222,11 +226,14 @@ std::unique_ptr<Summary> LoadSummary(std::span<const uint8_t> bytes,
   out_status = ParseContainer(bytes, &info, &words, &reader);
   if (!out_status.ok()) return nullptr;
 
+  Status make_status;
   std::unique_ptr<Summary> summary =
-      MakeSummary(info.algorithm, info.options);
+      MakeSummary(info.algorithm, info.options, &make_status);
   if (summary == nullptr) {
-    out_status = Status::InvalidArgument(
-        "snapshot names unregistered algorithm '" + info.algorithm + "'");
+    // The factory's own reason: "unknown summary algorithm" for a name
+    // this build does not register, the specific windowed refusal
+    // (hostile geometry, non-mergeable inner) for a windowed: header.
+    out_status = std::move(make_status);
     return nullptr;
   }
   if (!summary->SupportsSnapshot()) {

@@ -12,7 +12,8 @@
 //   bytes 20..    bit-stream section, ceil(stream_bits / 64) u64 LE words:
 //                   registry name (8-bit length + 8-bit chars)
 //                   SummaryOptions: epsilon, phi, delta (doubles),
-//                     universe_size, stream_length, seed (u64s)
+//                     universe_size, stream_length, seed,
+//                     window_size, window_buckets (u64s)
 //                   items_processed (u64)
 //                   payload_bits (u64)
 //                   payload: exactly payload_bits bits from Summary::SaveTo
@@ -40,7 +41,10 @@
 namespace l1hh {
 
 /// The format this build writes; readers accept exactly this version.
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// v2: SummaryOptions gained window_size/window_buckets (two u64s after
+/// the seed) for the `windowed:<algo>` container, and bdw_optimal's
+/// T2/T3 payloads switched to the sparse gap-coded cell encoding.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /// Header fields of a snapshot, readable without reconstructing the
 /// summary (used by ShardedEngine::Restore and `l1hh_cli load`).

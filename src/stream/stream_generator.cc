@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_set>
 
 namespace l1hh {
@@ -65,6 +67,82 @@ PlantedStream MakePlantedStream(const PlantedSpec& spec, uint64_t seed) {
         std::swap(out.items[i - 1], out.items[j]);
       }
       break;
+  }
+  return out;
+}
+
+DriftStream MakePlantedDriftStream(const DriftSpec& spec, uint64_t seed) {
+  Rng rng(seed);
+  DriftStream out;
+  const size_t phases = std::max<size_t>(spec.phases, 1);
+  const uint64_t m = spec.stream_length;
+  const uint64_t n = spec.universe_size;
+
+  // The rejection-sampling draws below terminate quickly only while the
+  // planted union occupies a minority of the universe; a too-small
+  // universe would otherwise HANG, so fail loudly up front.
+  const uint64_t planted_needed =
+      static_cast<uint64_t>(phases) * spec.planted_fractions.size();
+  if (n <= 2 * planted_needed) {
+    std::fprintf(stderr,
+                 "MakePlantedDriftStream: universe_size %llu cannot hold "
+                 "%llu disjoint planted ids plus background noise\n",
+                 static_cast<unsigned long long>(n),
+                 static_cast<unsigned long long>(planted_needed));
+    std::abort();
+  }
+
+  // Draw every phase's planted ids up front, disjoint across phases, so
+  // an expired heavy can never reappear as a later phase's heavy or as
+  // background noise.
+  std::unordered_set<uint64_t> planted_union;
+  out.planted_ids.resize(phases);
+  for (size_t p = 0; p < phases; ++p) {
+    for (size_t i = 0; i < spec.planted_fractions.size(); ++i) {
+      uint64_t id = rng.UniformU64(n);
+      while (planted_union.count(id) != 0) id = rng.UniformU64(n);
+      planted_union.insert(id);
+      out.planted_ids[p].push_back(id);
+    }
+  }
+
+  out.planted_counts.resize(phases);
+  out.items.reserve(m);
+  for (size_t p = 0; p < phases; ++p) {
+    const uint64_t phase_start = p * m / phases;
+    const uint64_t phase_end = (p + 1) * m / phases;
+    const uint64_t phase_length = phase_end - phase_start;
+    // Record the ACTUAL offset, not the theoretical one: if the planted
+    // fractions (over-)fill a phase, later switchpoints shift, and the
+    // eviction tests slice the stream by these values.
+    out.phase_starts.push_back(out.items.size());
+
+    uint64_t planted_total = 0;
+    for (const double frac : spec.planted_fractions) {
+      const auto count = static_cast<uint64_t>(
+          std::llround(frac * static_cast<double>(phase_length)));
+      out.planted_counts[p].push_back(count);
+      planted_total += count;
+    }
+
+    const size_t first = out.items.size();
+    for (size_t i = 0; i < out.planted_ids[p].size(); ++i) {
+      for (uint64_t c = 0; c < out.planted_counts[p][i]; ++c) {
+        out.items.push_back(out.planted_ids[p][i]);
+      }
+    }
+    const uint64_t background =
+        phase_length > planted_total ? phase_length - planted_total : 0;
+    for (uint64_t i = 0; i < background; ++i) {
+      uint64_t id = rng.UniformU64(n);
+      while (planted_union.count(id) != 0) id = rng.UniformU64(n);
+      out.items.push_back(id);
+    }
+    // Shuffle within the phase only: the switchpoints stay exact.
+    for (size_t i = out.items.size(); i > first + 1; --i) {
+      const size_t j = first + rng.UniformU64(i - first);
+      std::swap(out.items[i - 1], out.items[j]);
+    }
   }
   return out;
 }

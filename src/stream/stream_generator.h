@@ -46,6 +46,41 @@ struct PlantedStream {
 /// the remaining universe uniformly.
 PlantedStream MakePlantedStream(const PlantedSpec& spec, uint64_t seed);
 
+// ---- Drift workloads (the sliding-window test/bench stimulus) ------------
+
+struct DriftSpec {
+  /// Per-phase planted frequencies, as fractions of the PHASE length; every
+  /// phase plants a fresh, disjoint heavy set at these fractions.
+  std::vector<double> planted_fractions;
+  /// Number of phases; the heavy set switches at the phases-1 interior
+  /// switchpoints (phase p covers positions [p*m/phases, (p+1)*m/phases)).
+  size_t phases = 2;
+  uint64_t universe_size = 1 << 20;
+  uint64_t stream_length = 1 << 20;
+};
+
+struct DriftStream {
+  std::vector<uint64_t> items;
+  /// Start position of each phase (size == phases; phase p covers
+  /// [phase_starts[p], phase_starts[p+1]) and the last runs to the end).
+  std::vector<uint64_t> phase_starts;
+  /// planted_ids[p][i] / planted_counts[p][i]: the exact heavy set of
+  /// phase p.  Ids are distinct across ALL phases, and background noise
+  /// avoids every planted id of every phase, so an expired heavy item has
+  /// frequency exactly zero after its phase ends — the property the
+  /// window-eviction tests assert on.
+  std::vector<std::vector<uint64_t>> planted_ids;
+  std::vector<std::vector<uint64_t>> planted_counts;
+};
+
+/// A planted stream whose heavy set changes at scheduled switchpoints:
+/// each phase is an independent shuffled planted stream over a fresh heavy
+/// set.  Continuous-monitoring workloads look like this — yesterday's hot
+/// keys fade, today's take over — and a since-time-zero summary keeps
+/// reporting the stale set while a windowed one must evict it within one
+/// window (tests/windowed_conformance_test.cc).
+DriftStream MakePlantedDriftStream(const DriftSpec& spec, uint64_t seed);
+
 /// m draws from Zipf(alpha) over [0, n).
 std::vector<uint64_t> MakeZipfStream(uint64_t n, double alpha, uint64_t m,
                                      uint64_t seed);

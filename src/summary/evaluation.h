@@ -21,7 +21,10 @@
 namespace l1hh {
 
 /// One factory-driven run of a registered summary over a stream, scored
-/// against the exact counts.
+/// against the exact counts.  `windowed:<algo>` runs are scored against
+/// the stream SUFFIX the window actually covers (scored_items < stream
+/// size once the ring has evicted) — "heavy in the last W items" is the
+/// contract a windowed summary makes, so that is the truth it is held to.
 struct SummaryRunResult {
   bool ok = false;           // false if the name is not registered (or,
                              // for sharded runs, refuses to shard)
@@ -33,15 +36,22 @@ struct SummaryRunResult {
   double max_abs_err = 0;    // max |estimate - f| over reported items
   size_t memory_bytes = 0;
   double update_ns = 0;      // mean wall-clock per update (ingest+flush)
+  uint64_t scored_items = 0; // stream suffix scored (== stream size
+                             // unless the summary is windowed)
+  bool windowed = false;     // summary was a windowed:<algo> container
+  uint64_t window_size = 0;  // EFFECTIVE window geometry (post-rounding/
+  uint64_t window_buckets = 0;  // defaulting), from the summary's Options
   std::vector<ItemEstimate> report;   // HeavyHitters(phi), sorted
   std::vector<uint64_t> report_exact; // exact f(x) per report entry
 };
 
 /// Scores `report` (already filled into `r.report`) against the exact
-/// counts of `stream`; fills the recall/precision/error fields.
+/// counts of `stream` (for a windowed summary: the covered suffix);
+/// fills the recall/precision/error fields.
 inline void ScoreSummaryReport(SummaryRunResult& r,
-                               const std::vector<uint64_t>& stream,
+                               std::span<const uint64_t> stream,
                                double phi, double epsilon) {
+  r.scored_items = stream.size();
   ExactCounter exact;
   for (const uint64_t x : stream) exact.Insert(x);
   const double m = static_cast<double>(stream.size());
@@ -80,6 +90,27 @@ inline void ScoreSummaryReport(SummaryRunResult& r,
                           static_cast<double>(r.report.size());
 }
 
+/// The suffix of `stream` a summary's report answers for: the covered
+/// window for a `windowed:<algo>` container (sets r.windowed and the
+/// effective geometry), the whole stream otherwise.  Uses only the
+/// generic Summary surface (CoveredItems/Options), so the harness does
+/// not depend on window headers.
+inline std::span<const uint64_t> ScoringSpan(
+    SummaryRunResult& r, const Summary& summary,
+    const std::vector<uint64_t>& stream) {
+  if (!IsWindowedSummaryName(summary.Name())) {
+    return stream;
+  }
+  r.windowed = true;
+  const SummaryOptions options = summary.Options();
+  r.window_size = options.window_size;
+  r.window_buckets = options.window_buckets;
+  const uint64_t covered =
+      std::min<uint64_t>(summary.CoveredItems(), stream.size());
+  return {stream.data() + (stream.size() - covered),
+          static_cast<size_t>(covered)};
+}
+
 /// `keep`, when non-null, receives the driven summary after scoring — for
 /// callers that want to do more with the state than read the report (the
 /// CLI's `run --save=FILE` snapshots it).
@@ -88,9 +119,10 @@ inline SummaryRunResult RunRegisteredSummary(
     const std::vector<uint64_t>& stream, double phi,
     std::unique_ptr<Summary>* keep = nullptr) {
   SummaryRunResult r;
-  auto summary = MakeSummary(name, options);
+  Status status;
+  auto summary = MakeSummary(name, options, &status);
   if (summary == nullptr) {
-    r.error = "unknown algorithm '" + name + "'";
+    r.error = status.ToString();
     return r;
   }
   r.ok = true;
@@ -105,7 +137,8 @@ inline SummaryRunResult RunRegisteredSummary(
       static_cast<double>(stream.empty() ? 1 : stream.size());
 
   r.report = summary->HeavyHitters(phi);
-  ScoreSummaryReport(r, stream, phi, options.epsilon);
+  ScoreSummaryReport(r, ScoringSpan(r, *summary, stream), phi,
+                     options.epsilon);
   r.memory_bytes = summary->MemoryUsageBytes();
   if (keep != nullptr) *keep = std::move(summary);
   return r;
@@ -144,7 +177,11 @@ inline SummaryRunResult RunShardedSummary(
       static_cast<double>(stream.empty() ? 1 : stream.size());
 
   r.report = engine->HeavyHitters(phi);
-  ScoreSummaryReport(r, stream, phi, options.epsilon);
+  // MergedView is the engine-wide summary the report came from; for a
+  // windowed engine it is the merged ring, whose coverage is the global
+  // window (the shard rings rotate on the global clock).
+  ScoreSummaryReport(r, ScoringSpan(r, engine->MergedView(), stream), phi,
+                     options.epsilon);
   r.memory_bytes = engine->MemoryUsageBytes();
   if (keep != nullptr) *keep = std::move(engine);
   return r;

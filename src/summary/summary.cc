@@ -27,6 +27,12 @@ namespace l1hh {
 
 namespace internal {
 void RegisterCoreSummaries();  // defined in core/summary_adapters.cc
+// Defined in window/sliding_window_summary.cc: builds the bucket-ring
+// container around a mergeable inner structure.  Kept as a forward
+// declaration so the summary layer does not include window headers.
+std::unique_ptr<Summary> MakeWindowedSummary(std::string_view inner_name,
+                                             const SummaryOptions& options,
+                                             Status* status);
 }
 
 Status Summary::Merge(const Summary& other) {
@@ -711,11 +717,27 @@ void RegisterSummary(const std::string& name, SummaryFactory factory) {
 }
 
 std::unique_ptr<Summary> MakeSummary(std::string_view name,
-                                     const SummaryOptions& options) {
+                                     const SummaryOptions& options,
+                                     Status* status) {
   EnsureBuiltinsRegistered();
+  if (IsWindowedSummaryName(name)) {
+    // The windowed factory refuses for reasons beyond "unknown name"
+    // (non-mergeable inner, nested windows, hostile geometry); pass the
+    // status through so callers can show the real refusal.
+    return internal::MakeWindowedSummary(
+        name.substr(kWindowedPrefix.size()), options, status);
+  }
   const auto& registry = GetRegistry();
-  const auto it = registry.find(std::string(name));
-  if (it == registry.end()) return nullptr;
+  const std::string key(name);
+  const auto it = registry.find(key);
+  if (it == registry.end()) {
+    if (status != nullptr) {
+      *status = Status::InvalidArgument("unknown summary algorithm '" +
+                                        key + "'");
+    }
+    return nullptr;
+  }
+  if (status != nullptr) *status = Status::Ok();
   return it->second(options);
 }
 

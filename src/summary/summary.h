@@ -62,6 +62,19 @@ struct SummaryOptions {
   uint64_t universe_size = uint64_t{1} << 24;  // n: ids are in [0, n)
   uint64_t stream_length = 0;  // m; required by bdw_simple / bdw_optimal
   uint64_t seed = 1;           // PRNG / hash seed (randomized structures)
+  // Sliding-window geometry, consumed only by the `windowed:<algo>`
+  // container (src/window/): W, the window length in items, and B, the
+  // number of tumbling sub-window buckets covering it.  window_size == 0
+  // asks for the default (stream_length when known, else 2^20).  Plain
+  // structures ignore both; docs/WINDOWS.md has the eps + 1/B accounting.
+  uint64_t window_size = 0;   // W: answer for the last W items
+  uint64_t window_buckets = 8;  // B: sub-window buckets (query slack 1/B)
+
+  /// Field-wise equality — THE compatibility comparison (window Merge,
+  /// cross-shard Restore validation).  Defaulted so a new field can
+  /// never be silently left out of one caller's hand-rolled list.
+  friend bool operator==(const SummaryOptions&,
+                         const SummaryOptions&) = default;
 };
 
 // Thread-safety contract: a Summary is a single-threaded object.  No
@@ -108,6 +121,12 @@ class Summary {
 
   /// Total weight processed so far (the stream position m').
   virtual uint64_t ItemsProcessed() const = 0;
+
+  /// The stream suffix the reports answer for: ItemsProcessed() for every
+  /// plain structure, the covered window (< ItemsProcessed once eviction
+  /// starts) for the `windowed:<algo>` container.  The evaluation harness
+  /// scores reports against exactly this many trailing items.
+  virtual uint64_t CoveredItems() const { return ItemsProcessed(); }
 
   /// Paper-style space accounting in bytes (rounded up from the
   /// structure's SpaceBits where available).
@@ -173,6 +192,17 @@ class Summary {
 // ---------------------------------------------------------------------------
 // String-keyed factory / registry.
 
+/// The registry spelling prefix of the sliding-window container:
+/// "windowed:<inner>" wraps registered structure <inner> (src/window/).
+inline constexpr std::string_view kWindowedPrefix = "windowed:";
+
+/// Whether `name` spells a windowed container.  The single test every
+/// layer shares (factory dispatch, evaluation-harness scoring, CLI
+/// auto-wrapping), so the prefix cannot silently drift.
+inline bool IsWindowedSummaryName(std::string_view name) {
+  return name.substr(0, kWindowedPrefix.size()) == kWindowedPrefix;
+}
+
 using SummaryFactory =
     std::function<std::unique_ptr<Summary>(const SummaryOptions&)>;
 
@@ -182,8 +212,16 @@ using SummaryFactory =
 void RegisterSummary(const std::string& name, SummaryFactory factory);
 
 /// Creates a summary by registry name, or nullptr for unknown names.
+/// Names of the form "windowed:<inner>" wrap the registered mergeable
+/// structure <inner> in the sliding-window container (src/window/), sized
+/// by SummaryOptions::{window_size, window_buckets}; the spelling is
+/// accepted everywhere a registry name is (CLI --algo, the sharded
+/// engine, snapshot headers) without the inner structures knowing.
+/// `status`, when non-null, receives WHY a nullptr came back (unknown
+/// name vs a windowed refusal such as a non-mergeable inner structure).
 std::unique_ptr<Summary> MakeSummary(std::string_view name,
-                                     const SummaryOptions& options);
+                                     const SummaryOptions& options,
+                                     Status* status = nullptr);
 
 /// All registered names, sorted, e.g. for `l1hh_cli list` and the
 /// parameterized interface test.

@@ -59,7 +59,9 @@ uint64_t BitReader::ReadGamma() {
   int len = 0;
   while (!overflow_ && ReadBits(1) == 0) {
     ++len;
-    if (len > 64) {
+    // A valid gamma prefix is at most 63 zeros (64-bit values); 64 would
+    // shift past the word below, which is UB on hostile input.
+    if (len >= 64) {
       MarkOverflow();
       return 1;
     }

@@ -84,6 +84,54 @@ TEST(CompactCounterArrayTest, SerializeRoundTrip) {
   for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(b.Get(i), a.Get(i));
 }
 
+TEST(CompactCounterArrayTest, SparseSerializeRoundTrip) {
+  Rng rng(5);
+  CompactCounterArray a(300);
+  for (int op = 0; op < 500; ++op) a.Increment(rng.UniformU64(40));
+  BitWriter w;
+  a.SerializeSparse(w);
+  BitReader r(w);
+  CompactCounterArray b;
+  b.DeserializeSparse(r, a.size());
+  ASSERT_FALSE(r.overflow());
+  ASSERT_EQ(b.size(), a.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(b.Get(i), a.Get(i));
+}
+
+TEST(CompactCounterArrayTest, SparseSerializeSkipsZeroRuns) {
+  // One nonzero cell in a huge, otherwise-empty array: the sparse
+  // encoding must cost O(log size) bits, not one bit per empty cell
+  // (which is what the dense message format pays).
+  CompactCounterArray a(100000);
+  a.Add(73611, 9);
+  BitWriter sparse;
+  a.SerializeSparse(sparse);
+  EXPECT_LT(sparse.size_bits(), 128u);
+  BitWriter dense;
+  a.Serialize(dense);
+  EXPECT_GT(dense.size_bits(), 100000u);
+  BitReader r(sparse);
+  CompactCounterArray b;
+  b.DeserializeSparse(r, a.size());
+  ASSERT_FALSE(r.overflow());
+  EXPECT_EQ(b.Get(73611), 9u);
+  EXPECT_EQ(b.Total(), 9u);
+}
+
+TEST(CompactCounterArrayTest, SparseDeserializeRejectsUnexpectedSize) {
+  CompactCounterArray a(50);
+  a.Add(3, 7);
+  BitWriter w;
+  a.SerializeSparse(w);
+  BitReader r(w);
+  CompactCounterArray b;
+  // Wrong expectation: the payload's size field (50) must be refused
+  // without allocating, leaving the reader in an overflow state.
+  b.DeserializeSparse(r, 49);
+  EXPECT_TRUE(r.overflow());
+  EXPECT_EQ(b.size(), 0u);
+}
+
 TEST(CompactCounterArrayTest, ResetClears) {
   CompactCounterArray a(8);
   a.Add(2, 500);

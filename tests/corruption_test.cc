@@ -85,6 +85,20 @@ TEST(CorruptionTest, CompactCounterArrayTruncation) {
     // CheckedCount caps the element count at the message size.
     EXPECT_LE(broken.size(), t.size_bits() + 64);
   }
+  // The sparse snapshot format: a truncated payload either fails the
+  // size echo (no allocation) or stops mid-cells; both must leave the
+  // reader flagged.
+  BitWriter sparse;
+  a.SerializeSparse(sparse);
+  for (const size_t bits :
+       {size_t{0}, size_t{3}, sparse.size_bits() / 2}) {
+    const BitWriter t = Truncate(sparse, bits);
+    BitReader r(t);
+    CompactCounterArray broken;
+    broken.DeserializeSparse(r, a.size());
+    EXPECT_TRUE(r.overflow());
+    EXPECT_LE(broken.size(), a.size());
+  }
 }
 
 TEST(CorruptionTest, BdwSimpleTruncation) {
@@ -230,6 +244,13 @@ TEST(CorruptionTest, EmptyMessage) {
     BitReader r(empty);
     CompactCounterArray broken;
     broken.Deserialize(r);
+    EXPECT_EQ(broken.size(), 0u);
+  }
+  {
+    BitReader r(empty);
+    CompactCounterArray broken;
+    broken.DeserializeSparse(r, 100);
+    EXPECT_TRUE(r.overflow());
     EXPECT_EQ(broken.size(), 0u);
   }
 }

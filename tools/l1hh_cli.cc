@@ -15,6 +15,15 @@
 //   l1hh_cli run --algo=count_min --save=run.l1hh
 //                                             # ... and snapshot the summary
 //                                             # (sharded: the merged view)
+//   l1hh_cli run --algo=windowed:count_min --window=1000000 --buckets=8
+//                                             # heavy in the LAST W items:
+//                                             # the bucket-ring container
+//                                             # (src/window/, docs/WINDOWS.md);
+//                                             # --window auto-wraps a bare
+//                                             # --algo name
+//   l1hh_cli run --algo=misra_gries --format=json
+//                                             # machine-readable one-line
+//                                             # JSON report (also: merge)
 //   l1hh_cli heavy --algo=misra_gries --m=<length> [--phi=...]
 //                                             # reads ids from stdin
 //   l1hh_cli save --algo=count_min --out=a.l1hh --m=<FULL stream length>
@@ -77,6 +86,15 @@ struct Args {
   // shards>1 ingests through ShardedEngine (threads=0 -> one per shard).
   uint64_t shards = 1;
   uint64_t threads = 0;
+  // Sliding-window knobs: --window=1000000 answers for the last million
+  // items via the windowed:<algo> container (auto-wrapping a bare --algo
+  // name; the value is a plain integer — no 1e6 spellings); W is covered
+  // by --buckets tumbling sub-windows (0 = the default 8).
+  uint64_t window = 0;
+  uint64_t buckets = 0;
+  // Report format for run/merge: "text" (default) or "json" — one JSON
+  // object per run with the scored fields, for CI smokes to assert on.
+  std::string format = "text";
   // Snapshot paths: --out for `save`, --save for `run`, positionals for
   // `load` / `merge`.
   std::string out;
@@ -87,6 +105,11 @@ struct Args {
 constexpr uint64_t kDefaultM = 1 << 20;
 
 std::string CanonicalAlgoName(const std::string& name) {
+  // Aliases apply inside a windowed: spelling too (windowed:mg).
+  if (IsWindowedSummaryName(name)) {
+    return std::string(kWindowedPrefix) +
+           CanonicalAlgoName(name.substr(kWindowedPrefix.size()));
+  }
   if (name == "optimal") return "bdw_optimal";
   if (name == "simple") return "bdw_simple";
   if (name == "mg") return "misra_gries";
@@ -98,7 +121,8 @@ std::string CanonicalAlgoName(const std::string& name) {
 const char* const kKnownFlags[] = {
     "--kind",  "--algo", "--algorithm", "--alpha",   "--epsilon",
     "--phi",   "--delta", "--n",        "--m",       "--seed",
-    "--shards", "--threads", "--out",   "--save",
+    "--shards", "--threads", "--out",   "--save",    "--window",
+    "--buckets", "--format",
 };
 
 size_t EditDistance(const std::string& a, const std::string& b) {
@@ -192,6 +216,12 @@ bool Parse(int argc, char** argv, Args* out) {
       out->out = value;
     } else if (key == "--save") {
       out->save_path = value;
+    } else if (key == "--window") {
+      out->window = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--buckets") {
+      out->buckets = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--format") {
+      out->format = value;
     } else {
       PrintUnknownFlag(key);
       return false;
@@ -204,6 +234,34 @@ bool Parse(int argc, char** argv, Args* out) {
   if (out->shards == 0) {
     std::fprintf(stderr, "--shards must be >= 1\n");
     return false;
+  }
+  if (out->format != "text" && out->format != "json") {
+    std::fprintf(stderr, "--format must be text or json\n");
+    return false;
+  }
+  // Only run (incl. the empty-command shorthand) and merge emit JSON;
+  // accepting the flag elsewhere would silently print prose into a JSON
+  // consumer's pipe.
+  if (out->format == "json" && !out->command.empty() &&
+      out->command != "run" && out->command != "merge") {
+    std::fprintf(stderr, "--format=json is supported by run and merge\n");
+    return false;
+  }
+  // --buckets shapes a window; on a plain algorithm with no --window it
+  // would be silently ignored — reject, like any other unusable flag.
+  if (out->buckets != 0 && out->window == 0 &&
+      !IsWindowedSummaryName(out->algorithm)) {
+    std::fprintf(stderr,
+                 "--buckets requires --window=W or a windowed:<algo> "
+                 "--algo name\n");
+    return false;
+  }
+  // --window asks for sliding-window semantics; wrap a bare algorithm
+  // name in the windowed container so `run --algo=count_min
+  // --window=1000000` and `run --algo=windowed:count_min
+  // --window=1000000` mean the same thing.
+  if (out->window != 0 && !IsWindowedSummaryName(out->algorithm)) {
+    out->algorithm = std::string(kWindowedPrefix) + out->algorithm;
   }
   return true;
 }
@@ -226,6 +284,8 @@ SummaryOptions ToSummaryOptions(const Args& a, uint64_t stream_length) {
   opt.universe_size = a.n;
   opt.stream_length = stream_length;
   opt.seed = a.seed;
+  opt.window_size = a.window;
+  if (a.buckets != 0) opt.window_buckets = a.buckets;
   return opt;
 }
 
@@ -257,23 +317,30 @@ int CmdGenerate(const Args& a) {
 /// Drives one registered summary over `items` and prints its report.
 int CmdHeavy(const Args& a, const std::vector<uint64_t>& items) {
   const uint64_t m = a.m != 0 ? a.m : items.size();
-  auto summary = MakeSummary(a.algorithm, ToSummaryOptions(a, m));
+  Status status;
+  auto summary = MakeSummary(a.algorithm, ToSummaryOptions(a, m), &status);
   if (summary == nullptr) {
-    std::fprintf(stderr, "unknown --algo %s; try `l1hh_cli list`\n",
-                 a.algorithm.c_str());
+    std::fprintf(stderr, "--algo %s: %s; try `l1hh_cli list`\n",
+                 a.algorithm.c_str(), status.ToString().c_str());
     return 2;
   }
   summary->UpdateBatch(items);
   const auto hitters = summary->HeavyHitters(a.phi);
-  std::printf("# %s: %zu heavy hitters at phi=%.3f over m=%llu "
+  // Windowed: the report (and its percentages) cover the ring's suffix,
+  // not the whole stream.  CoveredItems == ItemsProcessed for plain
+  // structures, so the generic surface handles both.
+  const bool windowed = IsWindowedSummaryName(summary->Name());
+  const uint64_t over = windowed ? summary->CoveredItems() : m;
+  std::printf("# %s: %zu heavy hitters at phi=%.3f over %s%llu items "
               "(%zu bytes)\n",
               a.algorithm.c_str(), hitters.size(), a.phi,
-              static_cast<unsigned long long>(m),
+              windowed ? "the last " : "m=",
+              static_cast<unsigned long long>(over),
               summary->MemoryUsageBytes());
   for (const auto& hh : hitters) {
     std::printf("%-20s %12llu %14.0f %8.2f%%\n", a.algorithm.c_str(),
                 static_cast<unsigned long long>(hh.item), hh.estimate,
-                100.0 * hh.estimate / static_cast<double>(m));
+                100.0 * hh.estimate / static_cast<double>(over));
   }
   return 0;
 }
@@ -288,10 +355,11 @@ int CmdSave(const Args& a, const std::vector<uint64_t>& items) {
     return 2;
   }
   const uint64_t m = a.m != 0 ? a.m : items.size();
-  auto summary = MakeSummary(a.algorithm, ToSummaryOptions(a, m));
+  Status status;
+  auto summary = MakeSummary(a.algorithm, ToSummaryOptions(a, m), &status);
   if (summary == nullptr) {
-    std::fprintf(stderr, "unknown --algo %s; try `l1hh_cli list`\n",
-                 a.algorithm.c_str());
+    std::fprintf(stderr, "--algo %s: %s; try `l1hh_cli list`\n",
+                 a.algorithm.c_str(), status.ToString().c_str());
     return 2;
   }
   summary->UpdateBatch(items);
@@ -322,10 +390,26 @@ void PrintSnapshotHeader(const char* path, const SnapshotInfo& info) {
 
 void PrintReport(const Summary& summary, double phi) {
   const auto hitters = summary.HeavyHitters(phi);
-  const auto m = static_cast<double>(summary.ItemsProcessed());
-  std::printf("# %zu heavy hitters at phi=%.3f over %llu ingested items\n",
-              hitters.size(), phi,
-              static_cast<unsigned long long>(summary.ItemsProcessed()));
+  // A windowed summary answers for its covered suffix, not everything it
+  // ever ingested; report percentages against what the report is over.
+  // CoveredItems/Options are the generic surface for exactly this.
+  const bool windowed = IsWindowedSummaryName(summary.Name());
+  const uint64_t over = summary.CoveredItems();
+  const auto m = static_cast<double>(over);
+  if (windowed) {
+    const SummaryOptions options = summary.Options();
+    std::printf("# %zu heavy hitters at phi=%.3f over the last %llu of "
+                "%llu ingested items (window of %llu in %llu buckets)\n",
+                hitters.size(), phi, static_cast<unsigned long long>(over),
+                static_cast<unsigned long long>(summary.ItemsProcessed()),
+                static_cast<unsigned long long>(options.window_size),
+                static_cast<unsigned long long>(options.window_buckets));
+  } else {
+    std::printf("# %zu heavy hitters at phi=%.3f over %llu ingested "
+                "items\n",
+                hitters.size(), phi,
+                static_cast<unsigned long long>(over));
+  }
   for (const auto& hh : hitters) {
     std::printf("%-24llu %14.0f %8.2f%%\n",
                 static_cast<unsigned long long>(hh.item), hh.estimate,
@@ -366,6 +450,46 @@ int CmdLoad(const Args& a) {
   return 0;
 }
 
+/// Machine-readable `run` report (--format=json): one JSON object on one
+/// line, so CI smokes can assert on fields instead of grepping prose.
+/// Keys are stable; `window` is null for non-windowed runs.
+void PrintJsonRunReport(const Args& a, const SummaryRunResult& r,
+                        uint64_t m) {
+  std::printf("{\"command\":\"run\",\"algo\":\"%s\",\"m\":%llu,"
+              "\"epsilon\":%.6g,\"phi\":%.6g,\"seed\":%llu,"
+              "\"shards\":%llu,\"threads\":%llu,",
+              a.algorithm.c_str(), static_cast<unsigned long long>(m),
+              a.epsilon, a.phi, static_cast<unsigned long long>(a.seed),
+              static_cast<unsigned long long>(a.shards),
+              static_cast<unsigned long long>(a.threads));
+  if (r.windowed) {
+    // The EFFECTIVE geometry (defaulted/rounded by the window factory),
+    // not the raw flags — so "covered" <= "size" always holds.
+    std::printf("\"window\":{\"size\":%llu,\"buckets\":%llu,"
+                "\"covered\":%llu},",
+                static_cast<unsigned long long>(r.window_size),
+                static_cast<unsigned long long>(r.window_buckets),
+                static_cast<unsigned long long>(r.scored_items));
+  } else {
+    std::printf("\"window\":null,");
+  }
+  std::printf("\"true_heavies\":%zu,\"recalled\":%zu,\"reported\":%zu,"
+              "\"recall\":%.6f,\"precision\":%.6f,"
+              "\"max_abs_estimate_error\":%.3f,\"space_bits\":%zu,"
+              "\"update_ns\":%.1f,\"report\":[",
+              r.true_heavies, r.recalled, r.report.size(), r.recall,
+              r.precision, r.max_abs_err, r.memory_bytes * 8,
+              r.update_ns);
+  for (size_t i = 0; i < r.report.size(); ++i) {
+    std::printf("%s{\"item\":%llu,\"estimate\":%.1f,\"exact\":%llu}",
+                i == 0 ? "" : ",",
+                static_cast<unsigned long long>(r.report[i].item),
+                r.report[i].estimate,
+                static_cast<unsigned long long>(r.report_exact[i]));
+  }
+  std::printf("]}\n");
+}
+
 /// Coordinator end of the distributed workflow: loads every snapshot,
 /// merges them into one summary, and prints the combined report.
 int CmdMerge(const Args& a) {
@@ -396,10 +520,29 @@ int CmdMerge(const Args& a) {
       return 1;
     }
   }
+  const double phi = a.phi_given ? a.phi : merged->Options().phi;
+  if (a.format == "json") {
+    // No ground truth at a coordinator; the JSON carries the merged
+    // report and the size accounting (recall/precision are `run` fields).
+    const auto hitters = merged->HeavyHitters(phi);
+    std::printf("{\"command\":\"merge\",\"algo\":\"%s\",\"snapshots\":%zu,"
+                "\"items\":%llu,\"phi\":%.6g,\"space_bits\":%zu,"
+                "\"report\":[",
+                std::string(merged->Name()).c_str(), a.positional.size(),
+                static_cast<unsigned long long>(merged->ItemsProcessed()),
+                phi, merged->MemoryUsageBytes() * 8);
+    for (size_t i = 0; i < hitters.size(); ++i) {
+      std::printf("%s{\"item\":%llu,\"estimate\":%.1f}",
+                  i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(hitters[i].item),
+                  hitters[i].estimate);
+    }
+    std::printf("]}\n");
+    return 0;
+  }
   std::printf("# merged %zu snapshot(s), algo=%s\n", a.positional.size(),
               std::string(merged->Name()).c_str());
-  PrintReport(*merged,
-              a.phi_given ? a.phi : merged->Options().phi);
+  PrintReport(*merged, phi);
   return 0;
 }
 
@@ -420,29 +563,41 @@ int CmdRun(const Args& a) {
     std::fprintf(stderr, "%s; try `l1hh_cli list`\n", r.error.c_str());
     return 2;
   }
-  std::printf("algo=%s  zipf(alpha=%.2f)  n=%llu  m=%llu  eps=%.3f  "
-              "phi=%.3f  seed=%llu\n",
-              a.algorithm.c_str(), a.alpha,
-              static_cast<unsigned long long>(a.n),
-              static_cast<unsigned long long>(m_arg), a.epsilon, a.phi,
-              static_cast<unsigned long long>(a.seed));
-  if (a.shards > 1) {
-    std::printf("engine: %llu shards, %llu threads (0 = one per shard), "
-                "%.1f ns/item end-to-end\n",
-                static_cast<unsigned long long>(a.shards),
-                static_cast<unsigned long long>(a.threads), r.update_ns);
+  if (a.format == "json") {
+    PrintJsonRunReport(a, r, m_arg);
+  } else {
+    std::printf("algo=%s  zipf(alpha=%.2f)  n=%llu  m=%llu  eps=%.3f  "
+                "phi=%.3f  seed=%llu\n",
+                a.algorithm.c_str(), a.alpha,
+                static_cast<unsigned long long>(a.n),
+                static_cast<unsigned long long>(m_arg), a.epsilon, a.phi,
+                static_cast<unsigned long long>(a.seed));
+    if (a.shards > 1) {
+      std::printf("engine: %llu shards, %llu threads (0 = one per shard), "
+                  "%.1f ns/item end-to-end\n",
+                  static_cast<unsigned long long>(a.shards),
+                  static_cast<unsigned long long>(a.threads), r.update_ns);
+    }
+    if (r.windowed) {
+      std::printf("window: last %llu of %llu items covered; recall/exact "
+                  "columns score that suffix\n",
+                  static_cast<unsigned long long>(r.scored_items),
+                  static_cast<unsigned long long>(m_arg));
+    }
+    std::printf("%-24s %14s %14s %9s\n", "item", "estimate", "exact",
+                "err");
+    for (size_t i = 0; i < r.report.size(); ++i) {
+      const double f = static_cast<double>(r.report_exact[i]);
+      std::printf("%-24llu %14.0f %14.0f %8.2f%%\n",
+                  static_cast<unsigned long long>(r.report[i].item),
+                  r.report[i].estimate, f,
+                  f > 0 ? 100.0 * (r.report[i].estimate - f) / f : 0.0);
+    }
+    std::printf("true phi-heavy items: %zu   recalled: %zu   reported: "
+                "%zu   memory: %zu bytes\n",
+                r.true_heavies, r.recalled, r.report.size(),
+                r.memory_bytes);
   }
-  std::printf("%-24s %14s %14s %9s\n", "item", "estimate", "exact", "err");
-  for (size_t i = 0; i < r.report.size(); ++i) {
-    const double f = static_cast<double>(r.report_exact[i]);
-    std::printf("%-24llu %14.0f %14.0f %8.2f%%\n",
-                static_cast<unsigned long long>(r.report[i].item),
-                r.report[i].estimate, f,
-                f > 0 ? 100.0 * (r.report[i].estimate - f) / f : 0.0);
-  }
-  std::printf("true phi-heavy items: %zu   recalled: %zu   reported: %zu   "
-              "memory: %zu bytes\n",
-              r.true_heavies, r.recalled, r.report.size(), r.memory_bytes);
   if (!a.save_path.empty()) {
     // Sharded runs snapshot the merged view — one file a coordinator can
     // merge with other runs, same as a single-summary snapshot.
@@ -453,7 +608,9 @@ int CmdRun(const Args& a) {
       std::fprintf(stderr, "--save failed: %s\n", saved.ToString().c_str());
       return 1;
     }
-    std::printf("snapshot written to %s\n", a.save_path.c_str());
+    // Keep stdout pure JSON in json mode (one object per run).
+    std::fprintf(a.format == "json" ? stderr : stdout,
+                 "snapshot written to %s\n", a.save_path.c_str());
   }
   return r.recalled == r.true_heavies ? 0 : 1;
 }
