@@ -72,6 +72,54 @@ double TimeEngine(const std::string& name, const SummaryOptions& options,
   return NsPerItem(start, std::chrono::steady_clock::now(), stream.size());
 }
 
+/// ns/item with `producers` concurrent producer threads driving the
+/// K x P ring grid: contiguous chunks, one RegisterProducer handle per
+/// thread, timed spawn-to-flush.  Returns < 0 if the engine refuses the
+/// configuration.
+double TimeProducers(const std::string& name, const SummaryOptions& options,
+                     const std::vector<uint64_t>& stream, size_t shards,
+                     size_t producers) {
+  ShardedEngineOptions engine_options;
+  engine_options.algorithm = name;
+  engine_options.summary = options;
+  engine_options.num_shards = shards;
+  engine_options.max_producers = producers + 1;  // externals + slot 0
+  auto engine = ShardedEngine::Create(engine_options);
+  if (engine == nullptr) return -1.0;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (size_t p = 0; p < producers; ++p) {
+    auto producer = engine->RegisterProducer();
+    if (producer == nullptr) return -1.0;
+    const size_t begin = p * stream.size() / producers;
+    const size_t end = (p + 1) * stream.size() / producers;
+    threads.emplace_back(
+        [&stream, begin, end, producer = std::move(producer)]() mutable {
+          producer->UpdateBatch(
+              {stream.data() + begin, end - begin});
+          producer.reset();
+        });
+  }
+  for (auto& thread : threads) thread.join();
+  engine->Flush();
+  return NsPerItem(start, std::chrono::steady_clock::now(), stream.size());
+}
+
+/// Min-of-3 alternating scalar/batch measurement (see the comment at the
+/// call site for why min, and why alternating).
+void MeasureScalarVsBatch(const std::string& name,
+                          const SummaryOptions& options,
+                          const std::vector<uint64_t>& stream,
+                          double& scalar_ns, double& batch_ns) {
+  scalar_ns = TimeScalar(name, options, stream);
+  batch_ns = TimeBatch(name, options, stream);
+  for (int rep = 1; rep < 3; ++rep) {
+    scalar_ns = std::min(scalar_ns, TimeScalar(name, options, stream));
+    batch_ns = std::min(batch_ns, TimeBatch(name, options, stream));
+  }
+}
+
 void PrintEngineCell(double ns, double batch_ns) {
   if (ns < 0) {
     std::printf("%10s %8s", "n/a", "");
@@ -113,23 +161,27 @@ int main(int argc, char** argv) {
     // and later ones throttled (or a noisy neighbor steals a slice),
     // which otherwise skews a single-measurement ratio — and the
     // regression gate — by 10-15%.
-    double scalar_ns = TimeScalar(name, options, stream);
-    double batch_ns = TimeBatch(name, options, stream);
-    for (int rep = 1; rep < 3; ++rep) {
-      scalar_ns = std::min(scalar_ns, TimeScalar(name, options, stream));
-      batch_ns = std::min(batch_ns, TimeBatch(name, options, stream));
+    double scalar_ns = 0;
+    double batch_ns = 0;
+    MeasureScalarVsBatch(name, options, stream, scalar_ns, batch_ns);
+    // Regression gate: batch must not be slower than scalar (15% noise
+    // allowance; the tight loops should win, never lose).  A failed gate
+    // gets ONE full re-measurement before it counts: min-of-3 absorbs
+    // frequency scaling, but a CI neighbor can still steal a whole
+    // measurement window, and a gate that cries wolf gets ignored.
+    if (batch_ns > 1.15 * scalar_ns) {
+      MeasureScalarVsBatch(name, options, stream, scalar_ns, batch_ns);
     }
     std::printf("%-20s %10.1f %10.1f %7.2fx", name.c_str(), scalar_ns,
                 batch_ns, scalar_ns / batch_ns);
     PrintEngineCell(TimeEngine(name, options, stream, 2), batch_ns);
     PrintEngineCell(TimeEngine(name, options, stream, 4), batch_ns);
     std::printf("\n");
-    // Regression gate: batch must not be slower than scalar (15% noise
-    // allowance; the tight loops should win, never lose).
     if (batch_ns > 1.15 * scalar_ns) {
       std::fprintf(stderr,
                    "REGRESSION: %s UpdateBatch (%.1f ns) slower than "
-                   "scalar Update (%.1f ns)\n",
+                   "scalar Update (%.1f ns) in two independent "
+                   "min-of-3 measurements\n",
                    name.c_str(), batch_ns, scalar_ns);
       batch_regression = true;
     }
@@ -143,6 +195,27 @@ int main(int argc, char** argv) {
     const double engine_ns = TimeEngine(name, options, stream, 4);
     std::printf("  %-14s %.2fM/s -> %.2fM/s (%.2fx aggregate)\n", name,
                 1e3 / batch_ns, 1e3 / engine_ns, batch_ns / engine_ns);
+  }
+
+  // Multi-producer ingest scaling through the K x P ring grid.  Speedup
+  // over P=1 requires spare cores for the extra producer threads: on a
+  // 1-core container (most CI runners) every producer, worker, and the
+  // flush all timeshare one CPU, so these numbers are CONTENTION-BOUND
+  // and P > 1 typically costs rather than pays.  The column to watch
+  // there is how small the penalty is (grid overhead), not the speedup.
+  std::printf("\nmulti-producer ingest scaling (K=4 grid, spawn-to-flush "
+              "ns/item):\n");
+  for (const char* name : {"misra_gries", "count_min", "bdw_optimal"}) {
+    const double p1 = TimeProducers(name, options, stream, 4, 1);
+    const double p2 = TimeProducers(name, options, stream, 4, 2);
+    const double p4 = TimeProducers(name, options, stream, 4, 4);
+    if (p1 < 0 || p2 < 0 || p4 < 0) {
+      std::printf("  %-14s n/a\n", name);
+      continue;
+    }
+    std::printf("  %-14s P=1 %8.1f   P=2 %8.1f (%.2fx)   P=4 %8.1f "
+                "(%.2fx)\n",
+                name, p1, p2, p1 / p2, p4, p1 / p4);
   }
   return batch_regression ? 1 : 0;
 }

@@ -19,7 +19,7 @@ namespace {
 
 // Worker idle policy: spin a little (items usually arrive back-to-back),
 // then yield, then sleep — so an idle engine does not burn a core, which
-// matters on machines where workers share cores with the producer.
+// matters on machines where workers share cores with the producers.
 class IdleBackoff {
  public:
   void Idle() {
@@ -48,7 +48,67 @@ std::string ShardFileName(size_t shard) {
 constexpr const char* kManifestName = "MANIFEST";
 constexpr const char* kManifestHeader = "l1hh-checkpoint v1";
 
+// Ring memory scales as num_shards * max_producers * queue_capacity; cap
+// the slot count so a typo cannot request terabytes of rings.
+constexpr size_t kMaxProducerSlots = 4096;
+
 }  // namespace
+
+// ---- Producer handle --------------------------------------------------
+
+ShardedEngine::Producer::Producer(ShardedEngine* engine, size_t slot)
+    : engine_(engine), slot_(slot) {
+  staging_.resize(engine_->shards_.size());
+  const size_t stage = std::max<size_t>(64, engine_->options_.drain_batch);
+  for (auto& buffer : staging_) buffer.reserve(stage);
+}
+
+ShardedEngine::Producer::~Producer() {
+  // Slot 0 is the engine's own handle; it dies with the engine and is
+  // never recycled through RegisterProducer.
+  if (slot_ != 0) engine_->ReleaseProducer(slot_);
+}
+
+void ShardedEngine::Producer::Update(uint64_t item, uint64_t weight) {
+  const size_t shard = engine_->ShardOf(item);
+  if (!engine_->windowed()) {
+    for (uint64_t i = 0; i < weight; ++i) {
+      engine_->PushBlocking(slot_, shard, &item, 1);
+    }
+    return;
+  }
+  engine_->IngestWindowed(
+      weight, [this, shard, item](uint64_t, uint64_t count) {
+        for (uint64_t i = 0; i < count; ++i) {
+          engine_->PushBlocking(slot_, shard, &item, 1);
+        }
+      });
+}
+
+void ShardedEngine::Producer::UpdateBatch(std::span<const uint64_t> items) {
+  if (!engine_->windowed()) {
+    engine_->ScatterPush(slot_, staging_, items);
+    return;
+  }
+  // Split the batch at global bucket boundaries: each chunk is enqueued
+  // only once its bucket's rotation has fired, so shard buckets always
+  // partition the same global position range.
+  engine_->IngestWindowed(
+      items.size(), [this, items](uint64_t offset, uint64_t count) {
+        engine_->ScatterPush(slot_, staging_,
+                             items.subspan(static_cast<size_t>(offset),
+                                           static_cast<size_t>(count)));
+      });
+}
+
+// ---- Construction -----------------------------------------------------
+
+ShardedEngine::Shard::Shard(size_t producer_slots, size_t ring_capacity) {
+  rings.reserve(producer_slots);
+  for (size_t p = 0; p < producer_slots; ++p) {
+    rings.push_back(std::make_unique<SpscRing<uint64_t>>(ring_capacity));
+  }
+}
 
 std::unique_ptr<ShardedEngine> ShardedEngine::Create(
     const ShardedEngineOptions& options, Status* status) {
@@ -58,6 +118,15 @@ std::unique_ptr<ShardedEngine> ShardedEngine::Create(
   };
   if (options.num_shards == 0) {
     return fail(Status::InvalidArgument("num_shards must be >= 1"));
+  }
+  if (options.max_producers == 0) {
+    return fail(Status::InvalidArgument(
+        "max_producers must be >= 1 (slot 0 is the engine's own)"));
+  }
+  if (options.max_producers > kMaxProducerSlots) {
+    return fail(Status::InvalidArgument(
+        "max_producers " + std::to_string(options.max_producers) +
+        " exceeds the sanity cap " + std::to_string(kMaxProducerSlots)));
   }
   Status make_status;
   auto probe = MakeSummary(options.algorithm, options.summary, &make_status);
@@ -105,11 +174,11 @@ void ShardedEngine::BindWindows(uint64_t restored_rotations) {
     windows_.push_back(window);
   }
   rotation_stride_ = windows_[0]->bucket_width();
-  global_enqueued_ = 0;
-  for (const auto& shard : shards_) {
-    global_enqueued_ += shard->enqueued.load(std::memory_order_relaxed);
-  }
-  next_rotation_at_ = (restored_rotations + 1) * rotation_stride_;
+  // Pre-thread-start stores: Restore preset slot 0's enqueued counters.
+  uint64_t total = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) total += ShardEnqueued(s);
+  global_pos_.store(total, std::memory_order_relaxed);
+  rotations_done_.store(restored_rotations, std::memory_order_relaxed);
 }
 
 ShardedEngine::ShardedEngine(const ShardedEngineOptions& options)
@@ -117,18 +186,32 @@ ShardedEngine::ShardedEngine(const ShardedEngineOptions& options)
   // drain_batch == 0 would make every worker pop nothing forever and
   // Flush spin-wait indefinitely; clamp rather than hang.
   options_.drain_batch = std::max<size_t>(options_.drain_batch, 1);
+  options_.max_producers = std::max<size_t>(options_.max_producers, 1);
+  slots_.reserve(options_.max_producers);
+  for (size_t p = 0; p < options_.max_producers; ++p) {
+    slots_.push_back(std::make_unique<ProducerSlot>(options_.num_shards));
+  }
   shards_.reserve(options_.num_shards);
   for (size_t s = 0; s < options_.num_shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(options_.queue_capacity));
+    shards_.push_back(
+        std::make_unique<Shard>(options_.max_producers,
+                                options_.queue_capacity));
   }
-  staging_.resize(options_.num_shards);
-  const size_t stage = std::max<size_t>(64, options_.drain_batch);
-  for (auto& buffer : staging_) buffer.reserve(stage);
+  slots_[0]->active = true;
+  controller_.reset(new Producer(this, 0));
 }
 
 ShardedEngine::~ShardedEngine() {
+  // Contract: external Producer handles are already destroyed (or idle
+  // forever), so the enqueued counters are final; drain everything.
   Flush();
-  stop_.store(true, std::memory_order_release);
+  {
+    // Publish stop under park_mutex_ so a worker deciding to park cannot
+    // miss it (the park predicate re-checks under the same mutex).
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  resume_cv_.notify_all();
   for (auto& worker : workers_) worker.join();
 }
 
@@ -152,19 +235,26 @@ void ShardedEngine::StartWorkers() {
   }
 }
 
+// ---- Worker pool + pause gate -----------------------------------------
+
 void ShardedEngine::WorkerLoop(size_t first_shard, size_t last_shard) {
   std::vector<uint64_t> batch(options_.drain_batch);
   IdleBackoff backoff;
   while (true) {
+    if (pause_.load(std::memory_order_acquire)) WorkerPark();
     size_t drained = 0;
     for (size_t s = first_shard; s < last_shard; ++s) {
       Shard& shard = *shards_[s];
-      const size_t n = shard.ring.PopBatch(batch.data(), batch.size());
-      if (n == 0) continue;
-      drained += n;
-      shard.summary->UpdateBatch({batch.data(), n});
-      // Release-publish the summary mutations; Flush acquires.
-      shard.applied.fetch_add(n, std::memory_order_release);
+      // Round-robin over the shard's P producer rings, one batch each,
+      // so no slot can starve another.
+      for (auto& ring : shard.rings) {
+        const size_t n = ring->PopBatch(batch.data(), batch.size());
+        if (n == 0) continue;
+        drained += n;
+        shard.summary->UpdateBatch({batch.data(), n});
+        // Release-publish the summary mutations; Flush acquires.
+        shard.applied.fetch_add(n, std::memory_order_release);
+      }
     }
     if (drained != 0) {
       backoff.Reset();
@@ -179,6 +269,35 @@ void ShardedEngine::WorkerLoop(size_t first_shard, size_t last_shard) {
   }
 }
 
+void ShardedEngine::WorkerPark() {
+  std::unique_lock<std::mutex> lock(park_mutex_);
+  ++parked_workers_;
+  park_cv_.notify_all();
+  resume_cv_.wait(lock, [this] {
+    return !pause_.load(std::memory_order_relaxed) ||
+           stop_.load(std::memory_order_relaxed);
+  });
+  --parked_workers_;
+}
+
+void ShardedEngine::PauseWorkers() {
+  std::unique_lock<std::mutex> lock(park_mutex_);
+  pause_.store(true, std::memory_order_release);
+  park_cv_.wait(lock, [this] { return parked_workers_ == workers_.size(); });
+  // All workers are inside WorkerPark with the summaries untouched; the
+  // mutex handoff orders their last drains before our reads.
+}
+
+void ShardedEngine::ResumeWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    pause_.store(false, std::memory_order_release);
+  }
+  resume_cv_.notify_all();
+}
+
+// ---- Ingestion --------------------------------------------------------
+
 size_t ShardedEngine::ShardOf(uint64_t item) const {
   // Mix before reducing: raw ids are often sequential, and a plain modulo
   // would stripe them instead of hashing them.
@@ -187,12 +306,13 @@ size_t ShardedEngine::ShardOf(uint64_t item) const {
              : static_cast<size_t>(Mix64(item) % shards_.size());
 }
 
-void ShardedEngine::PushBlocking(Shard& shard, const uint64_t* data,
-                                 size_t n) {
+void ShardedEngine::PushBlocking(size_t slot, size_t shard_index,
+                                 const uint64_t* data, size_t n) {
+  SpscRing<uint64_t>& ring = *shards_[shard_index]->rings[slot];
   IdleBackoff backoff;
   size_t done = 0;
   while (done < n) {
-    const size_t pushed = shard.ring.PushSome(data + done, n - done);
+    const size_t pushed = ring.PushSome(data + done, n - done);
     if (pushed == 0) {
       backoff.Idle();  // backpressure: ring full, wait for the drain
       continue;
@@ -200,110 +320,179 @@ void ShardedEngine::PushBlocking(Shard& shard, const uint64_t* data,
     backoff.Reset();
     done += pushed;
   }
-  shard.enqueued.fetch_add(n, std::memory_order_relaxed);
+  slots_[slot]->enqueued[shard_index].value.fetch_add(
+      n, std::memory_order_release);
 }
 
-void ShardedEngine::RotateAllShards() {
-  // Rotation mutates shard summaries, which is only safe while the drain
-  // workers are quiescent — the same protocol every query uses (Flush
-  // drains the staging buffers first, then waits for applied == enqueued).
-  Flush();
-  for (auto* window : windows_) window->Rotate();
-  // Rotation changes state without moving the applied count; a cached
-  // merge would silently keep serving the evicted bucket.
-  merged_valid_ = false;
+void ShardedEngine::RotateAtBoundary(uint64_t bucket) {
+  IdleBackoff backoff;
+  // Every earlier bucket has its own boundary owner; wait for all of
+  // them, then for every position before this boundary to be applied
+  // (positions at or past it are still gated, so applied cannot
+  // overshoot).  Both waits happen OUTSIDE state_mutex_: a concurrent
+  // query holds that mutex while the workers are parked, and applied
+  // could never advance if we held it here.
+  while (rotations_done_.load(std::memory_order_acquire) < bucket - 1) {
+    backoff.Idle();
+  }
+  while (TotalApplied() < bucket * rotation_stride_) backoff.Idle();
+  {
+    // All rings are empty (everything enqueued is applied) and every
+    // producer is gated, so the workers cannot touch the summaries; the
+    // mutex excludes the only other writers/readers — queries and
+    // checkpoints.
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    for (auto* window : windows_) window->Rotate();
+    // Rotation changes state without moving the applied count; a cached
+    // merge would silently keep serving the evicted bucket.
+    merged_valid_ = false;
+    // Release-publish: a producer that acquires the new count also sees
+    // the rotated windows, and its subsequent ring pushes carry that
+    // ordering through to the workers.
+    rotations_done_.store(bucket, std::memory_order_release);
+  }
 }
 
 template <typename PushFn>
 void ShardedEngine::IngestWindowed(uint64_t total, PushFn&& push) {
+  if (total == 0) return;
+  // One fetch_add claims a contiguous global position range; bucket
+  // membership is decided by position, never by arrival order.
+  const uint64_t start =
+      global_pos_.fetch_add(total, std::memory_order_relaxed);
   uint64_t offset = 0;
   while (offset < total) {
-    // Lazy rotation, matching the standalone ring: the boundary bucket
-    // stays live until the first item PAST the boundary arrives, so a
-    // stream ending exactly on a boundary covers a full window.
-    if (global_enqueued_ == next_rotation_at_) {
-      RotateAllShards();
-      next_rotation_at_ += rotation_stride_;
+    const uint64_t pos = start + offset;
+    const uint64_t bucket = pos / rotation_stride_;
+    if (bucket > rotations_done_.load(std::memory_order_acquire)) {
+      if (pos == bucket * rotation_stride_) {
+        // This claim owns the bucket's first position, so it performs
+        // the lockstep rotation (lazy, matching the standalone ring: the
+        // boundary bucket stays live until the first item PAST the
+        // boundary arrives, which is this one).
+        RotateAtBoundary(bucket);
+      } else {
+        // Another claim owns the boundary; wait for its rotation.
+        IdleBackoff backoff;
+        while (rotations_done_.load(std::memory_order_acquire) < bucket) {
+          backoff.Idle();
+        }
+      }
     }
     const uint64_t take =
-        std::min(total - offset, next_rotation_at_ - global_enqueued_);
+        std::min(total - offset, (bucket + 1) * rotation_stride_ - pos);
     push(offset, take);
-    global_enqueued_ += take;
     offset += take;
   }
 }
 
 void ShardedEngine::Update(uint64_t item, uint64_t weight) {
-  Shard& shard = *shards_[ShardOf(item)];
-  if (windows_.empty()) {
-    for (uint64_t i = 0; i < weight; ++i) PushBlocking(shard, &item, 1);
-    return;
-  }
-  IngestWindowed(weight, [this, &shard, item](uint64_t, uint64_t count) {
-    for (uint64_t i = 0; i < count; ++i) PushBlocking(shard, &item, 1);
-  });
+  controller_->Update(item, weight);
 }
 
-void ShardedEngine::ScatterPush(std::span<const uint64_t> items) {
+void ShardedEngine::UpdateBatch(std::span<const uint64_t> items) {
+  controller_->UpdateBatch(items);
+}
+
+void ShardedEngine::ScatterPush(size_t slot,
+                                std::vector<std::vector<uint64_t>>& staging,
+                                std::span<const uint64_t> items) {
   if (shards_.size() == 1) {
     // No partitioning needed; feed the ring directly.
-    PushBlocking(*shards_[0], items.data(), items.size());
+    PushBlocking(slot, 0, items.data(), items.size());
     return;
   }
   const size_t stage_cap = std::max<size_t>(64, options_.drain_batch);
   for (const uint64_t item : items) {
-    std::vector<uint64_t>& stage = staging_[ShardOf(item)];
+    const size_t s = ShardOf(item);
+    std::vector<uint64_t>& stage = staging[s];
     stage.push_back(item);
     if (stage.size() >= stage_cap) {
-      PushBlocking(*shards_[ShardOf(item)], stage.data(), stage.size());
+      PushBlocking(slot, s, stage.data(), stage.size());
       stage.clear();
     }
   }
-  FlushStaging();
+  FlushStaging(slot, staging);
 }
 
-void ShardedEngine::UpdateBatch(std::span<const uint64_t> items) {
-  if (windows_.empty()) {
-    ScatterPush(items);
-    return;
-  }
-  // Split the batch at global bucket boundaries: everything before a
-  // boundary is scattered and fully applied, then all K rings rotate
-  // together, so shard buckets always partition the same global range.
-  IngestWindowed(items.size(),
-                 [this, items](uint64_t offset, uint64_t count) {
-                   ScatterPush(items.subspan(
-                       static_cast<size_t>(offset),
-                       static_cast<size_t>(count)));
-                 });
-}
-
-void ShardedEngine::FlushStaging() {
-  for (size_t s = 0; s < staging_.size(); ++s) {
-    if (staging_[s].empty()) continue;
-    PushBlocking(*shards_[s], staging_[s].data(), staging_[s].size());
-    staging_[s].clear();
+void ShardedEngine::FlushStaging(
+    size_t slot, std::vector<std::vector<uint64_t>>& staging) {
+  for (size_t s = 0; s < staging.size(); ++s) {
+    if (staging[s].empty()) continue;
+    PushBlocking(slot, s, staging[s].data(), staging[s].size());
+    staging[s].clear();
   }
 }
 
-void ShardedEngine::Flush() {
-  FlushStaging();
-  IdleBackoff backoff;
-  for (auto& shard : shards_) {
-    const uint64_t target = shard->enqueued.load(std::memory_order_relaxed);
-    while (shard->applied.load(std::memory_order_acquire) < target) {
-      backoff.Idle();
-    }
+// ---- Producer slots ---------------------------------------------------
+
+std::unique_ptr<ShardedEngine::Producer> ShardedEngine::RegisterProducer(
+    Status* status) {
+  std::lock_guard<std::mutex> lock(producers_mutex_);
+  for (size_t p = 1; p < slots_.size(); ++p) {
+    if (slots_[p]->active) continue;
+    slots_[p]->active = true;
+    if (status != nullptr) *status = Status::Ok();
+    return std::unique_ptr<Producer>(new Producer(this, p));
   }
+  if (status != nullptr) {
+    *status = Status::FailedPrecondition(
+        "all " + std::to_string(slots_.size() - 1) +
+        " external producer slots are live (max_producers = " +
+        std::to_string(slots_.size()) +
+        " includes the engine's own slot 0)");
+  }
+  return nullptr;
 }
 
-uint64_t ShardedEngine::ItemsProcessed() const {
+void ShardedEngine::ReleaseProducer(size_t slot) {
+  // The mutex orders the departing owner's last pushes before any claim
+  // by the slot's next owner.
+  std::lock_guard<std::mutex> lock(producers_mutex_);
+  slots_[slot]->active = false;
+}
+
+size_t ShardedEngine::active_producers() const {
+  std::lock_guard<std::mutex> lock(producers_mutex_);
+  size_t live = 0;
+  for (size_t p = 1; p < slots_.size(); ++p) {
+    if (slots_[p]->active) ++live;
+  }
+  return live;
+}
+
+// ---- Quiescence + queries ---------------------------------------------
+
+uint64_t ShardedEngine::ShardEnqueued(size_t shard_index) const {
+  uint64_t total = 0;
+  for (const auto& slot : slots_) {
+    total += slot->enqueued[shard_index].value.load(
+        std::memory_order_acquire);
+  }
+  return total;
+}
+
+uint64_t ShardedEngine::TotalApplied() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->applied.load(std::memory_order_acquire);
   }
   return total;
 }
+
+void ShardedEngine::Flush() {
+  // Staging buffers need no draining here: ScatterPush always flushes
+  // them before returning, so they are empty between public calls.
+  IdleBackoff backoff;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const uint64_t target = ShardEnqueued(s);
+    while (shards_[s]->applied.load(std::memory_order_acquire) < target) {
+      backoff.Idle();
+    }
+  }
+}
+
+uint64_t ShardedEngine::ItemsProcessed() const { return TotalApplied(); }
 
 std::vector<uint64_t> ShardedEngine::ShardItemCounts() const {
   std::vector<uint64_t> counts;
@@ -314,11 +503,15 @@ std::vector<uint64_t> ShardedEngine::ShardItemCounts() const {
   return counts;
 }
 
-const Summary& ShardedEngine::MergedView() {
-  Flush();
+const Summary& ShardedEngine::RebuildMergedLocked() {
   if (shards_.size() == 1) return *shards_[0]->summary;
-  const uint64_t epoch = ItemsProcessed();
-  if (merged_valid_ && epoch == merged_epoch_) return *merged_;
+  const uint64_t epoch = TotalApplied();
+  const uint64_t rotations =
+      rotations_done_.load(std::memory_order_acquire);
+  if (merged_valid_ && epoch == merged_epoch_ &&
+      rotations == merged_rotations_) {
+    return *merged_;
+  }
   // Rebuild: a fresh empty instance absorbs every shard.  All shards were
   // constructed from the same options/seed, so the merges cannot fail on
   // compatibility; if one does, surface it loudly (a silent partial merge
@@ -333,60 +526,109 @@ const Summary& ShardedEngine::MergedView() {
     }
   }
   merged_epoch_ = epoch;
+  merged_rotations_ = rotations;
   merged_valid_ = true;
   return *merged_;
 }
 
+const Summary& ShardedEngine::MergedView() {
+  // LEGACY contract (see header): controller thread only, producers
+  // quiescent — the returned reference is read after the workers resume.
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  Flush();
+  PauseWorkers();
+  const Summary& view = RebuildMergedLocked();
+  ResumeWorkers();
+  return view;
+}
+
 double ShardedEngine::Estimate(uint64_t item) {
-  return MergedView().Estimate(item);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  Flush();
+  PauseWorkers();
+  const double estimate = RebuildMergedLocked().Estimate(item);
+  ResumeWorkers();
+  return estimate;
 }
 
 std::vector<ItemEstimate> ShardedEngine::HeavyHitters(double phi) {
-  return MergedView().HeavyHitters(phi);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  Flush();
+  PauseWorkers();
+  std::vector<ItemEstimate> report =
+      RebuildMergedLocked().HeavyHitters(phi);
+  ResumeWorkers();
+  return report;
 }
 
+size_t ShardedEngine::MemoryUsageBytes() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  Flush();
+  PauseWorkers();
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->summary->MemoryUsageBytes();
+    for (const auto& ring : shard->rings) {
+      total += ring->capacity() * sizeof(uint64_t);
+    }
+  }
+  if (merged_valid_) total += merged_->MemoryUsageBytes();
+  ResumeWorkers();
+  return total;
+}
+
+// ---- Checkpoint / Restore ---------------------------------------------
+
 Status ShardedEngine::Checkpoint(const std::string& dir) {
-  Flush();  // quiesce: workers idle, shard summaries safe to read
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::InvalidArgument("cannot create checkpoint directory '" +
-                                   dir + "': " + ec.message());
-  }
-  // Invalidate any previous checkpoint BEFORE touching its shard files: a
-  // crash while rewriting must leave a manifest-less directory Restore
-  // refuses, never a stale manifest over mixed-epoch shards.
-  const std::string manifest_path =
-      (std::filesystem::path(dir) / kManifestName).string();
-  std::filesystem::remove(manifest_path, ec);
-  if (ec) {
-    return Status::InvalidArgument("cannot clear previous manifest '" +
-                                   manifest_path + "': " + ec.message());
-  }
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    const Status saved = SaveSummaryToFile(
-        *shards_[s]->summary,
-        (std::filesystem::path(dir) / ShardFileName(s)).string());
-    if (!saved.ok()) return saved;
-  }
-  // The manifest goes last: its presence marks the checkpoint complete, so
-  // a crash mid-checkpoint leaves a directory Restore refuses cleanly.
-  std::ofstream manifest(manifest_path, std::ios::trunc);
-  if (!manifest) {
-    return Status::InvalidArgument("cannot write '" + manifest_path + "'");
-  }
-  manifest << kManifestHeader << "\n"
-           << "algorithm=" << options_.algorithm << "\n"
-           << "num_shards=" << shards_.size() << "\n"
-           << "items_processed=" << ItemsProcessed() << "\n";
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    manifest << "shard=" << ShardFileName(s) << "\n";
-  }
-  manifest.flush();
-  if (!manifest) {
-    return Status::InvalidArgument("short write to '" + manifest_path + "'");
-  }
-  return Status::Ok();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  Flush();
+  PauseWorkers();
+  Status result = [&]() -> Status {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::InvalidArgument("cannot create checkpoint directory '" +
+                                     dir + "': " + ec.message());
+    }
+    // Invalidate any previous checkpoint BEFORE touching its shard files:
+    // a crash while rewriting must leave a manifest-less directory Restore
+    // refuses, never a stale manifest over mixed-epoch shards.
+    const std::string manifest_path =
+        (std::filesystem::path(dir) / kManifestName).string();
+    std::filesystem::remove(manifest_path, ec);
+    if (ec) {
+      return Status::InvalidArgument("cannot clear previous manifest '" +
+                                     manifest_path + "': " + ec.message());
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const Status saved = SaveSummaryToFile(
+          *shards_[s]->summary,
+          (std::filesystem::path(dir) / ShardFileName(s)).string());
+      if (!saved.ok()) return saved;
+    }
+    // The manifest goes last: its presence marks the checkpoint complete,
+    // so a crash mid-checkpoint leaves a directory Restore refuses
+    // cleanly.
+    std::ofstream manifest(manifest_path, std::ios::trunc);
+    if (!manifest) {
+      return Status::InvalidArgument("cannot write '" + manifest_path + "'");
+    }
+    manifest << kManifestHeader << "\n"
+             << "algorithm=" << options_.algorithm << "\n"
+             << "num_shards=" << shards_.size() << "\n"
+             << "items_processed=" << TotalApplied() << "\n";
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      manifest << "shard=" << ShardFileName(s) << "\n";
+    }
+    manifest.flush();
+    if (!manifest) {
+      return Status::InvalidArgument("short write to '" + manifest_path +
+                                     "'");
+    }
+    return Status::Ok();
+  }();
+  ResumeWorkers();
+  return result;
 }
 
 std::unique_ptr<ShardedEngine> ShardedEngine::Restore(
@@ -506,30 +748,39 @@ std::unique_ptr<ShardedEngine> ShardedEngine::Restore(
     uint64_t total = 0;
     for (const auto& summary : loaded) total += summary->ItemsProcessed();
     const uint64_t stride = window0->bucket_width();
-    // Between Update calls the lazy-rotation protocol admits exactly one
-    // rotation count per item total: floor((total-1)/stride) — at a
-    // boundary the full bucket's rotation is still pending the next
-    // item.  Derive it by DIVISION: `restored_rotations` comes off the
-    // wire, and multiplying by it could wrap u64 past this check (the
-    // same hardening the snapshot width*depth checks got in PR 4).
-    const uint64_t expected_rotations =
-        total == 0 ? 0 : (total - 1) / stride;
-    // Also bound it so BindWindows' (rotations + 1) * stride cannot wrap
-    // u64 (which would park next_rotation_at_ behind the global clock
-    // and silently stop rotation forever).
-    if (expected_rotations >= ~uint64_t{0} / stride - 1) {
+    // The rotation protocol admits floor((total-1)/stride) rotations for
+    // any item total — and, exactly AT a boundary, one more: a
+    // multi-producer checkpoint can catch the state where the boundary
+    // claimant has rotated but its boundary item is not yet applied
+    // (single-producer lazy rotation only ever checkpoints the former).
+    // Derive by DIVISION: `restored_rotations` comes off the wire, and
+    // multiplying by it could wrap u64 past this check (the same
+    // hardening the snapshot width*depth checks got in PR 4).
+    const uint64_t lazy_rotations = total == 0 ? 0 : (total - 1) / stride;
+    const bool at_boundary = total != 0 && total % stride == 0;
+    // Also bound it so the global clock arithmetic in IngestWindowed
+    // ((bucket + 1) * stride) cannot wrap u64 (which would mis-split
+    // claims and silently break rotation).
+    if (lazy_rotations >= ~uint64_t{0} / stride - 1) {
       return fail(Status::Corruption(
           "checkpoint claims an implausible combined item count " +
           std::to_string(total)));
     }
-    if (restored_rotations != expected_rotations) {
+    const bool plausible =
+        restored_rotations == lazy_rotations ||
+        (at_boundary && restored_rotations == total / stride);
+    if (!plausible) {
       return fail(Status::Corruption(
           "checkpoint window rotation count " +
           std::to_string(restored_rotations) +
           " disagrees with the combined item count " +
           std::to_string(total) + " (bucket width " +
           std::to_string(stride) + " implies " +
-          std::to_string(expected_rotations) + ")"));
+          std::to_string(lazy_rotations) +
+          (at_boundary
+               ? " or " + std::to_string(total / stride)
+               : "") +
+          ")"));
     }
   }
 
@@ -537,12 +788,21 @@ std::unique_ptr<ShardedEngine> ShardedEngine::Restore(
   options.algorithm = algorithm;
   options.summary = loaded[0]->Options();
   options.num_shards = static_cast<size_t>(num_shards);
+  if (options.max_producers == 0 ||
+      options.max_producers > kMaxProducerSlots) {
+    return fail(Status::InvalidArgument(
+        "exec.max_producers " + std::to_string(options.max_producers) +
+        " is out of range [1, " + std::to_string(kMaxProducerSlots) + "]"));
+  }
   std::unique_ptr<ShardedEngine> engine(new ShardedEngine(options));
   for (size_t s = 0; s < engine->shards_.size(); ++s) {
     const uint64_t processed = loaded[s]->ItemsProcessed();
     engine->shards_[s]->summary = std::move(loaded[s]);
     // Pre-thread-start stores: the worker pool has not launched yet.
-    engine->shards_[s]->enqueued.store(processed, std::memory_order_relaxed);
+    // The restored prefix is credited to slot 0 — the clock only needs
+    // the sums, not the per-slot attribution.
+    engine->slots_[0]->enqueued[s].value.store(processed,
+                                               std::memory_order_relaxed);
     engine->shards_[s]->applied.store(processed, std::memory_order_relaxed);
   }
   engine->BindWindows(restored_rotations);
@@ -554,17 +814,6 @@ std::unique_ptr<ShardedEngine> ShardedEngine::Restore(
 std::unique_ptr<ShardedEngine> ShardedEngine::Restore(const std::string& dir,
                                                       Status* status) {
   return Restore(dir, ShardedEngineOptions{}, status);
-}
-
-size_t ShardedEngine::MemoryUsageBytes() {
-  Flush();
-  size_t total = 0;
-  for (const auto& shard : shards_) {
-    total += shard->summary->MemoryUsageBytes() +
-             shard->ring.capacity() * sizeof(uint64_t);
-  }
-  if (merged_valid_) total += merged_->MemoryUsageBytes();
-  return total;
 }
 
 }  // namespace l1hh

@@ -9,10 +9,20 @@
 // universe is hash-partitioned across K shards, each shard owns an
 // independent instance of one factory-registered Summary (same name,
 // same options, same seed — the Merge compatibility precondition), and
-// every shard is fed through a lock-free SPSC ring buffer drained in
+// every shard is fed through lock-free SPSC ring buffers drained in
 // batches by a pool of worker threads.  Global answers come from merging
 // the shard summaries on demand behind a merge-epoch cache, so repeated
 // queries over an unchanged stream pay for one merge.
+//
+// Ingestion is a K x P ring GRID: P producer slots (slot 0 belongs to the
+// engine's own Update/UpdateBatch entry points; slots 1..P-1 are claimed
+// with RegisterProducer) each own one SPSC ring PER SHARD, so P producer
+// threads push concurrently without a CAS loop — every ring still has
+// exactly one producer (its slot owner) and exactly one consumer (the
+// worker that owns the shard, draining all P of the shard's rings
+// round-robin in batches).  Quiescence is producer-aware: each slot keeps
+// a per-shard enqueued counter, each shard keeps one applied counter, and
+// Flush waits until applied catches the acquire-summed enqueued targets.
 //
 // Because shards see disjoint substreams (every occurrence of an item
 // lands on the same shard), the merged summary answers for the
@@ -27,33 +37,53 @@
 // single-summary engine (still useful for moving ingestion off the
 // caller's thread).
 //
-// ---- Thread-safety contract (what tests/sharded_engine_test.cc and the
-// CI TSan job enforce) -------------------------------------------------
+// ---- Thread-safety contract (what tests/multi_producer_test.cc,
+// tests/sharded_engine_test.cc and the CI TSan job enforce) -------------
 //
-//   * Exactly ONE controller thread may call Update / UpdateBatch /
-//     Flush / Estimate / HeavyHitters / MergedView / MemoryUsageBytes.
-//     These are the SPSC producer side of every shard ring plus the
-//     owner of the scatter-staging buffers and the merge cache; a second
-//     caller thread is a data race, not just a semantic error.
+//   * Update / UpdateBatch on the ENGINE are slot 0's producer side: one
+//     thread at a time (the controller).  Each Producer handle from
+//     RegisterProducer owns its own slot and may ingest from its own
+//     thread CONCURRENTLY with the controller and with other handles; a
+//     single handle must not be shared between threads without external
+//     synchronization (it owns the SPSC producer side of its rings and
+//     its scatter-staging buffers).
 //   * The engine's internal workers are the only ring consumers, and
 //     each shard is owned by exactly one worker.
-//   * Query methods flush first — they block until every enqueued item
-//     has been applied (release/acquire on per-shard enqueued/applied
-//     counters) — so results always reflect the full ingested prefix,
-//     and shard summaries are only read while the workers are quiescent.
+//   * Flush / Estimate / HeavyHitters / MemoryUsageBytes / Checkpoint
+//     are safe from ANY thread, concurrently with live producers: they
+//     serialize on an internal state mutex, wait for every item enqueued
+//     at entry to be applied, park the workers, and read the shard
+//     summaries only while parked (results are copied out, giving
+//     readers snapshot isolation).  Items enqueued while the query runs
+//     are simply not in that snapshot yet.
+//   * MergedView still returns a REFERENCE into engine state, so it
+//     keeps the stricter legacy contract: controller thread only, no
+//     concurrently-active producer handles, reference valid until the
+//     next non-const engine call.  Concurrent callers want HeavyHitters
+//     / Estimate, which copy.
 //   * ItemsProcessed / ShardItemCounts / ShardOf and the plain getters
 //     are safe from any thread at any time (atomic reads or immutable
 //     state); the counts they report lag ingestion until a Flush.
-//   * The reference returned by MergedView is valid until the next
-//     non-const engine call, and must only be used on the controller
-//     thread.
+//   * Destroy (or stop using) every Producer handle before destroying
+//     the engine; destroy a handle on its owning thread (or after
+//     joining it).
+//
+// Windowed summaries add a global rotation clock shared by all
+// producers: positions in the global stream are claimed with a single
+// fetch_add, a bucket's items may only be enqueued once every earlier
+// bucket has rotated, and the producer that claims a bucket's first
+// position performs the rotation after waiting for the global applied
+// count to reach the boundary.  See IngestWindowed below and
+// docs/ENGINE.md#windowed-rotation-under-p-producers.
 #ifndef L1HH_ENGINE_SHARDED_ENGINE_H_
 #define L1HH_ENGINE_SHARDED_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -79,76 +109,132 @@ struct ShardedEngineOptions {
   /// Worker threads draining the shard rings; 0 means one per shard.
   /// Each shard is serviced by exactly one worker (SPSC consumer side).
   size_t num_threads = 0;
-  /// Per-shard ring capacity in items (rounded up to a power of two).
+  /// Per-ring capacity in items (rounded up to a power of two).  Memory
+  /// scales as num_shards * max_producers rings.
   size_t queue_capacity = size_t{1} << 16;
   /// Maximum items a worker applies per UpdateBatch drain.
   size_t drain_batch = 1024;
+  /// Total producer slots, INCLUDING slot 0 (the engine's own
+  /// Update/UpdateBatch path).  max_producers - 1 handles can be live at
+  /// once via RegisterProducer; the default 1 reserves no external slots
+  /// and reproduces the legacy single-producer engine exactly.
+  size_t max_producers = 1;
 };
 
 class ShardedEngine {
  public:
+  /// A claimed producer slot: an independent ingestion endpoint with its
+  /// own ring per shard and its own scatter-staging buffers.  Obtain via
+  /// RegisterProducer; destroying the handle returns the slot for reuse
+  /// (items already enqueued stay enqueued).  One thread per handle.
+  class Producer {
+   public:
+    ~Producer();
+    Producer(const Producer&) = delete;
+    Producer& operator=(const Producer&) = delete;
+
+    /// Enqueues `weight` occurrences of `item`; blocks only on
+    /// backpressure (this slot's ring for the owning shard full) or, for
+    /// windowed engines, on the global rotation gate.
+    void Update(uint64_t item, uint64_t weight = 1);
+
+    /// Enqueues a batch, scatter-partitioned to the owning shards.
+    void UpdateBatch(std::span<const uint64_t> items);
+
+    /// This handle's slot index in [1, max_producers).
+    size_t slot() const { return slot_; }
+
+   private:
+    friend class ShardedEngine;
+    Producer(ShardedEngine* engine, size_t slot);
+
+    ShardedEngine* engine_;
+    size_t slot_;
+    // Per-shard scatter buffers, same role as the controller's.
+    std::vector<std::vector<uint64_t>> staging_;
+  };
+
   /// Validates options, builds the shard summaries, and starts the worker
   /// pool.  Returns nullptr (with the reason in *status when given) if the
-  /// algorithm is unregistered, K == 0, or K > 1 for a non-mergeable
-  /// structure.
+  /// algorithm is unregistered, K == 0, max_producers is 0 or implausibly
+  /// large, or K > 1 for a non-mergeable structure.
   static std::unique_ptr<ShardedEngine> Create(
       const ShardedEngineOptions& options, Status* status = nullptr);
 
   /// Stops and joins the workers; pending queued items are drained first.
+  /// All Producer handles must have been destroyed (or gone idle forever)
+  /// before this runs.
   ~ShardedEngine();
 
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
-  /// Enqueues `weight` occurrences of `item` (unit-weight stream
-  /// semantics, matching Summary::Update).  Blocks only on backpressure
-  /// (owning shard's ring full).
+  /// Claims a free producer slot and returns its handle, or nullptr with
+  /// FailedPrecondition in *status when all max_producers - 1 slots are
+  /// live.  Safe from any thread; slots released by a destroyed handle
+  /// are reclaimed (the mutex handing the slot over also orders the old
+  /// owner's pushes before the new owner's).
+  std::unique_ptr<Producer> RegisterProducer(Status* status = nullptr);
+
+  /// Enqueues `weight` occurrences of `item` on slot 0 (unit-weight
+  /// stream semantics, matching Summary::Update).  Blocks only on
+  /// backpressure (owning shard's slot-0 ring full).
   void Update(uint64_t item, uint64_t weight = 1);
 
-  /// Enqueues a batch, scatter-partitioned to the owning shards.
+  /// Enqueues a batch on slot 0, scatter-partitioned to the owning
+  /// shards.
   void UpdateBatch(std::span<const uint64_t> items);
 
-  /// Blocks until every item enqueued so far has been applied to its
-  /// shard summary.  Afterwards the shard summaries are quiescent and
-  /// safe to read from the controller thread.
+  /// Blocks until every item enqueued BEFORE the call (summed over all
+  /// producer slots with acquire ordering) has been applied to its shard
+  /// summary.  Safe from any thread; concurrent producers may keep
+  /// enqueueing, their new items are simply not waited for.
   void Flush();
 
   /// Point query against the merged view.  (Routing to the owning shard
   /// alone would be wrong for the sampling-based structures: a shard
   /// rescales its sample by the configured full-stream length, so its
   /// local estimate is inflated by ~K; the merged summary renormalizes
-  /// over the combined sample.)  Flushes.
+  /// over the combined sample.)  Flushes; safe from any thread, even
+  /// with live producers (snapshot isolation — see contract above).
   double Estimate(uint64_t item);
 
-  /// Global report from the merged view.  Flushes.
+  /// Global report from the merged view.  Flushes; safe from any thread,
+  /// even with live producers (snapshot isolation).
   std::vector<ItemEstimate> HeavyHitters(double phi);
 
   /// The merged summary for the full ingested stream, rebuilt only when
   /// new items have been applied since the last call (merge-epoch cache).
-  /// With K == 1 this is the lone shard itself.  Flushes; the reference
-  /// stays valid until the next non-const engine call.
+  /// With K == 1 this is the lone shard itself.  Flushes.  LEGACY
+  /// contract: controller thread only, no concurrently-active Producer
+  /// handles, reference valid until the next non-const engine call.
   const Summary& MergedView();
 
   /// Total items applied across all shards (== enqueued after Flush).
   uint64_t ItemsProcessed() const;
 
-  /// Shard summaries + rings + cached merge, in bytes.  Flushes first:
-  /// the shard summaries can only be read while the drain threads are
-  /// quiescent.
+  /// Shard summaries + rings + cached merge, in bytes.  Flushes and
+  /// parks the workers first; safe from any thread.
   size_t MemoryUsageBytes();
 
   size_t num_shards() const { return shards_.size(); }
   size_t num_threads() const { return workers_.size(); }
+  /// Total producer slots including slot 0.
+  size_t max_producers() const { return slots_.size(); }
+  /// Currently-live external Producer handles (slots 1..P-1 in use).
+  size_t active_producers() const;
   const std::string& algorithm() const { return options_.algorithm; }
 
   // ---- Checkpoint / Restore (docs/SNAPSHOTS.md, docs/ENGINE.md) ---------
 
-  /// Flush-quiesces, then writes a restartable checkpoint into `dir`
-  /// (created if missing): one self-describing snapshot file per shard
-  /// (src/io/snapshot.h) plus a MANIFEST recording the algorithm, the
-  /// shard count, and the shard file names.  The manifest is written
-  /// last, so a directory with a MANIFEST is a complete checkpoint.
-  /// Controller thread only; overwrites any previous checkpoint in `dir`.
+  /// Flush-quiesces, parks the workers, then writes a restartable
+  /// checkpoint into `dir` (created if missing): one self-describing
+  /// snapshot file per shard (src/io/snapshot.h) plus a MANIFEST
+  /// recording the algorithm, the shard count, and the shard file names.
+  /// The manifest is written last, so a directory with a MANIFEST is a
+  /// complete checkpoint.  Safe from any thread, even with live
+  /// producers (the checkpoint captures the flushed prefix); overwrites
+  /// any previous checkpoint in `dir`.
   Status Checkpoint(const std::string& dir);
 
   /// Rebuilds an engine from a Checkpoint directory and resumes ingestion
@@ -156,10 +242,10 @@ class ShardedEngine {
   /// seed (read from the shard snapshot headers), same shard count, and
   /// per-shard summaries restored bit-exactly — continuing the run is
   /// indistinguishable from never having stopped.  `exec` supplies only
-  /// the execution knobs (num_threads, queue_capacity, drain_batch); its
-  /// algorithm/summary/num_shards fields are ignored in favor of the
-  /// checkpoint's.  Returns nullptr with the reason in *status on any
-  /// corrupt or inconsistent checkpoint.
+  /// the execution knobs (num_threads, queue_capacity, drain_batch,
+  /// max_producers); its algorithm/summary/num_shards fields are ignored
+  /// in favor of the checkpoint's.  Returns nullptr with the reason in
+  /// *status on any corrupt or inconsistent checkpoint.
   static std::unique_ptr<ShardedEngine> Restore(
       const std::string& dir, const ShardedEngineOptions& exec,
       Status* status = nullptr);
@@ -171,12 +257,13 @@ class ShardedEngine {
 
   /// True when the per-shard summaries are `windowed:<algo>` containers.
   /// Windowed operation changes one thing about ingestion: bucket
-  /// rotation is driven by the GLOBAL enqueued count, not each shard's
-  /// local count — the controller splits every batch at global bucket
-  /// boundaries, flush-quiesces at each one, and rotates all K shard
-  /// rings together, so bucket i covers the same global time range on
-  /// every shard and the rings stay bucket-wise mergeable
-  /// (docs/WINDOWS.md#sharded-windows).
+  /// rotation is driven by the GLOBAL stream position, not each shard's
+  /// local count — producers claim position ranges off one atomic clock,
+  /// split them at global bucket boundaries, and the claimant of a
+  /// boundary position rotates all K shard rings together once the
+  /// global applied count reaches the boundary, so bucket i covers the
+  /// same global position range on every shard and the rings stay
+  /// bucket-wise mergeable (docs/WINDOWS.md#sharded-windows).
   bool windowed() const { return !windows_.empty(); }
 
   /// Items applied per shard (exact after Flush); the balance diagnostic
@@ -184,67 +271,126 @@ class ShardedEngine {
   std::vector<uint64_t> ShardItemCounts() const;
 
  private:
-  // Each shard owns its ring, its summary, and the enqueued/applied item
-  // counts whose equality defines quiescence.  `applied` is published
-  // with release order after every drain, so a controller that observes
-  // applied == enqueued also observes the summary mutations behind it.
+  // A cache line per counter: the per-(slot, shard) enqueued counters
+  // are written by different producer threads and must not false-share.
+  struct alignas(64) PaddedCounter {
+    std::atomic<uint64_t> value{0};
+  };
+
+  // Each shard owns one ring PER PRODUCER SLOT (rings[p] is slot p's),
+  // its summary, and the applied item count.  `applied` is published
+  // with release order after every drain, so a thread that observes
+  // applied == sum(enqueued) also observes the summary mutations behind
+  // it.  The matching enqueued counts live in ProducerSlot, one per
+  // shard, so each is written by exactly one producer thread.
   struct Shard {
-    explicit Shard(size_t ring_capacity) : ring(ring_capacity) {}
-    SpscRing<uint64_t> ring;
+    Shard(size_t producer_slots, size_t ring_capacity);
+    std::vector<std::unique_ptr<SpscRing<uint64_t>>> rings;
     std::unique_ptr<Summary> summary;
-    alignas(64) std::atomic<uint64_t> enqueued{0};
     alignas(64) std::atomic<uint64_t> applied{0};
+  };
+
+  // One producer slot: the live flag (guarded by producers_mutex_) and
+  // the per-shard enqueued counters this slot's owner publishes.
+  struct ProducerSlot {
+    explicit ProducerSlot(size_t num_shards) : enqueued(num_shards) {}
+    bool active = false;
+    std::vector<PaddedCounter> enqueued;
   };
 
   explicit ShardedEngine(const ShardedEngineOptions& options);
 
   void StartWorkers();
   void WorkerLoop(size_t first_shard, size_t last_shard);
-  // Blocks until all of `item` x weight is enqueued on shard `s`.
-  void PushBlocking(Shard& shard, const uint64_t* data, size_t n);
-  void FlushStaging();
-  // The pre-windowing UpdateBatch body: scatter-partition to the shard
+  // Parks this worker until pause_ clears (or stop_); workers check the
+  // flag once per drain pass, so a pause request completes in at most
+  // one drain_batch per ring.
+  void WorkerPark();
+  // Waits for every worker to park (call with state_mutex_ held, after
+  // Flush).  While paused the shard summaries are safe to read/write
+  // from the pausing thread.
+  void PauseWorkers();
+  void ResumeWorkers();
+  // Blocks until all n items are enqueued on `shard`'s ring for `slot`.
+  void PushBlocking(size_t slot, size_t shard_index, const uint64_t* data,
+                    size_t n);
+  void FlushStaging(size_t slot, std::vector<std::vector<uint64_t>>& staging);
+  // The pre-windowing UpdateBatch body: scatter-partition to the slot's
   // staging buffers and bulk-push.
-  void ScatterPush(std::span<const uint64_t> items);
+  void ScatterPush(size_t slot, std::vector<std::vector<uint64_t>>& staging,
+                   std::span<const uint64_t> items);
+  // Releases a slot claimed by RegisterProducer (Producer destructor).
+  void ReleaseProducer(size_t slot);
+  // Sum of every slot's enqueued counter for one shard / for all shards,
+  // acquire-ordered (the Flush targets).
+  uint64_t ShardEnqueued(size_t shard_index) const;
+  uint64_t TotalApplied() const;
   // Captures the per-shard SlidingWindowSummary pointers (or clears them
   // for a plain algorithm) and switches the windows to external rotation;
   // `restored_rotations` seeds the global rotation clock after Restore.
   void BindWindows(uint64_t restored_rotations);
-  // Flush-quiesces and rotates every shard ring together (controller
-  // thread, global bucket boundary).
-  void RotateAllShards();
-  // The windowed ingestion protocol, shared by Update and UpdateBatch:
-  // splits `total` incoming items at global bucket boundaries, rotating
-  // lazily (on the first item PAST a boundary) and advancing the global
-  // clock; `push(offset, count)` enqueues the next chunk.  Templated so
-  // the per-item Update path pays no closure allocation (defined in the
-  // .cc; both instantiations live there).
+  // The claimant of bucket `bucket`'s first position waits for bucket-1
+  // to have rotated and for the global applied count to reach the
+  // boundary, then rotates every shard window under state_mutex_ and
+  // release-publishes rotations_done_.
+  void RotateAtBoundary(uint64_t bucket);
+  // The windowed ingestion protocol, shared by every producer slot:
+  // claims `total` positions off the global clock in one fetch_add,
+  // splits them at global bucket boundaries, gates each chunk on its
+  // bucket's rotation having fired, and performs the rotations this
+  // claim owns (boundary positions).  `push(offset, count)` enqueues the
+  // next chunk.  Templated so the per-item Update path pays no closure
+  // allocation (defined in the .cc; all instantiations live there).
   template <typename PushFn>
   void IngestWindowed(uint64_t total, PushFn&& push);
+  // Rebuilds the merge cache if stale and returns the current view.
+  // Requires state_mutex_ held AND workers parked (it reads the shard
+  // summaries).
+  const Summary& RebuildMergedLocked();
 
   ShardedEngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<ProducerSlot>> slots_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stop_{false};
 
-  // Controller-thread scatter buffers: UpdateBatch stages items per shard
-  // and bulk-pushes, amortizing the ring's atomic traffic.
-  std::vector<std::vector<uint64_t>> staging_;
+  // Slot 0's handle: the engine's own Update/UpdateBatch delegate to it.
+  std::unique_ptr<Producer> controller_;
 
-  // Merge-epoch cache: `merged_` answers for the first `merged_epoch_`
-  // applied items and is rebuilt only when the epoch moves (or a window
-  // rotation changes state without moving it).
+  // Slot claim/release (RegisterProducer / ~Producer).
+  mutable std::mutex producers_mutex_;
+
+  // Serializes the read side (queries, checkpoint, rotation): exactly
+  // one thread at a time may pause the workers and touch shard
+  // summaries or the merge cache.
+  std::mutex state_mutex_;
+
+  // Worker pause gate: pause_ is checked once per drain pass; parked
+  // workers wait on resume_cv_, the pausing thread waits on park_cv_
+  // until parked_workers_ == workers_.size().
+  std::atomic<bool> pause_{false};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::condition_variable resume_cv_;
+  size_t parked_workers_ = 0;
+
+  // Merge-epoch cache (guarded by state_mutex_): `merged_` answers for
+  // the first `merged_epoch_` applied items at rotation count
+  // `merged_rotations_` and is rebuilt only when either moves.
   std::unique_ptr<Summary> merged_;
   uint64_t merged_epoch_ = 0;
+  uint64_t merged_rotations_ = 0;
   bool merged_valid_ = false;
 
-  // Windowed operation (controller-thread state): the shard windows in
-  // external-rotation mode, the global bucket width, and the global
-  // enqueued position at which the next lockstep rotation fires.
+  // Windowed operation: the shard windows in external-rotation mode
+  // (mutated only under state_mutex_), the global bucket width, the
+  // atomic position clock producers claim ranges from, and the count of
+  // completed lockstep rotations (release-published by the rotating
+  // claimant, acquire-read by gated producers).
   std::vector<SlidingWindowSummary*> windows_;
   uint64_t rotation_stride_ = 0;
-  uint64_t global_enqueued_ = 0;
-  uint64_t next_rotation_at_ = 0;
+  alignas(64) std::atomic<uint64_t> global_pos_{0};
+  alignas(64) std::atomic<uint64_t> rotations_done_{0};
 };
 
 }  // namespace l1hh

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/sharded_engine.h"
@@ -182,6 +183,86 @@ inline SummaryRunResult RunShardedSummary(
   // window (the shard rings rotate on the global clock).
   ScoreSummaryReport(r, ScoringSpan(r, engine->MergedView(), stream), phi,
                      options.epsilon);
+  r.memory_bytes = engine->MemoryUsageBytes();
+  if (keep != nullptr) *keep = std::move(engine);
+  return r;
+}
+
+/// The same contract run ingested by `num_producers` CONCURRENT producer
+/// threads through the engine's K x P ring grid: the stream is split into
+/// contiguous chunks, each chunk is fed by its own RegisterProducer
+/// handle on its own thread, and the merged report is scored exactly like
+/// the single-producer paths (the multiset reaching each shard is
+/// identical, so every structure's (eps, phi) contract must survive the
+/// interleaving).  `update_ns` covers spawn + ingest + join + flush.
+/// Refuses windowed algorithms: with racing producers the window covers a
+/// nondeterministic interleaving, so no deterministic suffix can be
+/// scored (tests/windowed_conformance_test.cc drives that case with
+/// coordinated producers instead).
+inline SummaryRunResult RunMultiProducerSummary(
+    const std::string& name, const SummaryOptions& options,
+    const std::vector<uint64_t>& stream, double phi, size_t num_shards,
+    size_t num_producers, size_t num_threads = 0,
+    std::unique_ptr<ShardedEngine>* keep = nullptr) {
+  SummaryRunResult r;
+  if (num_producers == 0) {
+    r.error = "num_producers must be >= 1";
+    return r;
+  }
+  if (IsWindowedSummaryName(name)) {
+    r.error = "windowed summaries have no deterministic multi-producer "
+              "scoring span";
+    return r;
+  }
+  ShardedEngineOptions engine_options;
+  engine_options.algorithm = name;
+  engine_options.summary = options;
+  engine_options.num_shards = num_shards;
+  engine_options.num_threads = num_threads;
+  engine_options.max_producers = num_producers + 1;
+  Status status;
+  auto engine = ShardedEngine::Create(engine_options, &status);
+  if (engine == nullptr) {
+    r.error = status.ToString();
+    return r;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(num_producers);
+    const size_t base = stream.size() / num_producers;
+    const size_t extra = stream.size() % num_producers;
+    size_t first = 0;
+    for (size_t p = 0; p < num_producers; ++p) {
+      const size_t count = base + (p < extra ? 1 : 0);
+      auto producer = engine->RegisterProducer(&status);
+      if (producer == nullptr) {
+        for (auto& t : threads) t.join();
+        r.error = status.ToString();
+        return r;
+      }
+      std::span<const uint64_t> chunk{stream.data() + first, count};
+      threads.emplace_back(
+          [chunk, producer = std::move(producer)]() mutable {
+            producer->UpdateBatch(chunk);
+            producer.reset();  // release the slot on the owning thread
+          });
+      first += count;
+    }
+    for (auto& t : threads) t.join();
+  }
+  engine->Flush();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  r.ok = true;
+  r.update_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()) /
+      static_cast<double>(stream.empty() ? 1 : stream.size());
+
+  r.report = engine->HeavyHitters(phi);
+  ScoreSummaryReport(r, stream, phi, options.epsilon);
   r.memory_bytes = engine->MemoryUsageBytes();
   if (keep != nullptr) *keep = std::move(engine);
   return r;

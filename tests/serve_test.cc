@@ -1,0 +1,297 @@
+// Integration test for the l1hh_serve front end (ctest label: engine):
+// forks the real binary on a Unix socket, drives it with two concurrent
+// writer connections (text lines AND binary batches) while a third
+// connection interleaves live heavy/stats queries, then asserts the
+// final report matches an offline run over the same stream.  The server
+// runs the exact structure, so "matches" means bit-for-bit equal counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "stream/stream_generator.h"
+#include "summary/exact_counter.h"
+
+#ifndef L1HH_SERVE_BINARY
+#error "build must define L1HH_SERVE_BINARY (see tests/CMakeLists.txt)"
+#endif
+
+namespace l1hh {
+namespace {
+
+// ---- tiny blocking client ---------------------------------------------
+
+class Client {
+ public:
+  explicit Client(const std::string& socket_path) { Connect(socket_path); }
+
+  // gtest fatal assertions cannot live in a constructor (they expand to
+  // value returns), so the connecting lives in a void helper.
+  void Connect(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd_, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(socket_path.size(), sizeof(addr.sun_path));
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // The server needs a moment to bind after fork; retry briefly.
+    int rc = -1;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      if (rc == 0) break;
+      ::usleep(50 * 1000);
+    }
+    ASSERT_EQ(rc, 0) << "cannot connect to " << socket_path << ": "
+                     << std::strerror(errno);
+    // A broken server must fail the test, not hang ctest.
+    timeval timeout{};
+    timeout.tv_sec = 60;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  }
+
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void SendRaw(const void* data, size_t n) {
+    const char* bytes = static_cast<const char*>(data);
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t wrote = ::write(fd_, bytes + done, n - done);
+      ASSERT_GT(wrote, 0) << std::strerror(errno);
+      done += static_cast<size_t>(wrote);
+    }
+  }
+
+  void SendLine(const std::string& line) {
+    const std::string framed = line + "\n";
+    SendRaw(framed.data(), framed.size());
+  }
+
+  std::string ReadLine() {
+    while (true) {
+      const size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        const std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) {
+        ADD_FAILURE() << "server hung up mid-reply ("
+                      << std::strerror(errno) << ")";
+        return {};
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  // Issues `heavy phi` and returns {item -> estimate}.
+  std::map<uint64_t, double> Heavy(double phi) {
+    char request[64];
+    std::snprintf(request, sizeof(request), "heavy %.6f", phi);
+    SendLine(request);
+    const std::string head = ReadLine();
+    std::map<uint64_t, double> report;
+    unsigned long long count = 0;
+    if (std::sscanf(head.c_str(), "hh %llu", &count) != 1) {
+      ADD_FAILURE() << "bad heavy reply header '" << head << "'";
+      return report;
+    }
+    for (unsigned long long i = 0; i < count; ++i) {
+      const std::string entry = ReadLine();
+      unsigned long long item = 0;
+      double estimate = 0;
+      if (std::sscanf(entry.c_str(), "%llu %lf", &item, &estimate) != 2) {
+        ADD_FAILURE() << "bad heavy reply entry '" << entry << "'";
+        return report;
+      }
+      report[item] = estimate;
+    }
+    return report;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+pid_t StartServer(const std::string& socket_path, uint64_t stream_length) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const std::string m_flag = "--m=" + std::to_string(stream_length);
+  const std::string socket_flag = "--socket=" + socket_path;
+  ::execl(L1HH_SERVE_BINARY, L1HH_SERVE_BINARY, socket_flag.c_str(),
+          "--algo=exact", "--shards=2", "--producers=4", "--phi=0.05",
+          m_flag.c_str(), static_cast<char*>(nullptr));
+  std::perror("execl " L1HH_SERVE_BINARY);
+  ::_exit(127);
+}
+
+TEST(ServeTest, ConcurrentWritersMatchOfflineRun) {
+  PlantedSpec spec;
+  spec.planted_fractions = {0.20, 0.12, 0.08};
+  spec.universe_size = uint64_t{1} << 20;
+  spec.stream_length = 40000;
+  spec.order = StreamOrder::kShuffled;
+  const PlantedStream planted = MakePlantedStream(spec, /*seed=*/11);
+  const auto& items = planted.items;
+
+  const std::string socket_path = testing::TempDir() + "/l1hh_serve.sock";
+  const pid_t server = StartServer(socket_path, items.size());
+  ASSERT_GT(server, 0);
+
+  // Two concurrent writers, one half of the stream each: writer 0 sends
+  // text lines, writer 1 sends binary batches — both wire formats race.
+  const size_t half = items.size() / 2;
+  std::thread writer_text([&socket_path, &items, half] {
+    Client client(socket_path);
+    std::string block;
+    for (size_t i = 0; i < half; ++i) {
+      block += std::to_string(items[i]);
+      block += '\n';
+      if (block.size() >= 32768 || i + 1 == half) {
+        client.SendRaw(block.data(), block.size());
+        block.clear();
+      }
+    }
+    client.SendLine("flush");
+    EXPECT_EQ(client.ReadLine().rfind("ok ", 0), 0u);
+    client.SendLine("quit");
+  });
+  std::thread writer_binary([&socket_path, &items, half] {
+    Client client(socket_path);
+    size_t i = half;
+    while (i < items.size()) {
+      const size_t chunk = std::min<size_t>(4096, items.size() - i);
+      client.SendLine("bin " + std::to_string(chunk));
+      // The wire format is little-endian u64 == host order on the CI
+      // targets; serialize explicitly anyway.
+      std::vector<unsigned char> payload(chunk * 8);
+      for (size_t j = 0; j < chunk; ++j) {
+        uint64_t v = items[i + j];
+        for (int b = 0; b < 8; ++b) {
+          payload[j * 8 + static_cast<size_t>(b)] =
+              static_cast<unsigned char>(v & 0xff);
+          v >>= 8;
+        }
+      }
+      client.SendRaw(payload.data(), payload.size());
+      i += chunk;
+    }
+    client.SendLine("flush");
+    EXPECT_EQ(client.ReadLine().rfind("ok ", 0), 0u);
+    client.SendLine("quit");
+  });
+
+  // A third, query-only connection interleaves live reads with the
+  // writers.  It must never claim a producer slot, and every report it
+  // sees must be a consistent snapshot (estimates never exceed the
+  // planted item's final exact count).
+  ExactCounter truth;
+  for (const uint64_t x : items) truth.Insert(x);
+  {
+    Client reader(socket_path);
+    for (int round = 0; round < 5; ++round) {
+      const auto live = reader.Heavy(0.05);
+      for (const auto& [item, estimate] : live) {
+        EXPECT_LE(estimate,
+                  static_cast<double>(truth.Count(item)) + 0.5)
+            << "live estimate overshoots the exact final count";
+      }
+      reader.SendLine("stats");
+      const std::string stats = reader.ReadLine();
+      EXPECT_EQ(stats.rfind("stats items=", 0), 0u) << stats;
+      EXPECT_NE(stats.find("algo=exact"), std::string::npos) << stats;
+    }
+    reader.SendLine("quit");
+  }
+
+  writer_text.join();
+  writer_binary.join();
+
+  // Final report vs the offline run: the server ran `exact` over the
+  // same multiset, so the heavy-hitter sets and counts must be EQUAL.
+  {
+    Client reader(socket_path);
+    reader.SendLine("flush");
+    const std::string flushed = reader.ReadLine();
+    EXPECT_EQ(flushed, "ok " + std::to_string(items.size()));
+
+    const auto report = reader.Heavy(0.05);
+    const auto expected = truth.HeavyHitters(
+        static_cast<uint64_t>(0.05 * static_cast<double>(items.size())) + 1);
+    ASSERT_EQ(report.size(), expected.size());
+    for (const auto& hh : expected) {
+      const auto it = report.find(hh.item);
+      ASSERT_NE(it, report.end()) << "missing item " << hh.item;
+      EXPECT_EQ(it->second, static_cast<double>(hh.count));
+    }
+
+    // Unknown requests answer err without poisoning the connection.
+    reader.SendLine("bogus request");
+    EXPECT_EQ(reader.ReadLine().rfind("err ", 0), 0u);
+
+    reader.SendLine("shutdown");
+    EXPECT_EQ(reader.ReadLine(), "ok");
+  }
+
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(server, &wstatus, 0), server);
+  EXPECT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+}
+
+// Slot exhaustion on the wire: with --producers=1, a second ingesting
+// connection gets a clean err for ingest but can still query.
+TEST(ServeTest, SlotExhaustionRefusesIngestButServesQueries) {
+  const std::string socket_path =
+      testing::TempDir() + "/l1hh_serve_slots.sock";
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const std::string socket_flag = "--socket=" + socket_path;
+    ::execl(L1HH_SERVE_BINARY, L1HH_SERVE_BINARY, socket_flag.c_str(),
+            "--algo=exact", "--shards=1", "--producers=1",
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ASSERT_GT(pid, 0);
+
+  Client first(socket_path);
+  first.SendLine("41");
+  first.SendLine("flush");
+  EXPECT_EQ(first.ReadLine(), "ok 1");  // first connection owns the slot
+
+  Client second(socket_path);
+  second.SendLine("99");  // no slot left: refused...
+  EXPECT_EQ(second.ReadLine().rfind("err ", 0), 0u);
+  const auto report = second.Heavy(0.5);  // ...but queries still served
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.count(41), 1u);
+
+  // `first` stays open across the shutdown: the server must kick it off
+  // its read and join cleanly rather than hang.
+  second.SendLine("shutdown");
+  EXPECT_EQ(second.ReadLine(), "ok");
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  EXPECT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+}
+
+}  // namespace
+}  // namespace l1hh

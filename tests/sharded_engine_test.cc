@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/spsc_ring.h"
@@ -327,6 +328,124 @@ TEST(ShardedEngineTest, MemoryUsageCountsShardsAndRings) {
   ASSERT_NE(single, nullptr);
   // Four shard summaries + four rings must dominate one bare summary.
   EXPECT_GT(engine->MemoryUsageBytes(), single->MemoryUsageBytes());
+}
+
+// --------------------------------------------------------------------------
+// K x P ring grid: multi-producer variants of the suites above, so the
+// grid inherits the same contracts the single-producer controller met.
+
+TEST(ShardedEngineTest, MemoryUsageCountsTheFullProducerGrid) {
+  auto narrow_opts = EngineOptions("misra_gries", 4, 1000);
+  auto wide_opts = narrow_opts;
+  wide_opts.max_producers = 5;
+  auto narrow = ShardedEngine::Create(narrow_opts);
+  auto wide = ShardedEngine::Create(wide_opts);
+  ASSERT_NE(narrow, nullptr);
+  ASSERT_NE(wide, nullptr);
+  // Five producer slots mean 5 rings per shard instead of 1; the
+  // accounting must charge for the whole K x P grid, not just column 0.
+  EXPECT_GT(wide->MemoryUsageBytes(), narrow->MemoryUsageBytes());
+  EXPECT_EQ(wide->max_producers(), 5u);
+  EXPECT_EQ(narrow->max_producers(), 1u);
+}
+
+// The flagship configuration under concurrent ingest: the paper's
+// space-optimal Algorithm 2 across 4 shards fed by 4 racing producers.
+// Shard routing is by item hash, so each shard receives the same item
+// MULTISET as in the single-producer run — only the within-shard order
+// changes — and the (eps, phi) contract is order-insensitive.
+TEST(ShardedEngineTest, BdwOptimalGridKeepsTheContractUnderFourProducers) {
+  const auto planted = TestStream();
+  auto opts = EngineOptions("bdw_optimal", 4, planted.items.size());
+  opts.max_producers = 5;  // 4 external + slot 0
+  opts.num_threads = 2;
+  Status status;
+  auto engine = ShardedEngine::Create(opts, &status);
+  ASSERT_NE(engine, nullptr) << status.ToString();
+
+  const auto& items = planted.items;
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < 4; ++p) {
+    auto producer = engine->RegisterProducer(&status);
+    ASSERT_NE(producer, nullptr) << status.ToString();
+    const size_t begin = p * items.size() / 4;
+    const size_t end = (p + 1) * items.size() / 4;
+    threads.emplace_back(
+        [&items, begin, end, producer = std::move(producer)]() mutable {
+          size_t i = begin;
+          while (i < end) {
+            const size_t chunk = std::min<size_t>(1009, end - i);
+            producer->UpdateBatch({items.data() + i, chunk});
+            i += chunk;
+          }
+          producer.reset();
+        });
+  }
+  for (auto& thread : threads) thread.join();
+  engine->Flush();
+  EXPECT_EQ(engine->ItemsProcessed(), items.size());
+  EXPECT_EQ(engine->active_producers(), 0u);
+
+  const double m = static_cast<double>(items.size());
+  const auto report = engine->HeavyHitters(0.05);
+  for (size_t i = 0; i < planted.planted_ids.size(); ++i) {
+    EXPECT_TRUE(Reported(report, planted.planted_ids[i]))
+        << "grid run missed planted item " << planted.planted_ids[i];
+    EXPECT_NEAR(engine->Estimate(planted.planted_ids[i]),
+                static_cast<double>(planted.planted_counts[i]),
+                1.5 * 0.02 * m);
+  }
+}
+
+// Backpressure on the grid: tiny rings, three producers racing the
+// controller slot, exact structure — nothing may be dropped and the
+// final counts must be exact despite constant ring-full stalls on every
+// column of the grid.
+TEST(ShardedEngineTest, TinyRingGridBackpressureLosesNothing) {
+  const auto planted = TestStream(90000);
+  auto opts = EngineOptions("exact", 4, planted.items.size());
+  opts.queue_capacity = 64;
+  opts.drain_batch = 16;
+  opts.num_threads = 2;
+  opts.max_producers = 4;  // 3 external + slot 0
+  Status status;
+  auto engine = ShardedEngine::Create(opts, &status);
+  ASSERT_NE(engine, nullptr) << status.ToString();
+
+  const auto& items = planted.items;
+  const size_t third = items.size() / 3;
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < 3; ++p) {
+    auto producer = engine->RegisterProducer(&status);
+    ASSERT_NE(producer, nullptr) << status.ToString();
+    const size_t begin = p * third;
+    const size_t end = p == 2 ? items.size() : (p + 1) * third;
+    threads.emplace_back(
+        [&items, begin, end, producer = std::move(producer)]() mutable {
+          // Mix per-item and batched pushes, like the single-producer
+          // backpressure test above.
+          size_t i = begin;
+          while (i < end) {
+            const size_t chunk = std::min<size_t>(509, end - i);
+            if (i % 2 == 0) {
+              for (size_t j = 0; j < chunk; ++j) {
+                producer->Update(items[i + j]);
+              }
+            } else {
+              producer->UpdateBatch({items.data() + i, chunk});
+            }
+            i += chunk;
+          }
+          producer.reset();
+        });
+  }
+  for (auto& thread : threads) thread.join();
+  engine->Flush();
+  EXPECT_EQ(engine->ItemsProcessed(), items.size());
+  for (size_t p = 0; p < planted.planted_ids.size(); ++p) {
+    EXPECT_EQ(engine->Estimate(planted.planted_ids[p]),
+              static_cast<double>(planted.planted_counts[p]));
+  }
 }
 
 }  // namespace

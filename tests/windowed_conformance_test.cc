@@ -22,11 +22,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/sharded_engine.h"
@@ -389,6 +392,230 @@ TEST(WindowedEngineTest, CheckpointRestoreResumesTheGlobalClock) {
   original->UpdateBatch(suffix);
   restored->UpdateBatch(suffix);
   const auto report_a = original->HeavyHitters(kPhi);
+  const auto report_b = restored->HeavyHitters(kPhi);
+  ASSERT_EQ(report_a.size(), report_b.size());
+  for (size_t i = 0; i < report_a.size(); ++i) {
+    EXPECT_EQ(report_a[i].item, report_b[i].item);
+    EXPECT_EQ(report_a[i].estimate, report_b[i].estimate);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-producer variants: the K x P ring grid must inherit the windowed
+// contract, not dodge it.
+
+// Drives `stream` through P producer threads taking STRICT TURNS: chunk
+// i is pushed by producer i % P only after chunk i - 1 returned, so the
+// global position claims replay canonical stream order exactly — while
+// every slot, ring, and the boundary-rotation protocol still run on real
+// threads.  Deterministic structures must then answer bit-for-bit like a
+// single ring.
+void IngestLockstep(ShardedEngine& engine, std::span<const uint64_t> stream,
+                    size_t producers, size_t chunk) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  size_t next_chunk = 0;
+  const size_t total_chunks = (stream.size() + chunk - 1) / chunk;
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (size_t p = 0; p < producers; ++p) {
+    Status status;
+    auto producer = engine.RegisterProducer(&status);
+    ASSERT_NE(producer, nullptr) << status.ToString();
+    threads.emplace_back([&, p, producer = std::move(producer)]() mutable {
+      while (true) {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] {
+          return next_chunk >= total_chunks || next_chunk % producers == p;
+        });
+        if (next_chunk >= total_chunks) break;
+        const size_t first = next_chunk * chunk;
+        const size_t count = std::min(chunk, stream.size() - first);
+        producer->UpdateBatch(stream.subspan(first, count));
+        ++next_chunk;
+        cv.notify_all();
+      }
+      producer.reset();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+TEST(WindowedEngineTest, LockstepProducersEqualSingleRing) {
+  const DriftStream drift = MakeDrift(17);
+  auto single = MakeSummary("windowed:exact", WindowedOptions(17));
+  ASSERT_NE(single, nullptr);
+  single->UpdateBatch(drift.items);
+
+  ShardedEngineOptions engine_options;
+  engine_options.algorithm = "windowed:exact";
+  engine_options.summary = WindowedOptions(17);
+  engine_options.num_shards = 4;
+  engine_options.num_threads = 2;
+  engine_options.max_producers = 5;  // 4 external + slot 0
+  Status status;
+  auto engine = ShardedEngine::Create(engine_options, &status);
+  ASSERT_NE(engine, nullptr) << status.ToString();
+  // 384 is deliberately NOT a multiple of the 256-item bucket width, so
+  // rotation boundaries land mid-chunk and every producer thread ends up
+  // performing rotations of its own.
+  IngestLockstep(*engine, drift.items, /*producers=*/4, /*chunk=*/384);
+  engine->Flush();
+  ASSERT_EQ(engine->ItemsProcessed(), drift.items.size());
+
+  const auto* merged_ring =
+      dynamic_cast<const SlidingWindowSummary*>(&engine->MergedView());
+  const auto* single_ring =
+      dynamic_cast<const SlidingWindowSummary*>(single.get());
+  ASSERT_NE(merged_ring, nullptr);
+  ASSERT_NE(single_ring, nullptr);
+  EXPECT_EQ(merged_ring->rotations(), single_ring->rotations());
+  EXPECT_EQ(merged_ring->window_items(), single_ring->window_items());
+  const auto report_single = single->HeavyHitters(kPhi);
+  const auto report_engine = engine->HeavyHitters(kPhi);
+  ASSERT_EQ(report_single.size(), report_engine.size());
+  for (size_t i = 0; i < report_single.size(); ++i) {
+    EXPECT_EQ(report_single[i].item, report_engine[i].item);
+    EXPECT_EQ(report_single[i].estimate, report_engine[i].estimate);
+  }
+}
+
+TEST(WindowedEngineTest, RacyProducersUnderDriftEvictExpiredHeavies) {
+  // Planted drift under P = 4 genuinely RACING producers.  The global
+  // interleaving inside each phase is nondeterministic, so the exact
+  // window contents cannot be predicted — but the contract's
+  // interleaving-invariant clauses can still be demanded outright:
+  // phases are separated by joins, the final phase is longer than the
+  // window, so (a) heavies of earlier phases must have left the report
+  // entirely, (b) final-phase heavies occupy ~16%/12% of ANY
+  // interleaving's last-W suffix, far above kPhi, and must be reported,
+  // (c) the global clock must have performed a consistent rotation count.
+  const DriftStream drift = MakeDrift(19);
+  ShardedEngineOptions engine_options;
+  engine_options.algorithm = "windowed:exact";
+  engine_options.summary = WindowedOptions(19);
+  engine_options.num_shards = 4;
+  engine_options.num_threads = 2;
+  engine_options.max_producers = 5;
+  Status status;
+  auto engine = ShardedEngine::Create(engine_options, &status);
+  ASSERT_NE(engine, nullptr) << status.ToString();
+
+  for (size_t phase = 0; phase < kPhases; ++phase) {
+    const size_t first = static_cast<size_t>(drift.phase_starts[phase]);
+    const size_t last = phase + 1 < kPhases
+                            ? static_cast<size_t>(drift.phase_starts[phase + 1])
+                            : drift.items.size();
+    std::vector<std::thread> threads;
+    const size_t span = last - first;
+    for (size_t p = 0; p < 4; ++p) {
+      auto producer = engine->RegisterProducer(&status);
+      ASSERT_NE(producer, nullptr) << status.ToString();
+      const size_t begin = first + p * span / 4;
+      const size_t end = first + (p + 1) * span / 4;
+      threads.emplace_back(
+          [&drift, begin, end, producer = std::move(producer)]() mutable {
+            // Small sub-batches maximize cross-producer interleaving.
+            size_t i = begin;
+            while (i < end) {
+              const size_t chunk = std::min<size_t>(777, end - i);
+              producer->UpdateBatch({drift.items.data() + i, chunk});
+              i += chunk;
+            }
+            producer.reset();
+          });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  engine->Flush();
+  ASSERT_EQ(engine->ItemsProcessed(), drift.items.size());
+
+  const auto report = engine->HeavyHitters(kPhi);
+  for (size_t p = 0; p + 1 < kPhases; ++p) {
+    for (const uint64_t expired : drift.planted_ids[p]) {
+      EXPECT_FALSE(std::any_of(
+          report.begin(), report.end(),
+          [expired](const ItemEstimate& e) { return e.item == expired; }))
+          << "phase-" << p << " heavy " << expired
+          << " survived a full final phase under racing producers";
+    }
+  }
+  for (const uint64_t fresh : drift.planted_ids[kPhases - 1]) {
+    EXPECT_TRUE(std::any_of(
+        report.begin(), report.end(),
+        [fresh](const ItemEstimate& e) { return e.item == fresh; }))
+        << "final-phase heavy " << fresh << " missing from the report";
+  }
+  // The clock: T items at stride W/B admit exactly floor((T-1)/stride)
+  // completed rotations once everything is applied and no producer is
+  // mid-claim (the at-boundary +1 state is transient).
+  const auto* ring =
+      dynamic_cast<const SlidingWindowSummary*>(&engine->MergedView());
+  ASSERT_NE(ring, nullptr);
+  const uint64_t stride = kWindow / kBuckets;
+  EXPECT_EQ(ring->rotations(), (drift.items.size() - 1) / stride);
+}
+
+TEST(WindowedEngineTest, CheckpointWithLiveProducersRestoresValidClock) {
+  // Checkpoints taken from a third thread WHILE two producers race must
+  // each restore cleanly: the manifest clock, the per-shard rotation
+  // counts, and the widened rotation-vs-count validation (a checkpoint
+  // can catch the instant where a boundary rotation fired but its
+  // boundary item is not yet applied) all have to line up.
+  const DriftStream drift = MakeDrift(23);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "l1hh_live_producer_ckpt")
+          .string();
+  ShardedEngineOptions engine_options;
+  engine_options.algorithm = "windowed:exact";
+  engine_options.summary = WindowedOptions(23);
+  engine_options.num_shards = 3;
+  engine_options.num_threads = 2;
+  engine_options.max_producers = 3;
+  Status status;
+  auto engine = ShardedEngine::Create(engine_options, &status);
+  ASSERT_NE(engine, nullptr) << status.ToString();
+
+  const size_t total = drift.items.size();
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < 2; ++p) {
+    auto producer = engine->RegisterProducer(&status);
+    ASSERT_NE(producer, nullptr) << status.ToString();
+    const size_t begin = p * total / 2;
+    const size_t end = (p + 1) * total / 2;
+    producers.emplace_back(
+        [&drift, begin, end, producer = std::move(producer)]() mutable {
+          size_t i = begin;
+          while (i < end) {
+            const size_t chunk = std::min<size_t>(512, end - i);
+            producer->UpdateBatch({drift.items.data() + i, chunk});
+            i += chunk;
+          }
+          producer.reset();
+        });
+  }
+
+  int checkpoints = 0;
+  while (engine->ItemsProcessed() < total && checkpoints < 8) {
+    ASSERT_TRUE(engine->Checkpoint(dir).ok());
+    auto restored = ShardedEngine::Restore(dir, &status);
+    ASSERT_NE(restored, nullptr)
+        << "mid-ingest checkpoint " << checkpoints
+        << " failed to restore: " << status.ToString();
+    EXPECT_TRUE(restored->windowed());
+    EXPECT_LE(restored->ItemsProcessed(), total);
+    ++checkpoints;
+  }
+  for (auto& thread : producers) thread.join();
+
+  // After the producers retire, a final checkpoint must restore to a
+  // clock that resumes exactly: same applied count, same report.
+  ASSERT_TRUE(engine->Checkpoint(dir).ok());
+  auto restored = ShardedEngine::Restore(dir, &status);
+  ASSERT_NE(restored, nullptr) << status.ToString();
+  EXPECT_EQ(restored->ItemsProcessed(), total);
+  const auto report_a = engine->HeavyHitters(kPhi);
   const auto report_b = restored->HeavyHitters(kPhi);
   ASSERT_EQ(report_a.size(), report_b.size());
   for (size_t i = 0; i < report_a.size(); ++i) {

@@ -1,0 +1,481 @@
+// l1hh_serve — long-running serving front end over the sharded engine.
+//
+// Listens on a Unix-domain socket, ingests item streams from CONCURRENT
+// connections (each connection lazily binds to its own engine producer
+// slot — the K x P ring grid keeps every ingest path lock-free), and
+// answers live queries from the merged-view cache with snapshot
+// isolation: a query reflects everything flushed at its start, never a
+// torn mid-batch state.
+//
+//   l1hh_serve --socket=/tmp/l1hh.sock --algo=space_saving
+//       [--epsilon=0.01 --phi=0.05 --delta=0.05 --n=16777216 --m=1048576]
+//       [--shards=4 --threads=0 --producers=8 --seed=1]
+//       [--window=W --buckets=B]
+//
+// Wire protocol, one request per line (replies are lines too):
+//
+//   <digits>            ingest one item id (no reply — the fast path)
+//   bin <N>             ingest a binary batch: N little-endian u64 ids
+//                       follow the newline (no reply)
+//   flush               wait until everything this server has accepted
+//                       is applied; replies "ok <items_applied>"
+//   heavy [phi]         heavy-hitter report; replies "hh <count>" then
+//                       one "<item> <estimate>" line per hitter
+//   estimate <item>     point estimate; replies "est <item> <value>"
+//   stats               replies "stats items=.. shards=.. threads=..
+//                       producers=.. algo=.."
+//   quit                close this connection
+//   shutdown            replies "ok", stops the server process
+//
+// Anything else gets "err <reason>".  A connection that only queries
+// never claims a producer slot; when all --producers slots are taken,
+// ingest lines on additional connections get "err" but queries still
+// work.  The final item count is printed on stdout at exit.
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "engine/sharded_engine.h"
+#include "summary/summary.h"
+#include "util/status.h"
+
+namespace {
+
+using namespace l1hh;
+
+struct ServeArgs {
+  std::string socket_path;
+  std::string algorithm = "space_saving";
+  double epsilon = 0.01;
+  double phi = 0.05;
+  double delta = 0.05;
+  uint64_t n = uint64_t{1} << 24;
+  uint64_t m = uint64_t{1} << 20;
+  uint64_t seed = 1;
+  uint64_t shards = 4;
+  uint64_t threads = 0;
+  // External producer slots (max concurrent ingesting connections).
+  uint64_t producers = 8;
+  uint64_t window = 0;
+  uint64_t buckets = 0;
+};
+
+const char* const kKnownFlags[] = {
+    "--socket", "--algo",    "--algorithm", "--epsilon", "--phi",
+    "--delta",  "--n",       "--m",         "--seed",    "--shards",
+    "--threads", "--producers", "--window", "--buckets",
+};
+
+bool Parse(int argc, char** argv, ServeArgs* out) {
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    std::string value;
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s needs a value\n", key.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (value.empty()) {
+      std::fprintf(stderr, "flag %s needs a non-empty value\n", key.c_str());
+      return false;
+    }
+    if (key == "--socket") {
+      out->socket_path = value;
+    } else if (key == "--algo" || key == "--algorithm") {
+      out->algorithm = value;
+    } else if (key == "--epsilon") {
+      out->epsilon = std::atof(value.c_str());
+    } else if (key == "--phi") {
+      out->phi = std::atof(value.c_str());
+    } else if (key == "--delta") {
+      out->delta = std::atof(value.c_str());
+    } else if (key == "--n") {
+      out->n = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--m") {
+      out->m = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--seed") {
+      out->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--shards") {
+      out->shards = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--threads") {
+      out->threads = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--producers") {
+      out->producers = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--window") {
+      out->window = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--buckets") {
+      out->buckets = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\nknown flags:", key.c_str());
+      for (const char* known : kKnownFlags) {
+        std::fprintf(stderr, " %s", known);
+      }
+      std::fprintf(stderr, "\n");
+      return false;
+    }
+  }
+  if (out->socket_path.empty()) {
+    std::fprintf(stderr, "--socket=<path> is required\n");
+    return false;
+  }
+  if (out->epsilon <= 0 || out->phi <= 0 || out->delta <= 0) {
+    std::fprintf(stderr, "--epsilon, --phi, and --delta must be > 0\n");
+    return false;
+  }
+  if (out->shards == 0 || out->producers == 0) {
+    std::fprintf(stderr, "--shards and --producers must be >= 1\n");
+    return false;
+  }
+  if (out->window != 0 && !IsWindowedSummaryName(out->algorithm)) {
+    out->algorithm = std::string(kWindowedPrefix) + out->algorithm;
+  }
+  return true;
+}
+
+// ---- Socket helpers ---------------------------------------------------
+
+bool WriteAll(int fd, const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t wrote = ::write(fd, data + done, n - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(wrote);
+  }
+  return true;
+}
+
+bool WriteLine(int fd, const std::string& line) {
+  return WriteAll(fd, (line + "\n").c_str(), line.size() + 1);
+}
+
+// Buffered reader that supports both newline framing (text requests)
+// and exact-length reads (the `bin N` payload).
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  // Strips the trailing newline; false on EOF or error.
+  bool ReadLine(std::string* line) {
+    while (true) {
+      const size_t nl = buffer_.find('\n', pos_);
+      if (nl != std::string::npos) {
+        line->assign(buffer_, pos_, nl - pos_);
+        pos_ = nl + 1;
+        Compact();
+        return true;
+      }
+      if (!Fill()) return false;
+    }
+  }
+
+  bool ReadExact(char* out, size_t n) {
+    size_t got = 0;
+    const size_t buffered = std::min(n, buffer_.size() - pos_);
+    std::memcpy(out, buffer_.data() + pos_, buffered);
+    pos_ += buffered;
+    got += buffered;
+    Compact();
+    while (got < n) {
+      const ssize_t r = ::read(fd_, out + got, n - got);
+      if (r < 0 && errno == EINTR) continue;
+      if (r <= 0) return false;
+      got += static_cast<size_t>(r);
+    }
+    return true;
+  }
+
+ private:
+  bool Fill() {
+    Compact();
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) return true;
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  void Compact() {
+    if (pos_ == 0) return;
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+
+  int fd_;
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+// ---- Server -----------------------------------------------------------
+
+// A binary batch above this is a protocol error, not a workload (guards
+// a garbage length from allocating the machine away).
+constexpr uint64_t kMaxBinaryBatch = uint64_t{1} << 26;
+
+struct Server {
+  ShardedEngine* engine = nullptr;
+  double default_phi = 0.05;
+  std::atomic<bool> stop{false};
+  int listen_fd = -1;
+  std::mutex conn_mutex;
+  std::vector<int> conn_fds;
+};
+
+Server* g_server = nullptr;
+
+void OnSignal(int) {
+  // Async-signal-safe shutdown: flag + close the listener so the accept
+  // loop wakes; the loop does the orderly teardown.
+  if (g_server != nullptr) {
+    g_server->stop.store(true, std::memory_order_relaxed);
+    const int fd = g_server->listen_fd;
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+bool ParseU64(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || errno == ERANGE) return false;
+  while (*end == ' ') ++end;
+  if (*end != '\0') return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+// One thread per connection.  The producer slot is claimed lazily on the
+// first ingest request, so query-only clients (dashboards) never consume
+// one, and released when the connection closes.
+void HandleConnection(Server* server, int fd) {
+  LineReader reader(fd);
+  std::unique_ptr<ShardedEngine::Producer> producer;
+  ShardedEngine& engine = *server->engine;
+  std::string line;
+  std::vector<uint64_t> batch;
+  auto ensure_producer = [&]() -> bool {
+    if (producer != nullptr) return true;
+    Status status;
+    producer = engine.RegisterProducer(&status);
+    if (producer == nullptr) {
+      WriteLine(fd, "err " + status.ToString());
+      return false;
+    }
+    return true;
+  };
+  while (reader.ReadLine(&line)) {
+    if (line.empty()) continue;
+    if (line[0] >= '0' && line[0] <= '9') {
+      uint64_t item = 0;
+      if (!ParseU64(line.c_str(), &item)) {
+        WriteLine(fd, "err malformed item id '" + line + "'");
+        continue;
+      }
+      if (!ensure_producer()) continue;
+      producer->Update(item);
+      continue;
+    }
+    if (line.rfind("bin ", 0) == 0) {
+      uint64_t count = 0;
+      if (!ParseU64(line.c_str() + 4, &count) || count > kMaxBinaryBatch) {
+        WriteLine(fd, "err malformed binary batch header '" + line + "'");
+        break;  // the payload length is unknown; the stream is desynced
+      }
+      batch.resize(static_cast<size_t>(count));
+      if (!reader.ReadExact(reinterpret_cast<char*>(batch.data()),
+                            static_cast<size_t>(count) * sizeof(uint64_t))) {
+        break;
+      }
+      // The wire format is little-endian u64; byte-swap on a big-endian
+      // host so snapshots of the served stream stay portable.
+      if constexpr (std::endian::native == std::endian::big) {
+        for (uint64_t& item : batch) item = __builtin_bswap64(item);
+      }
+      if (!ensure_producer()) continue;
+      producer->UpdateBatch(batch);
+      continue;
+    }
+    if (line == "flush") {
+      engine.Flush();
+      WriteLine(fd, "ok " + std::to_string(engine.ItemsProcessed()));
+      continue;
+    }
+    if (line == "heavy" || line.rfind("heavy ", 0) == 0) {
+      double phi = server->default_phi;
+      if (line.size() > 6) {
+        phi = std::atof(line.c_str() + 6);
+        if (phi <= 0) {
+          WriteLine(fd, "err phi must be > 0");
+          continue;
+        }
+      }
+      const std::vector<ItemEstimate> report = engine.HeavyHitters(phi);
+      std::string reply = "hh " + std::to_string(report.size());
+      char entry[64];
+      for (const ItemEstimate& hh : report) {
+        std::snprintf(entry, sizeof(entry), "\n%llu %.17g",
+                      static_cast<unsigned long long>(hh.item), hh.estimate);
+        reply += entry;
+      }
+      WriteLine(fd, reply);
+      continue;
+    }
+    if (line.rfind("estimate ", 0) == 0) {
+      uint64_t item = 0;
+      if (!ParseU64(line.c_str() + 9, &item)) {
+        WriteLine(fd, "err malformed item id in '" + line + "'");
+        continue;
+      }
+      char reply[64];
+      std::snprintf(reply, sizeof(reply), "est %llu %.17g",
+                    static_cast<unsigned long long>(item),
+                    engine.Estimate(item));
+      WriteLine(fd, reply);
+      continue;
+    }
+    if (line == "stats") {
+      WriteLine(fd,
+                "stats items=" + std::to_string(engine.ItemsProcessed()) +
+                    " shards=" + std::to_string(engine.num_shards()) +
+                    " threads=" + std::to_string(engine.num_threads()) +
+                    " producers=" + std::to_string(engine.active_producers()) +
+                    " algo=" + engine.algorithm());
+      continue;
+    }
+    if (line == "quit") break;
+    if (line == "shutdown") {
+      WriteLine(fd, "ok");
+      server->stop.store(true, std::memory_order_relaxed);
+      // Wake the accept loop the same way the signal handler does.
+      ::shutdown(server->listen_fd, SHUT_RDWR);
+      break;
+    }
+    WriteLine(fd, "err unknown request '" + line + "'");
+  }
+  // ~Producer releases the slot for the next connection.
+}
+
+int Serve(const ServeArgs& args) {
+  ShardedEngineOptions options;
+  options.algorithm = args.algorithm;
+  options.summary.epsilon = args.epsilon;
+  options.summary.phi = args.phi;
+  options.summary.delta = args.delta;
+  options.summary.universe_size = args.n;
+  options.summary.stream_length = args.m;
+  options.summary.seed = args.seed;
+  options.summary.window_size = args.window;
+  if (args.buckets != 0) options.summary.window_buckets = args.buckets;
+  options.num_shards = static_cast<size_t>(args.shards);
+  options.num_threads = static_cast<size_t>(args.threads);
+  options.max_producers = static_cast<size_t>(args.producers) + 1;
+  Status status;
+  auto engine = ShardedEngine::Create(options, &status);
+  if (engine == nullptr) {
+    std::fprintf(stderr, "cannot create engine: %s\n",
+                 status.ToString().c_str());
+    return 2;
+  }
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 2;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (args.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "--socket path too long (max %zu bytes)\n",
+                 sizeof(addr.sun_path) - 1);
+    return 2;
+  }
+  std::strncpy(addr.sun_path, args.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(args.socket_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    std::perror("bind");
+    return 2;
+  }
+  if (::listen(listen_fd, 64) != 0) {
+    std::perror("listen");
+    return 2;
+  }
+
+  Server server;
+  server.engine = engine.get();
+  server.default_phi = args.phi;
+  server.listen_fd = listen_fd;
+  g_server = &server;
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  // The readiness line clients (and tests/serve_test.cc) wait for.
+  std::printf("listening %s\n", args.socket_path.c_str());
+  std::fflush(stdout);
+
+  std::vector<std::thread> connections;
+  while (!server.stop.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by shutdown/signal
+    }
+    {
+      std::lock_guard<std::mutex> lock(server.conn_mutex);
+      server.conn_fds.push_back(fd);
+    }
+    connections.emplace_back(
+        [&server, fd] { HandleConnection(&server, fd); });
+  }
+
+  // Orderly teardown: kick every live connection off its read, join the
+  // handlers (releasing their producer slots), then report and exit.
+  {
+    std::lock_guard<std::mutex> lock(server.conn_mutex);
+    for (const int fd : server.conn_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& thread : connections) thread.join();
+  {
+    std::lock_guard<std::mutex> lock(server.conn_mutex);
+    for (const int fd : server.conn_fds) ::close(fd);
+  }
+  ::close(listen_fd);
+  ::unlink(args.socket_path.c_str());
+  engine->Flush();
+  std::printf("served %llu items\n",
+              static_cast<unsigned long long>(engine->ItemsProcessed()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeArgs args;
+  if (!Parse(argc, argv, &args)) return 2;
+  return Serve(args);
+}
