@@ -121,6 +121,30 @@ struct ShardedEngineOptions {
   size_t max_producers = 1;
 };
 
+/// What a checkpoint consumer (the on-disk manifest, or a replica's sync
+/// protocol) already holds for one shard: the clocks of the shard state it
+/// has, and how many deltas are already chained onto its base snapshot.
+/// CaptureFrames compares these against the live clocks to decide, per
+/// shard, between no frame (clean), a delta frame, or a full frame.
+struct ShardBaseline {
+  bool valid = false;      // false: nothing held; always emit a full frame
+  uint64_t applied = 0;    // shard items applied at the baseline
+  uint64_t rotations = 0;  // shard window rotations at the baseline (0 when
+                           // the algorithm is not windowed)
+  uint32_t chain = 0;      // deltas already stacked on the baseline's base
+};
+
+/// One captured shard state: a full snapshot container ("L1HHSNAP") or a
+/// delta container ("L1HHDELT") chained onto the caller's baseline, plus
+/// the clocks the bytes advance the shard to.
+struct ShardFrame {
+  size_t shard = 0;
+  bool delta = false;
+  uint64_t applied = 0;    // shard items applied after this frame
+  uint64_t rotations = 0;  // shard rotations after this frame
+  std::vector<uint8_t> bytes;
+};
+
 class ShardedEngine {
  public:
   /// A claimed producer slot: an independent ingestion endpoint with its
@@ -227,25 +251,67 @@ class ShardedEngine {
 
   // ---- Checkpoint / Restore (docs/SNAPSHOTS.md, docs/ENGINE.md) ---------
 
-  /// Flush-quiesces, parks the workers, then writes a restartable
+  /// Flush-quiesces, parks the workers, then writes a restartable FULL
   /// checkpoint into `dir` (created if missing): one self-describing
-  /// snapshot file per shard (src/io/snapshot.h) plus a MANIFEST
-  /// recording the algorithm, the shard count, and the shard file names.
-  /// The manifest is written last, so a directory with a MANIFEST is a
-  /// complete checkpoint.  Safe from any thread, even with live
-  /// producers (the checkpoint captures the flushed prefix); overwrites
-  /// any previous checkpoint in `dir`.
+  /// snapshot file per shard (src/io/snapshot.h) plus a generation-
+  /// numbered MANIFEST.<gen> recording the algorithm, the shard count,
+  /// and each shard's clocks and file chain.  Every file goes through
+  /// the crash-safe write-tmp/fsync/rename protocol and the manifest is
+  /// written last, so a crash at ANY point leaves the previous
+  /// generation intact and restorable — never a torn or mixed-epoch
+  /// checkpoint.  The newest and previous generations are retained;
+  /// older manifests and the files only they referenced are pruned.
+  /// Safe from any thread, even with live producers (the checkpoint
+  /// captures the flushed prefix).  I/O failures are Status::IOError.
   Status Checkpoint(const std::string& dir);
+
+  /// Incremental checkpoint: like Checkpoint, but reads the newest
+  /// complete manifest in `dir` and writes only what changed since it.
+  /// A shard whose clocks did not move keeps its existing file chain
+  /// verbatim (no bytes written); a dirty windowed shard whose tail
+  /// still fits the ring appends one delta container to its chain; a
+  /// dirty plain shard — or a chain past kMaxDeltaChain, or a window
+  /// that rotated a full ring — falls back to a fresh full snapshot.
+  /// The new MANIFEST.<gen> is self-contained: it lists each shard's
+  /// complete chain (base + deltas), so Restore never consults older
+  /// manifests.  With no prior manifest this IS a full checkpoint.
+  /// After touching 1 of K shards the checkpoint writes O(1 shard)
+  /// bytes + one manifest (tests/checkpoint_fault_test.cc pins this).
+  Status CheckpointDelta(const std::string& dir);
+
+  /// Deltas chained onto one base before CheckpointDelta rewrites the
+  /// shard in full: bounds both restore replay length and the growth of
+  /// a chain's on-disk footprint.
+  static constexpr uint32_t kMaxDeltaChain = 12;
+
+  /// Flush-quiesces, parks the workers, and captures each shard's state
+  /// as an in-memory frame against `baselines` (what the consumer
+  /// already holds): clean shards emit nothing, dirty windowed shards
+  /// within `max_delta_chain` emit a delta container, everything else a
+  /// full snapshot container.  Pass an empty vector for a cold consumer
+  /// (all full frames).  `*total_applied` gets the global applied count
+  /// the frames bring the consumer to.  This is the shared capture step
+  /// behind CheckpointDelta and the replication stream in
+  /// tools/l1hh_serve.cc.  Safe from any thread.
+  Status CaptureFrames(const std::vector<ShardBaseline>& baselines,
+                       uint32_t max_delta_chain,
+                       std::vector<ShardFrame>* frames,
+                       uint64_t* total_applied);
 
   /// Rebuilds an engine from a Checkpoint directory and resumes ingestion
   /// exactly where it left off: same algorithm, same per-shard options and
   /// seed (read from the shard snapshot headers), same shard count, and
   /// per-shard summaries restored bit-exactly — continuing the run is
-  /// indistinguishable from never having stopped.  `exec` supplies only
-  /// the execution knobs (num_threads, queue_capacity, drain_batch,
-  /// max_producers); its algorithm/summary/num_shards fields are ignored
-  /// in favor of the checkpoint's.  Returns nullptr with the reason in
-  /// *status on any corrupt or inconsistent checkpoint.
+  /// indistinguishable from never having stopped.  Generations are tried
+  /// newest-first: if the newest manifest or any file it references is
+  /// missing, truncated, or corrupt, Restore falls back to the previous
+  /// complete generation, so a crash mid-checkpoint (or a stale manifest
+  /// over a lost delta) costs at most one checkpoint of progress, never
+  /// the directory.  `exec` supplies only the execution knobs
+  /// (num_threads, queue_capacity, drain_batch, max_producers); its
+  /// algorithm/summary/num_shards fields are ignored in favor of the
+  /// checkpoint's.  Returns nullptr with the reason in *status when no
+  /// generation is restorable.
   static std::unique_ptr<ShardedEngine> Restore(
       const std::string& dir, const ShardedEngineOptions& exec,
       Status* status = nullptr);
@@ -347,6 +413,20 @@ class ShardedEngine {
   // Requires state_mutex_ held AND workers parked (it reads the shard
   // summaries).
   const Summary& RebuildMergedLocked();
+  // CaptureFrames body; requires state_mutex_ held and workers parked.
+  Status CaptureFramesLocked(const std::vector<ShardBaseline>& baselines,
+                             uint32_t max_delta_chain,
+                             std::vector<ShardFrame>* frames,
+                             uint64_t* total_applied);
+  // Shared Checkpoint / CheckpointDelta body: capture frames against the
+  // newest on-disk manifest (when `incremental`), write the changed
+  // files, seal the new generation with its manifest, prune old ones.
+  Status WriteCheckpoint(const std::string& dir, bool incremental);
+  // One restore attempt against generation `generation` of `dir`; Restore
+  // walks generations newest-first until one succeeds.
+  static std::unique_ptr<ShardedEngine> RestoreGeneration(
+      const std::string& dir, uint64_t generation,
+      const ShardedEngineOptions& exec, Status* status);
 
   ShardedEngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,0 +1,155 @@
+#include "io/durable_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace l1hh {
+namespace {
+
+// Fault injection state (tests only; see header).
+DurableFailMode g_fail_mode = DurableFailMode::kNone;
+int g_fail_countdown = 0;
+
+std::string ErrnoText(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+Status WriteAllFd(int fd, const uint8_t* data, size_t n,
+                  const std::string& path) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t wrote = ::write(fd, data + done, n - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoText("cannot write", path));
+    }
+    done += static_cast<size_t>(wrote);
+  }
+  return Status::Ok();
+}
+
+Status FsyncDirectoryOf(const std::string& path) {
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError(ErrnoText("cannot open directory", dir));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError(ErrnoText("cannot fsync directory", dir));
+  }
+  return Status::Ok();
+}
+
+// Simulates the armed crash: writes whatever the mode says a dying
+// process would have gotten onto disk, then reports IOError.  Once
+// tripped it stays tripped (countdown pinned negative) so the rest of
+// the "process" fails too.
+Status InjectFailure(const std::string& tmp_path,
+                     std::span<const uint8_t> bytes) {
+  g_fail_countdown = -1;
+  switch (g_fail_mode) {
+    case DurableFailMode::kPartialTmp: {
+      const int fd = ::open(tmp_path.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        const size_t half = bytes.size() / 2;
+        (void)!::write(fd, bytes.data(), half);
+        ::close(fd);
+      }
+      break;
+    }
+    case DurableFailMode::kAfterTmp: {
+      const int fd = ::open(tmp_path.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        (void)!::write(fd, bytes.data(), bytes.size());
+        ::close(fd);
+      }
+      break;
+    }
+    case DurableFailMode::kBeforeTmp:
+    case DurableFailMode::kNone:
+      break;
+  }
+  return Status::IOError("injected write failure (simulated crash)");
+}
+
+}  // namespace
+
+void SetDurableWriteFailure(DurableFailMode mode, int countdown) {
+  g_fail_mode = mode;
+  g_fail_countdown = mode == DurableFailMode::kNone ? 0 : countdown;
+}
+
+Status DurableWriteFile(const std::string& path,
+                        std::span<const uint8_t> bytes) {
+  const std::string tmp_path = path + kDurableTmpSuffix;
+  if (g_fail_mode != DurableFailMode::kNone) {
+    if (g_fail_countdown <= 0) return InjectFailure(tmp_path, bytes);
+    --g_fail_countdown;
+  }
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd < 0) {
+    return Status::IOError(ErrnoText("cannot create", tmp_path));
+  }
+  Status s = WriteAllFd(fd, bytes.data(), bytes.size(), tmp_path);
+  if (s.ok() && ::fsync(fd) != 0) {
+    s = Status::IOError(ErrnoText("cannot fsync", tmp_path));
+  }
+  if (::close(fd) != 0 && s.ok()) {
+    s = Status::IOError(ErrnoText("cannot close", tmp_path));
+  }
+  if (!s.ok()) {
+    ::unlink(tmp_path.c_str());
+    return s;
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    s = Status::IOError(ErrnoText("cannot rename over", path));
+    ::unlink(tmp_path.c_str());
+    return s;
+  }
+  // Make the rename itself durable; without this the directory entry can
+  // still be lost even though the file data is on the device.
+  return FsyncDirectoryOf(path);
+}
+
+Status DurableWriteFile(const std::string& path, const std::string& text) {
+  return DurableWriteFile(
+      path, std::span<const uint8_t>(
+                reinterpret_cast<const uint8_t*>(text.data()), text.size()));
+}
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError(ErrnoText("cannot open", path));
+  }
+  out->clear();
+  uint8_t chunk[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = Status::IOError(ErrnoText("cannot read", path));
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out->insert(out->end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace l1hh

@@ -1,0 +1,69 @@
+// Crash-safe file writes for the checkpoint path.
+//
+// A plain ofstream write reaches the page cache only: a crash (or power
+// cut) after it "succeeds" can leave a truncated, torn, or entirely
+// missing file — and a checkpoint whose MANIFEST survived while a shard
+// file did not is worse than no checkpoint at all.  Every file in a
+// checkpoint therefore goes through the classic durability protocol:
+//
+//   1. write the full contents to `<path>.tmp`
+//   2. fsync the tmp file (data hits the device, not the cache)
+//   3. rename(2) tmp over `<path>` — atomic on POSIX: readers see either
+//      the complete old file or the complete new file, never a mixture
+//   4. fsync the containing directory (the rename itself is durable)
+//
+// A crash at any step leaves either the old state intact or a stray
+// `.tmp` the checkpoint machinery ignores and garbage-collects.  All
+// failures are reported as Status::IOError with the errno text, so a
+// full disk is distinguishable from a caller bug.
+#ifndef L1HH_IO_DURABLE_FILE_H_
+#define L1HH_IO_DURABLE_FILE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace l1hh {
+
+/// Suffix of in-flight temporary files; a directory scan may ignore and
+/// delete anything ending with it (an interrupted write's leftovers).
+inline constexpr const char* kDurableTmpSuffix = ".tmp";
+
+/// Atomically and durably replaces `path` with `bytes` via the
+/// write-tmp -> fsync -> rename -> fsync-directory protocol above.
+Status DurableWriteFile(const std::string& path,
+                        std::span<const uint8_t> bytes);
+
+/// String-payload convenience (manifests are text).
+Status DurableWriteFile(const std::string& path, const std::string& text);
+
+/// Reads a whole file; IOError (with errno) when it cannot be opened or
+/// read.  Replaces the scattered ifstream-slurp idiom so open failures
+/// stop masquerading as InvalidArgument.
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+// ---- Fault injection (tests only) -------------------------------------
+//
+// The crash-safety claim is "a crash at ANY write point leaves a
+// restorable directory".  tests/checkpoint_fault_test.cc proves it by
+// simulating the crash deterministically: after `countdown` further
+// DurableWriteFile calls succeed, the next one dies at `mode` (and every
+// later call fails too — a dead process writes nothing else).
+
+enum class DurableFailMode {
+  kNone,        // injection disabled
+  kBeforeTmp,   // crash before anything is written
+  kPartialTmp,  // crash mid-write: a torn <path>.tmp is left behind
+  kAfterTmp,    // crash after the tmp is complete but before the rename
+};
+
+/// Arms (or, with kNone, disarms) the failure point.  Not thread-safe;
+/// tests arm it around single-threaded checkpoint calls.
+void SetDurableWriteFailure(DurableFailMode mode, int countdown);
+
+}  // namespace l1hh
+
+#endif  // L1HH_IO_DURABLE_FILE_H_

@@ -1,17 +1,19 @@
 #include "io/snapshot.h"
 
 #include <cstring>
-#include <fstream>
 #include <optional>
 #include <utility>
 
+#include "io/durable_file.h"
 #include "util/bit_stream.h"
 #include "util/crc32.h"
+#include "window/sliding_window_summary.h"
 
 namespace l1hh {
 namespace {
 
 constexpr char kMagic[8] = {'L', '1', 'H', 'H', 'S', 'N', 'A', 'P'};
+constexpr char kDeltaMagic[8] = {'L', '1', 'H', 'H', 'D', 'E', 'L', 'T'};
 constexpr size_t kPreambleBytes = 8 + 4 + 8;  // magic + version + stream_bits
 constexpr size_t kTrailerBytes = 4;           // CRC-32
 constexpr size_t kMaxNameLength = 128;
@@ -54,13 +56,12 @@ Status ValidateHeaderOptions(const SummaryOptions& opt) {
   return Status::Ok();
 }
 
-void WriteHeader(BitWriter& out, const Summary& summary) {
-  const std::string name(summary.Name());
+void WriteNameAndOptions(BitWriter& out, const std::string& name,
+                         const SummaryOptions& opt) {
   out.WriteBits(name.size(), 8);
   for (const char c : name) {
     out.WriteBits(static_cast<uint8_t>(c), 8);
   }
-  const SummaryOptions opt = summary.Options();
   out.WriteDouble(opt.epsilon);
   out.WriteDouble(opt.phi);
   out.WriteDouble(opt.delta);
@@ -69,42 +70,60 @@ void WriteHeader(BitWriter& out, const Summary& summary) {
   out.WriteU64(opt.seed);
   out.WriteU64(opt.window_size);
   out.WriteU64(opt.window_buckets);
+}
+
+void WriteHeader(BitWriter& out, const Summary& summary) {
+  WriteNameAndOptions(out, std::string(summary.Name()), summary.Options());
   out.WriteU64(summary.ItemsProcessed());
 }
 
-/// Validates the container around the bit stream (magic, version, length
-/// consistency, CRC) and parses the bit-stream header into *info.  On
-/// success *words holds the unpacked bit-stream and *reader is positioned
-/// at the first payload bit; *words must outlive *reader.
-Status ParseContainer(std::span<const uint8_t> bytes, SnapshotInfo* info,
-                      std::vector<uint64_t>* words,
-                      std::optional<BitReader>* reader) {
+/// Wraps a finished bit stream in the outer framing: magic, version,
+/// stream_bits, the words, and the CRC trailer.
+void SealContainer(const char (&magic)[8], uint32_t version,
+                   const BitWriter& stream, std::vector<uint8_t>* out) {
+  out->clear();
+  out->reserve(kPreambleBytes + stream.words().size() * 8 + kTrailerBytes);
+  out->insert(out->end(), magic, magic + sizeof(magic));
+  AppendU32(*out, version);
+  AppendU64(*out, stream.size_bits());
+  for (const uint64_t word : stream.words()) AppendU64(*out, word);
+  AppendU32(*out, Crc32(out->data(), out->size()));
+}
+
+/// Validates the outer framing (magic, version, CRC, length consistency)
+/// shared by snapshot and delta containers, and unpacks the bit stream.
+/// *words must outlive *reader.
+Status OpenContainer(std::span<const uint8_t> bytes,
+                     const char (&magic)[8], uint32_t version,
+                     const char* kind, std::vector<uint64_t>* words,
+                     std::optional<BitReader>* reader) {
+  const std::string what(kind);
   if (bytes.size() < kPreambleBytes + kTrailerBytes) {
-    return Status::Corruption("snapshot too short (" +
+    return Status::Corruption(what + " too short (" +
                               std::to_string(bytes.size()) + " bytes)");
   }
-  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("not a l1hh snapshot (bad magic)");
+  if (std::memcmp(bytes.data(), magic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a l1hh " + what + " (bad magic)");
   }
-  const uint32_t version = ParseU32(bytes.data() + 8);
-  if (version != kSnapshotFormatVersion) {
+  const uint32_t file_version = ParseU32(bytes.data() + 8);
+  if (file_version != version) {
     return Status::InvalidArgument(
-        "unsupported snapshot format version " + std::to_string(version) +
-        " (this build reads version " +
-        std::to_string(kSnapshotFormatVersion) + ")");
+        "unsupported " + what + " format version " +
+        std::to_string(file_version) + " (this build reads version " +
+        std::to_string(version) + ")");
   }
   // CRC over everything but the trailer, checked BEFORE trusting any
   // variable-length field: random corruption and truncation both land here.
   const uint32_t expected_crc = ParseU32(bytes.data() + bytes.size() - 4);
   const uint32_t actual_crc = Crc32(bytes.data(), bytes.size() - 4);
   if (expected_crc != actual_crc) {
-    return Status::Corruption("snapshot CRC mismatch (file corrupt)");
+    return Status::Corruption(what + " CRC mismatch (file corrupt)");
   }
   const uint64_t stream_bits = ParseU64(bytes.data() + 12);
   const uint64_t stream_words = (stream_bits + 63) / 64;
   if (kPreambleBytes + stream_words * 8 + kTrailerBytes != bytes.size()) {
     return Status::Corruption(
-        "snapshot length disagrees with its header (" +
+        what + " length disagrees with its header (" +
         std::to_string(bytes.size()) + " bytes for " +
         std::to_string(stream_bits) + " stream bits)");
   }
@@ -114,28 +133,50 @@ Status ParseContainer(std::span<const uint8_t> bytes, SnapshotInfo* info,
   }
   reader->emplace(words->data(), words->size(),
                   static_cast<size_t>(stream_bits));
-  BitReader& in = **reader;
+  return Status::Ok();
+}
 
+Status ReadName(BitReader& in, const char* kind, std::string* name) {
   const uint64_t name_length = in.ReadBits(8);
   if (name_length == 0 || name_length > kMaxNameLength) {
-    return Status::Corruption("snapshot algorithm name has implausible "
-                              "length " +
+    return Status::Corruption(std::string(kind) +
+                              " algorithm name has implausible length " +
                               std::to_string(name_length));
   }
-  std::string name;
-  name.reserve(name_length);
+  name->clear();
+  name->reserve(name_length);
   for (uint64_t i = 0; i < name_length; ++i) {
-    name.push_back(static_cast<char>(in.ReadBits(8)));
+    name->push_back(static_cast<char>(in.ReadBits(8)));
   }
-  info->algorithm = std::move(name);
-  info->options.epsilon = in.ReadDouble();
-  info->options.phi = in.ReadDouble();
-  info->options.delta = in.ReadDouble();
-  info->options.universe_size = in.ReadU64();
-  info->options.stream_length = in.ReadU64();
-  info->options.seed = in.ReadU64();
-  info->options.window_size = in.ReadU64();
-  info->options.window_buckets = in.ReadU64();
+  return Status::Ok();
+}
+
+void ReadOptions(BitReader& in, SummaryOptions* opt) {
+  opt->epsilon = in.ReadDouble();
+  opt->phi = in.ReadDouble();
+  opt->delta = in.ReadDouble();
+  opt->universe_size = in.ReadU64();
+  opt->stream_length = in.ReadU64();
+  opt->seed = in.ReadU64();
+  opt->window_size = in.ReadU64();
+  opt->window_buckets = in.ReadU64();
+}
+
+/// Validates the container around the bit stream (magic, version, length
+/// consistency, CRC) and parses the bit-stream header into *info.  On
+/// success *words holds the unpacked bit-stream and *reader is positioned
+/// at the first payload bit; *words must outlive *reader.
+Status ParseContainer(std::span<const uint8_t> bytes, SnapshotInfo* info,
+                      std::vector<uint64_t>* words,
+                      std::optional<BitReader>* reader) {
+  Status s = OpenContainer(bytes, kMagic, kSnapshotFormatVersion,
+                           "snapshot", words, reader);
+  if (!s.ok()) return s;
+  BitReader& in = **reader;
+
+  s = ReadName(in, "snapshot", &info->algorithm);
+  if (!s.ok()) return s;
+  ReadOptions(in, &info->options);
   info->items_processed = in.ReadU64();
   info->payload_bits = in.ReadU64();
   info->total_bytes = bytes.size();
@@ -172,13 +213,7 @@ Status SaveSummary(const Summary& summary, std::vector<uint8_t>* out) {
     left -= static_cast<size_t>(chunk);
   }
 
-  out->clear();
-  out->reserve(kPreambleBytes + stream.words().size() * 8 + kTrailerBytes);
-  out->insert(out->end(), kMagic, kMagic + sizeof(kMagic));
-  AppendU32(*out, kSnapshotFormatVersion);
-  AppendU64(*out, stream.size_bits());
-  for (const uint64_t word : stream.words()) AppendU64(*out, word);
-  AppendU32(*out, Crc32(out->data(), out->size()));
+  SealContainer(kMagic, kSnapshotFormatVersion, stream, out);
   return Status::Ok();
 }
 
@@ -186,17 +221,7 @@ Status SaveSummaryToFile(const Summary& summary, const std::string& path) {
   std::vector<uint8_t> bytes;
   const Status s = SaveSummary(summary, &bytes);
   if (!s.ok()) return s;
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) {
-    return Status::InvalidArgument("cannot open '" + path + "' for writing");
-  }
-  file.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-  file.flush();
-  if (!file) {
-    return Status::InvalidArgument("short write to '" + path + "'");
-  }
-  return Status::Ok();
+  return DurableWriteFile(path, bytes);
 }
 
 Status ReadSnapshotInfo(std::span<const uint8_t> bytes, SnapshotInfo* info) {
@@ -206,12 +231,9 @@ Status ReadSnapshotInfo(std::span<const uint8_t> bytes, SnapshotInfo* info) {
 }
 
 Status ReadSnapshotInfoFromFile(const std::string& path, SnapshotInfo* info) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    return Status::InvalidArgument("cannot open '" + path + "' for reading");
-  }
-  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(file)),
-                             std::istreambuf_iterator<char>());
+  std::vector<uint8_t> bytes;
+  const Status s = ReadFileBytes(path, &bytes);
+  if (!s.ok()) return s;
   return ReadSnapshotInfo(bytes, info);
 }
 
@@ -261,15 +283,131 @@ std::unique_ptr<Summary> LoadSummaryFromFile(const std::string& path,
                                              Status* status) {
   Status local;
   Status& out_status = status != nullptr ? *status : local;
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    out_status =
-        Status::InvalidArgument("cannot open '" + path + "' for reading");
-    return nullptr;
-  }
-  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(file)),
-                             std::istreambuf_iterator<char>());
+  std::vector<uint8_t> bytes;
+  out_status = ReadFileBytes(path, &bytes);
+  if (!out_status.ok()) return nullptr;
   return LoadSummary(bytes, status);
+}
+
+// ---- Delta snapshots ----------------------------------------------------
+
+Status SaveSummaryDelta(const Summary& summary, uint64_t base_rotations,
+                        uint64_t base_items, std::vector<uint8_t>* out) {
+  const auto* window = dynamic_cast<const SlidingWindowSummary*>(&summary);
+  if (window == nullptr) {
+    return Status::FailedPrecondition(
+        std::string(summary.Name()) +
+        " is not a sliding window; delta snapshots only exist for "
+        "windowed:<algo> structures");
+  }
+  if (base_rotations > window->rotations() ||
+      base_items > window->ItemsProcessed()) {
+    return Status::InvalidArgument(
+        "delta base (" + std::to_string(base_rotations) + " rotations, " +
+        std::to_string(base_items) + " items) is ahead of the summary (" +
+        std::to_string(window->rotations()) + " rotations, " +
+        std::to_string(window->ItemsProcessed()) + " items)");
+  }
+  // The base's live bucket keeps absorbing items until the first
+  // post-base rotation, so the dirty tail is one bucket per rotation
+  // crossed PLUS the current live bucket.
+  const uint64_t bucket_count = window->rotations() - base_rotations + 1;
+  if (bucket_count >= window->num_buckets()) {
+    return Status::InvalidArgument(
+        "delta tail of " + std::to_string(bucket_count) +
+        " buckets would cover the whole " +
+        std::to_string(window->num_buckets()) +
+        "-bucket ring; write a full snapshot instead");
+  }
+
+  BitWriter stream;
+  WriteNameAndOptions(stream, std::string(window->Name()), window->Options());
+  stream.WriteU64(base_rotations);
+  stream.WriteU64(base_items);
+  stream.WriteU64(window->rotations());
+  stream.WriteU64(window->ItemsProcessed());
+  stream.WriteU64(bucket_count);
+  const Status saved = window->SaveTailTo(stream, bucket_count);
+  if (!saved.ok()) return saved;
+
+  SealContainer(kDeltaMagic, kDeltaFormatVersion, stream, out);
+  return Status::Ok();
+}
+
+Status SaveSummaryDeltaToFile(const Summary& summary,
+                              uint64_t base_rotations, uint64_t base_items,
+                              const std::string& path) {
+  std::vector<uint8_t> bytes;
+  const Status s =
+      SaveSummaryDelta(summary, base_rotations, base_items, &bytes);
+  if (!s.ok()) return s;
+  return DurableWriteFile(path, bytes);
+}
+
+Status ApplySummaryDelta(std::span<const uint8_t> bytes, Summary* target) {
+  if (target == nullptr) {
+    return Status::InvalidArgument("delta target is null");
+  }
+  std::vector<uint64_t> words;
+  std::optional<BitReader> reader;
+  Status s = OpenContainer(bytes, kDeltaMagic, kDeltaFormatVersion, "delta",
+                           &words, &reader);
+  if (!s.ok()) return s;
+  BitReader& in = *reader;
+
+  std::string name;
+  s = ReadName(in, "delta", &name);
+  if (!s.ok()) return s;
+  SummaryOptions options;
+  ReadOptions(in, &options);
+  const uint64_t base_rotations = in.ReadU64();
+  const uint64_t base_items = in.ReadU64();
+  const uint64_t new_rotations = in.ReadU64();
+  const uint64_t new_total_items = in.ReadU64();
+  const uint64_t bucket_count = in.ReadU64();
+  if (in.overflow()) return in.status();
+  s = ValidateHeaderOptions(options);
+  if (!s.ok()) return s;
+
+  if (name != target->Name()) {
+    return Status::Corruption("delta is for '" + name + "' but target is '" +
+                              std::string(target->Name()) + "'");
+  }
+  const SummaryOptions target_opt = target->Options();
+  if (options.epsilon != target_opt.epsilon || options.phi != target_opt.phi ||
+      options.delta != target_opt.delta ||
+      options.universe_size != target_opt.universe_size ||
+      options.stream_length != target_opt.stream_length ||
+      options.seed != target_opt.seed ||
+      options.window_size != target_opt.window_size ||
+      options.window_buckets != target_opt.window_buckets) {
+    return Status::Corruption(
+        "delta options do not match the target summary (different "
+        "construction parameters or seed)");
+  }
+  auto* window = dynamic_cast<SlidingWindowSummary*>(target);
+  if (window == nullptr) {
+    return Status::FailedPrecondition(
+        std::string(target->Name()) +
+        " is not a sliding window; cannot apply a delta");
+  }
+  s = window->ApplyTail(in, base_rotations, base_items, new_rotations,
+                        new_total_items, bucket_count);
+  if (!s.ok()) return s;
+  if (in.overflow()) return in.status();
+  if (in.remaining_bits() != 0) {
+    return Status::Corruption(
+        "delta payload has " + std::to_string(in.remaining_bits()) +
+        " trailing bits after the bucket tail");
+  }
+  return Status::Ok();
+}
+
+Status ApplySummaryDeltaFromFile(const std::string& path, Summary* target) {
+  std::vector<uint8_t> bytes;
+  const Status s = ReadFileBytes(path, &bytes);
+  if (!s.ok()) return s;
+  return ApplySummaryDelta(bytes, target);
 }
 
 }  // namespace l1hh

@@ -60,8 +60,11 @@ struct SnapshotInfo {
 /// self-describing byte container.
 Status SaveSummary(const Summary& summary, std::vector<uint8_t>* out);
 
-/// SaveSummary + atomic-ish file write (write then rename is overkill for
-/// this layer; the CRC trailer catches torn writes on load).
+/// SaveSummary + crash-safe file write: the bytes go through the
+/// write-tmp -> fsync -> rename -> fsync-directory protocol
+/// (src/io/durable_file.h), so a crash leaves either the complete old
+/// file or the complete new one — never a torn snapshot under a valid
+/// name.  I/O failures are Status::IOError with the errno text.
 Status SaveSummaryToFile(const Summary& summary, const std::string& path);
 
 /// Parses and validates a container header (magic, version, CRC, length
@@ -77,6 +80,44 @@ std::unique_ptr<Summary> LoadSummary(std::span<const uint8_t> bytes,
                                      Status* status = nullptr);
 std::unique_ptr<Summary> LoadSummaryFromFile(const std::string& path,
                                              Status* status = nullptr);
+
+// ---- Delta snapshots (sliding windows only) ----------------------------
+//
+// A `windowed:<algo>` summary is mostly immutable between checkpoints:
+// sealed buckets never change, so the state at rotation R1 differs from
+// the state at rotation R0 only in the buckets sealed after R0 plus the
+// live bucket.  A delta container carries exactly that tail — the
+// incremental-checkpoint and replication unit (docs/SNAPSHOTS.md):
+//
+//   bytes  0..7   magic "L1HHDELT"
+//   bytes  8..11  delta format version (u32 LE)
+//   bytes 12..19  stream_bits (u64 LE)
+//   bytes 20..    bit-stream: name, SummaryOptions (same encoding as a
+//                 snapshot), base_rotations, base_items, new_rotations,
+//                 new_total_items, bucket_count, then the bucket payloads
+//   last 4 bytes  CRC-32 over every preceding byte
+//
+// Applying a delta requires the target to BE the delta's base (same
+// name/options, rotations == base_rotations, items == base_items);
+// anything else is a Corruption, never a silently wrong window.
+
+inline constexpr uint32_t kDeltaFormatVersion = 1;
+
+/// Serializes the tail of `summary` (a SlidingWindowSummary) that changed
+/// since a base checkpoint taken at (base_rotations, base_items).
+/// FailedPrecondition for non-windowed summaries; InvalidArgument when the
+/// base clocks do not precede the current state or the tail would cover
+/// the whole ring (write a full snapshot instead).
+Status SaveSummaryDelta(const Summary& summary, uint64_t base_rotations,
+                        uint64_t base_items, std::vector<uint8_t>* out);
+Status SaveSummaryDeltaToFile(const Summary& summary,
+                              uint64_t base_rotations, uint64_t base_items,
+                              const std::string& path);
+
+/// Applies a delta container onto `target`, which must be the exact base
+/// state the delta was computed against.
+Status ApplySummaryDelta(std::span<const uint8_t> bytes, Summary* target);
+Status ApplySummaryDeltaFromFile(const std::string& path, Summary* target);
 
 }  // namespace l1hh
 

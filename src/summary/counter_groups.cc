@@ -154,13 +154,22 @@ void CounterGroups::Serialize(BitWriter& out) const {
 }
 
 void CounterGroups::Deserialize(BitReader& in) {
-  const size_t capacity = in.CheckedCount(in.ReadGamma() - 1);
-  *this = CounterGroups(capacity);
-  offset_ = in.ReadCounter();
+  // The capacity field declares the structure's k, not elements present
+  // in the stream — an empty or sparse structure legitimately declares a
+  // capacity far beyond its remaining bits (the caller validates it
+  // against the expected shape).  The bit-plausibility clamp therefore
+  // applies to the entry count (each entry is >= 65 wire bits), and the
+  // eager reserve is bounded by it, keeping a hostile capacity away from
+  // the allocator without rejecting honest sparse states.
+  const uint64_t capacity = in.ReadGamma() - 1;
+  const uint64_t offset = in.ReadCounter();
   // A corrupted entry count beyond the capacity would dereference a
   // nonexistent zombie group in InsertNew; clamp it.
-  const size_t n =
-      std::min(in.CheckedCount(in.ReadGamma() - 1), capacity);
+  const size_t n = static_cast<size_t>(
+      std::min<uint64_t>(in.CheckedCount(in.ReadGamma() - 1), capacity));
+  *this = CounterGroups(n);
+  capacity_ = static_cast<size_t>(capacity);
+  offset_ = offset;
   // Reinsert then lift each entry to its serialized count.  Rebuild cost is
   // O(sum of counts) in group moves; acceptable for deserialization.
   const uint64_t saved_offset = offset_;

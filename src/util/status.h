@@ -11,6 +11,18 @@ namespace l1hh {
 
 class Status {
  public:
+  // kIOError is the environment's fault (disk full, permission, ENOSPC),
+  // as opposed to kInvalidArgument (the caller's) or kCorruption (the
+  // input bytes'); callers retry or surface I/O errors differently, so
+  // the checkpoint path must not blur them together.
+  enum class Code {
+    kOk,
+    kInvalidArgument,
+    kCorruption,
+    kFailedPrecondition,
+    kIOError,
+  };
+
   Status() = default;  // OK
 
   static Status Ok() { return Status(); }
@@ -23,8 +35,18 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(Code::kFailedPrecondition, std::move(msg));
   }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsFailedPrecondition() const {
+    return code_ == Code::kFailedPrecondition;
+  }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
   std::string ToString() const {
@@ -33,8 +55,6 @@ class Status {
   }
 
  private:
-  enum class Code { kOk, kInvalidArgument, kCorruption, kFailedPrecondition };
-
   Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
 
   std::string CodeName() const {
@@ -47,6 +67,8 @@ class Status {
         return "Corruption";
       case Code::kFailedPrecondition:
         return "FailedPrecondition";
+      case Code::kIOError:
+        return "IOError";
     }
     return "Unknown";
   }

@@ -291,6 +291,76 @@ Status SlidingWindowSummary::LoadFrom(BitReader& in) {
   return Status::Ok();
 }
 
+Status SlidingWindowSummary::SaveTailTo(BitWriter& out,
+                                        uint64_t bucket_count) const {
+  if (bucket_count == 0 || bucket_count > buckets_.size()) {
+    return Status::InvalidArgument(
+        "delta bucket count " + std::to_string(bucket_count) +
+        " is outside [1, " + std::to_string(buckets_.size()) + "]");
+  }
+  for (size_t i = buckets_.size() - static_cast<size_t>(bucket_count);
+       i < buckets_.size(); ++i) {
+    const Status s = buckets_[i]->SaveTo(out);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status SlidingWindowSummary::ApplyTail(BitReader& in,
+                                       uint64_t base_rotations,
+                                       uint64_t base_items,
+                                       uint64_t new_rotations,
+                                       uint64_t new_total_items,
+                                       uint64_t bucket_count) {
+  if (rotations_ != base_rotations || total_items_ != base_items) {
+    return Status::Corruption(
+        "'" + name_ + "' delta expects base state (rotations=" +
+        std::to_string(base_rotations) + ", items=" +
+        std::to_string(base_items) + "), this instance is at (rotations=" +
+        std::to_string(rotations_) + ", items=" +
+        std::to_string(total_items_) + "); not the delta's base");
+  }
+  // The dirty tail since the base is every bucket sealed after it plus
+  // the live one — the writer's count must agree with the rotation
+  // distance, and both must fit the ring.
+  const uint64_t rotated = new_rotations - base_rotations;
+  if (new_rotations < base_rotations || new_total_items < base_items ||
+      bucket_count != rotated + 1 || bucket_count > buckets_.size()) {
+    return Status::Corruption(
+        "'" + name_ + "' delta clocks are implausible (rotations " +
+        std::to_string(base_rotations) + " -> " +
+        std::to_string(new_rotations) + ", " +
+        std::to_string(bucket_count) + " buckets over a ring of " +
+        std::to_string(buckets_.size()) + ")");
+  }
+  // Load the replacement tail into fresh buckets BEFORE touching the
+  // ring, so a corrupt payload leaves this instance exactly as it was.
+  std::vector<std::unique_ptr<Summary>> tail;
+  tail.reserve(static_cast<size_t>(bucket_count));
+  for (uint64_t i = 0; i < bucket_count; ++i) {
+    auto bucket = MakeBucket();
+    const Status s = bucket->LoadFrom(in);
+    if (!s.ok()) return s;
+    if (bucket->ItemsProcessed() > bucket_width_) {
+      return Status::Corruption(
+          "'" + name_ + "' delta bucket " + std::to_string(i) +
+          " claims " + std::to_string(bucket->ItemsProcessed()) +
+          " items, more than the bucket width " +
+          std::to_string(bucket_width_));
+    }
+    tail.push_back(std::move(bucket));
+  }
+  for (uint64_t r = 0; r < rotated; ++r) Rotate();
+  const size_t first = buckets_.size() - static_cast<size_t>(bucket_count);
+  for (uint64_t i = 0; i < bucket_count; ++i) {
+    buckets_[first + static_cast<size_t>(i)] =
+        std::move(tail[static_cast<size_t>(i)]);
+  }
+  total_items_ = new_total_items;
+  InvalidateCache();
+  return Status::Ok();
+}
+
 namespace internal {
 
 std::unique_ptr<Summary> MakeWindowedSummary(std::string_view inner_name,

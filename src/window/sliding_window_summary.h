@@ -153,6 +153,32 @@ class SlidingWindowSummary : public Summary {
   /// unless external rotation is set.
   void Rotate();
 
+  // ---- Incremental (delta) persistence ----------------------------------
+  //
+  // Sealed buckets are immutable: once the ring rotates past a bucket its
+  // contents never change again (only its position shifts, identically on
+  // writer and applier).  A checkpoint taken at rotation R0 therefore
+  // determines every bucket except the ones sealed AFTER R0 plus the live
+  // bucket — exactly `rotations() - R0 + 1` buckets — and a delta needs to
+  // carry only those plus the clocks.  src/io/snapshot.h wraps these in a
+  // self-describing CRC-sealed container (SaveSummaryDelta /
+  // ApplySummaryDelta); docs/SNAPSHOTS.md#delta-snapshots has the format.
+
+  /// Serializes the newest `bucket_count` buckets (oldest-to-live) —
+  /// the tail that changed since a base checkpoint.  `bucket_count` must
+  /// be in [1, num_buckets()].
+  Status SaveTailTo(BitWriter& out, uint64_t bucket_count) const;
+
+  /// Applies a delta onto this instance, which must be in the exact state
+  /// the delta was computed against: rotations() == base_rotations and
+  /// ItemsProcessed() == base_items.  Rotates the ring forward to
+  /// new_rotations, replaces the newest `bucket_count` buckets from the
+  /// reader, and sets the item clock to new_total_items.  Any mismatch is
+  /// a Corruption (a delta chained onto the wrong base).
+  Status ApplyTail(BitReader& in, uint64_t base_rotations,
+                   uint64_t base_items, uint64_t new_rotations,
+                   uint64_t new_total_items, uint64_t bucket_count);
+
  private:
   SlidingWindowSummary(std::string_view inner_name,
                        const SummaryOptions& options, uint64_t bucket_width,

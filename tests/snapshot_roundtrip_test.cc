@@ -79,6 +79,33 @@ TEST_P(SnapshotRoundTripTest, EveryAdapterSupportsSnapshots) {
   EXPECT_TRUE(summary->SupportsSnapshot()) << GetParam();
 }
 
+// Regression: a PRISTINE (zero-item) state must round-trip too.  The
+// counter-groups family used to apply the bits-per-element plausibility
+// clamp to its capacity field — a shape declaration, not stream content
+// — so an empty misra_gries/space_saving/hashed_misra_gries snapshot
+// (or any windowed ring of them, which a warm standby full-syncs from an
+// idle primary) was spuriously rejected as Corruption.
+TEST_P(SnapshotRoundTripTest, PristineStateRoundTrips) {
+  const std::string names[] = {GetParam(), "windowed:" + GetParam()};
+  for (const std::string& name : names) {
+    SummaryOptions opt = Options();
+    opt.window_size = 4096;
+    opt.window_buckets = 8;
+    auto pristine = MakeSummary(name, opt);
+    if (pristine == nullptr) continue;  // non-mergeable: no windowed form
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(SaveSummary(*pristine, &bytes).ok()) << name;
+    Status status;
+    auto loaded = LoadSummary(bytes, &status);
+    ASSERT_NE(loaded, nullptr) << name << ": " << status.ToString();
+    EXPECT_EQ(loaded->ItemsProcessed(), 0u) << name;
+    EXPECT_EQ(loaded->Estimate(7), 0.0) << name;
+    // The restored instance must be fully usable, not just loadable.
+    loaded->Update(7, 1);
+    EXPECT_EQ(loaded->ItemsProcessed(), 1u) << name;
+  }
+}
+
 TEST_P(SnapshotRoundTripTest, SaveLoadPreservesAnswersExactly) {
   const auto stream = TestStream();
   auto original = MakeSummary(GetParam(), Options());
@@ -428,8 +455,9 @@ TEST(EngineCheckpointEdgeTest, RestoreRejectsMissingAndCorruptCheckpoints) {
   const std::string dir = testing::TempDir() + "/ckpt_corrupt";
   std::filesystem::remove_all(dir);
   ASSERT_TRUE(engine->Checkpoint(dir).ok());
+  // A fresh directory's first checkpoint is generation 1.
   {
-    std::ofstream shard(dir + "/shard-0001.l1hh",
+    std::ofstream shard(dir + "/shard-0001.g000001.l1hh",
                         std::ios::binary | std::ios::trunc);
     shard << "garbage";
   }
@@ -438,21 +466,22 @@ TEST(EngineCheckpointEdgeTest, RestoreRejectsMissingAndCorruptCheckpoints) {
 
   // Unknown manifest keys are future versions, not noise to skip.
   {
-    std::ofstream manifest(dir + "/MANIFEST", std::ios::app);
+    std::ofstream manifest(dir + "/MANIFEST.000001", std::ios::app);
     manifest << "compression=zstd\n";
   }
   EXPECT_EQ(ShardedEngine::Restore(dir, &status), nullptr);
   EXPECT_FALSE(status.ok());
 
-  // A manifest listing the same shard file twice would double-count that
-  // shard's items; shard lines must be shard-NNNN.l1hh in index order.
+  // A manifest whose shard records repeat an index would double-count
+  // that shard's items; records must appear in index order.
   {
-    std::ofstream manifest(dir + "/MANIFEST", std::ios::trunc);
-    manifest << "l1hh-checkpoint v1\n"
+    std::ofstream manifest(dir + "/MANIFEST.000001", std::ios::trunc);
+    manifest << "l1hh-checkpoint v2\n"
              << "algorithm=misra_gries\n"
              << "num_shards=2\n"
-             << "shard=shard-0000.l1hh\n"
-             << "shard=shard-0000.l1hh\n";
+             << "generation=1\n"
+             << "shard=0 10 0 shard-0000.g000001.l1hh\n"
+             << "shard=0 10 0 shard-0000.g000001.l1hh\n";
   }
   EXPECT_EQ(ShardedEngine::Restore(dir, &status), nullptr);
   EXPECT_FALSE(status.ok());
@@ -460,8 +489,8 @@ TEST(EngineCheckpointEdgeTest, RestoreRejectsMissingAndCorruptCheckpoints) {
 }
 
 TEST(EngineCheckpointEdgeTest, RecheckpointIntoSameDirRestoresLatestState) {
-  // Checkpointing over an old checkpoint must atomically supersede it (the
-  // old manifest is invalidated before any shard file is rewritten).
+  // Checkpointing over an old checkpoint must supersede it: the new
+  // generation's manifest outranks the old one at Restore.
   const auto stream = TestStream();
   const size_t half = stream.size() / 2;
   ShardedEngineOptions opt;
@@ -509,9 +538,9 @@ TEST(EngineCheckpointEdgeTest, ForeignSeedShardFileIsRefusedAtRestore) {
   std::filesystem::remove_all(dir_b);
   ASSERT_TRUE(engine_a->Checkpoint(dir_a).ok());
   ASSERT_TRUE(engine_b->Checkpoint(dir_b).ok());
-  std::filesystem::copy_file(
-      dir_b + "/shard-0001.l1hh", dir_a + "/shard-0001.l1hh",
-      std::filesystem::copy_options::overwrite_existing);
+  std::filesystem::copy_file(dir_b + "/shard-0001.g000001.l1hh",
+                             dir_a + "/shard-0001.g000001.l1hh",
+                             std::filesystem::copy_options::overwrite_existing);
 
   EXPECT_EQ(ShardedEngine::Restore(dir_a, &status), nullptr);
   EXPECT_FALSE(status.ok());

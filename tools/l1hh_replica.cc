@@ -1,0 +1,536 @@
+// l1hh_replica — warm standby for an l1hh_serve primary.
+//
+// Connects to a primary's Unix socket, performs an initial full sync
+// ("replicate"), then tails incremental frames ("sync" every
+// --interval-ms): full snapshot containers for plain or heavily-rotated
+// shards, delta containers carrying only the changed window tail for
+// everything else.  Every frame is CRC-validated and clock-checked by
+// the snapshot layer before it touches replica state, so a torn or
+// reordered frame is a refused frame, never a silently wrong standby.
+//
+// The replica simultaneously serves queries on its OWN socket with the
+// same text protocol as the primary's read side — and keeps serving
+// after the primary dies (the failover story: answers reflect the last
+// completed sync, within the structures' eps guarantee of the primary's
+// final state, as tests/replication_test.cc and the CI smoke pin).
+//
+//   l1hh_replica --primary=/tmp/l1hh.sock --socket=/tmp/l1hh-replica.sock
+//       [--interval-ms=200]
+//
+// Replica-side protocol (one request per line):
+//
+//   heavy [phi]         heavy-hitter report from the replicated state
+//   estimate <item>     point estimate
+//   stats               "stats items=<primary items at last sync>
+//                       shards=<K> syncs=<completed syncs>
+//                       primary=<up|lost> algo=<name>"
+//   quit                close this connection
+//   shutdown            replies "ok", stops the replica process
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "io/snapshot.h"
+#include "summary/summary.h"
+#include "util/status.h"
+
+namespace {
+
+using namespace l1hh;
+
+struct ReplicaArgs {
+  std::string primary_path;
+  std::string socket_path;
+  uint64_t interval_ms = 200;
+  double default_phi = 0.05;
+};
+
+bool Parse(int argc, char** argv, ReplicaArgs* out) {
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    std::string value;
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s needs a value\n", key.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (value.empty()) {
+      std::fprintf(stderr, "flag %s needs a non-empty value\n", key.c_str());
+      return false;
+    }
+    if (key == "--primary") {
+      out->primary_path = value;
+    } else if (key == "--socket") {
+      out->socket_path = value;
+    } else if (key == "--interval-ms") {
+      out->interval_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--phi") {
+      out->default_phi = std::atof(value.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag: %s\nknown flags: --primary --socket "
+                   "--interval-ms --phi\n",
+                   key.c_str());
+      return false;
+    }
+  }
+  if (out->primary_path.empty() || out->socket_path.empty()) {
+    std::fprintf(stderr, "--primary=<sock> and --socket=<sock> are required\n");
+    return false;
+  }
+  return true;
+}
+
+// ---- Socket helpers (same wire idioms as l1hh_serve.cc) ----------------
+
+bool WriteAll(int fd, const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t wrote = ::write(fd, data + done, n - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(wrote);
+  }
+  return true;
+}
+
+bool WriteLine(int fd, const std::string& line) {
+  return WriteAll(fd, (line + "\n").c_str(), line.size() + 1);
+}
+
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  bool ReadLine(std::string* line) {
+    while (true) {
+      const size_t nl = buffer_.find('\n', pos_);
+      if (nl != std::string::npos) {
+        line->assign(buffer_, pos_, nl - pos_);
+        pos_ = nl + 1;
+        Compact();
+        return true;
+      }
+      if (!Fill()) return false;
+    }
+  }
+
+  bool ReadExact(char* out, size_t n) {
+    size_t got = 0;
+    const size_t buffered = std::min(n, buffer_.size() - pos_);
+    std::memcpy(out, buffer_.data() + pos_, buffered);
+    pos_ += buffered;
+    got += buffered;
+    Compact();
+    while (got < n) {
+      const ssize_t r = ::read(fd_, out + got, n - got);
+      if (r < 0 && errno == EINTR) continue;
+      if (r <= 0) return false;
+      got += static_cast<size_t>(r);
+    }
+    return true;
+  }
+
+ private:
+  bool Fill() {
+    Compact();
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) return true;
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  void Compact() {
+    if (pos_ == 0) return;
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+
+  int fd_;
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+// ---- Replicated state --------------------------------------------------
+
+// A frame above this is a protocol error, not a snapshot (same guard as
+// the primary's binary-batch bound).
+constexpr uint64_t kMaxFrameBytes = uint64_t{1} << 28;
+
+struct ReplicaState {
+  std::mutex mutex;
+  // Shard summaries, rebuilt/advanced frame by frame.  Queries merge them
+  // on demand behind the usual epoch cache.
+  std::vector<std::unique_ptr<Summary>> shards;
+  std::string algorithm;
+  uint64_t items = 0;  // primary's applied count at the last completed sync
+  uint64_t syncs = 0;  // completed replicate/sync rounds
+  std::atomic<bool> primary_up{false};
+
+  std::unique_ptr<Summary> merged;
+  uint64_t merged_epoch = ~uint64_t{0};
+
+  std::atomic<bool> stop{false};
+  int listen_fd = -1;
+};
+
+ReplicaState* g_state = nullptr;
+
+void OnSignal(int) {
+  if (g_state != nullptr) {
+    g_state->stop.store(true, std::memory_order_relaxed);
+    const int fd = g_state->listen_fd;
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+// The query view: the lone shard itself for K == 1 (supports
+// non-mergeable algorithms), otherwise an on-demand merge of all shards,
+// cached until the next completed sync.  Caller holds state.mutex.
+const Summary* QueryView(ReplicaState& state) {
+  if (state.shards.empty()) return nullptr;
+  // The handshake sizes the shard vector before the first round lands;
+  // until every slot has applied a full frame there is nothing to serve.
+  for (const auto& shard : state.shards) {
+    if (shard == nullptr) return nullptr;
+  }
+  if (state.shards.size() == 1) return state.shards[0].get();
+  if (state.merged != nullptr && state.merged_epoch == state.syncs) {
+    return state.merged.get();
+  }
+  Status status;
+  auto merged = MakeSummary(state.shards[0]->Name(),
+                            state.shards[0]->Options(), &status);
+  if (merged == nullptr) return nullptr;
+  for (const auto& shard : state.shards) {
+    if (!merged->Merge(*shard).ok()) return nullptr;
+  }
+  state.merged = std::move(merged);
+  state.merged_epoch = state.syncs;
+  return state.merged.get();
+}
+
+// ---- Replication client (primary-facing) -------------------------------
+
+// Reads frames off `reader` until the closing "rsync <items>", applying
+// each to the pending shard set; commits clocks only when the round
+// completes, so a half-received sync never shows up in queries.
+bool DrainSyncRound(ReplicaState& state, LineReader& reader,
+                    size_t expected_shards) {
+  std::string line;
+  std::vector<uint8_t> bytes;
+  while (reader.ReadLine(&line)) {
+    if (line.rfind("frame ", 0) == 0) {
+      char kind[8] = {0};
+      unsigned long long shard = 0;
+      unsigned long long nbytes = 0;
+      if (std::sscanf(line.c_str(), "frame %7s %llu %llu", kind, &shard,
+                      &nbytes) != 3 ||
+          shard >= expected_shards || nbytes > kMaxFrameBytes ||
+          (std::strcmp(kind, "full") != 0 &&
+           std::strcmp(kind, "delta") != 0)) {
+        std::fprintf(stderr, "replica: malformed frame header '%s'\n",
+                     line.c_str());
+        return false;
+      }
+      bytes.resize(static_cast<size_t>(nbytes));
+      if (!reader.ReadExact(reinterpret_cast<char*>(bytes.data()),
+                            bytes.size())) {
+        return false;
+      }
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (std::strcmp(kind, "full") == 0) {
+        Status status;
+        auto summary = LoadSummary(bytes, &status);
+        if (summary == nullptr) {
+          std::fprintf(stderr, "replica: refused full frame for shard %llu: %s\n",
+                       shard, status.ToString().c_str());
+          return false;
+        }
+        state.shards[static_cast<size_t>(shard)] = std::move(summary);
+      } else {
+        Summary* target = state.shards[static_cast<size_t>(shard)].get();
+        if (target == nullptr) {
+          std::fprintf(stderr,
+                       "replica: delta frame for shard %llu before any "
+                       "full frame\n",
+                       shard);
+          return false;
+        }
+        const Status applied = ApplySummaryDelta(bytes, target);
+        if (!applied.ok()) {
+          std::fprintf(stderr, "replica: refused delta frame for shard %llu: %s\n",
+                       shard, applied.ToString().c_str());
+          return false;
+        }
+      }
+      continue;
+    }
+    if (line.rfind("rsync ", 0) == 0) {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.items = std::strtoull(line.c_str() + 6, nullptr, 10);
+      ++state.syncs;
+      return true;
+    }
+    std::fprintf(stderr, "replica: unexpected line from primary: '%s'\n",
+                 line.c_str());
+    return false;
+  }
+  return false;  // primary closed mid-round; nothing was committed
+}
+
+// Connects, full-syncs, then tails incremental syncs until the primary
+// dies or the replica is told to stop.  Leaves the last completed sync
+// in `state` either way — failover keeps serving it.
+void ReplicationLoop(ReplicaState& state, const ReplicaArgs& args) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("replica: socket");
+    return;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, args.primary_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  // The primary may still be binding its socket (a replica is typically
+  // started right beside it); retry briefly before declaring it gone.
+  int rc = -1;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc == 0 || state.stop.load(std::memory_order_relaxed)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (rc != 0) {
+    std::fprintf(stderr, "replica: cannot connect to primary '%s': %s\n",
+                 args.primary_path.c_str(), std::strerror(errno));
+    ::close(fd);
+    return;
+  }
+
+  LineReader reader(fd);
+  std::string line;
+  if (!WriteLine(fd, "replicate") || !reader.ReadLine(&line) ||
+      line.rfind("rconf ", 0) != 0) {
+    std::fprintf(stderr, "replica: bad replicate handshake ('%s')\n",
+                 line.c_str());
+    ::close(fd);
+    return;
+  }
+  unsigned long long shards = 0;
+  char algo[128] = {0};
+  if (std::sscanf(line.c_str(), "rconf shards=%llu algo=%127s", &shards,
+                  algo) != 2 ||
+      shards == 0 || shards > (1u << 16)) {
+    std::fprintf(stderr, "replica: malformed rconf '%s'\n", line.c_str());
+    ::close(fd);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.shards.resize(static_cast<size_t>(shards));
+    state.algorithm = algo;
+  }
+  if (!DrainSyncRound(state, reader, static_cast<size_t>(shards))) {
+    ::close(fd);
+    return;
+  }
+  state.primary_up.store(true, std::memory_order_relaxed);
+  std::printf("synced %s shards=%llu\n", algo, shards);
+  std::fflush(stdout);
+
+  while (!state.stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.interval_ms));
+    if (state.stop.load(std::memory_order_relaxed)) break;
+    if (!WriteLine(fd, "sync") ||
+        !DrainSyncRound(state, reader, static_cast<size_t>(shards))) {
+      break;  // primary gone: stop syncing, keep serving (failover)
+    }
+  }
+  state.primary_up.store(false, std::memory_order_relaxed);
+  ::close(fd);
+}
+
+// ---- Query server (client-facing) --------------------------------------
+
+void HandleQueryConnection(ReplicaState* state, const ReplicaArgs* args,
+                           int fd) {
+  LineReader reader(fd);
+  std::string line;
+  while (reader.ReadLine(&line)) {
+    if (line.empty()) continue;
+    if (line == "heavy" || line.rfind("heavy ", 0) == 0) {
+      double phi = args->default_phi;
+      if (line.size() > 6) {
+        phi = std::atof(line.c_str() + 6);
+        if (phi <= 0) {
+          WriteLine(fd, "err phi must be > 0");
+          continue;
+        }
+      }
+      std::lock_guard<std::mutex> lock(state->mutex);
+      const Summary* view = QueryView(*state);
+      if (view == nullptr) {
+        WriteLine(fd, "err replica has no synced state yet");
+        continue;
+      }
+      const std::vector<ItemEstimate> report = view->HeavyHitters(phi);
+      std::string reply = "hh " + std::to_string(report.size());
+      char entry[64];
+      for (const ItemEstimate& hh : report) {
+        std::snprintf(entry, sizeof(entry), "\n%llu %.17g",
+                      static_cast<unsigned long long>(hh.item), hh.estimate);
+        reply += entry;
+      }
+      WriteLine(fd, reply);
+      continue;
+    }
+    if (line.rfind("estimate ", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long long item = std::strtoull(line.c_str() + 9, &end, 10);
+      if (end == line.c_str() + 9) {
+        WriteLine(fd, "err malformed item id in '" + line + "'");
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(state->mutex);
+      const Summary* view = QueryView(*state);
+      if (view == nullptr) {
+        WriteLine(fd, "err replica has no synced state yet");
+        continue;
+      }
+      char reply[64];
+      std::snprintf(reply, sizeof(reply), "est %llu %.17g", item,
+                    view->Estimate(static_cast<uint64_t>(item)));
+      WriteLine(fd, reply);
+      continue;
+    }
+    if (line == "stats") {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      WriteLine(fd,
+                "stats items=" + std::to_string(state->items) +
+                    " shards=" + std::to_string(state->shards.size()) +
+                    " syncs=" + std::to_string(state->syncs) + " primary=" +
+                    (state->primary_up.load(std::memory_order_relaxed)
+                         ? "up"
+                         : "lost") +
+                    " algo=" + state->algorithm);
+      continue;
+    }
+    if (line == "quit") break;
+    if (line == "shutdown") {
+      WriteLine(fd, "ok");
+      state->stop.store(true, std::memory_order_relaxed);
+      ::shutdown(state->listen_fd, SHUT_RDWR);
+      break;
+    }
+    WriteLine(fd, "err unknown request '" + line + "'");
+  }
+}
+
+int RunReplica(const ReplicaArgs& args) {
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 2;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (args.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "--socket path too long (max %zu bytes)\n",
+                 sizeof(addr.sun_path) - 1);
+    return 2;
+  }
+  std::strncpy(addr.sun_path, args.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(args.socket_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    std::perror("bind");
+    return 2;
+  }
+  if (::listen(listen_fd, 64) != 0) {
+    std::perror("listen");
+    return 2;
+  }
+
+  ReplicaState state;
+  state.listen_fd = listen_fd;
+  g_state = &state;
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  // The readiness line tests wait for (before the first sync completes;
+  // queries until then answer "err replica has no synced state yet").
+  std::printf("listening %s\n", args.socket_path.c_str());
+  std::fflush(stdout);
+
+  std::thread replication(
+      [&state, &args] { ReplicationLoop(state, args); });
+
+  std::vector<std::thread> connections;
+  std::vector<int> conn_fds;
+  std::mutex conn_mutex;
+  while (!state.stop.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex);
+      conn_fds.push_back(fd);
+    }
+    connections.emplace_back(
+        [&state, &args, fd] { HandleQueryConnection(&state, &args, fd); });
+  }
+
+  state.stop.store(true, std::memory_order_relaxed);
+  replication.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex);
+    for (const int fd : conn_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& thread : connections) thread.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex);
+    for (const int fd : conn_fds) ::close(fd);
+  }
+  ::close(listen_fd);
+  ::unlink(args.socket_path.c_str());
+  std::printf("replicated %llu items over %llu syncs\n",
+              static_cast<unsigned long long>(state.items),
+              static_cast<unsigned long long>(state.syncs));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ReplicaArgs args;
+  if (!Parse(argc, argv, &args)) return 2;
+  return RunReplica(args);
+}

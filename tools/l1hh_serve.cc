@@ -24,8 +24,25 @@
 //   estimate <item>     point estimate; replies "est <item> <value>"
 //   stats               replies "stats items=.. shards=.. threads=..
 //                       producers=.. algo=.."
+//   replicate           start (or restart) replication on this
+//                       connection: replies "rconf shards=<K> algo=<A>",
+//                       then one full frame per shard, then
+//                       "rsync <items>"
+//   sync                incremental replication step: one frame per
+//                       shard that changed since this connection's last
+//                       replicate/sync (delta frames for windowed
+//                       shards whose tail still fits the ring, full
+//                       frames otherwise; clean shards send nothing),
+//                       then "rsync <items>"
 //   quit                close this connection
 //   shutdown            replies "ok", stops the server process
+//
+// A frame is "frame <full|delta> <shard> <nbytes>\n" followed by exactly
+// nbytes of raw snapshot ("L1HHSNAP") or delta ("L1HHDELT") container
+// bytes (src/io/snapshot.h) — self-describing and CRC-sealed, so the
+// follower (tools/l1hh_replica.cc) validates each frame before applying
+// it.  Replication baselines are per-connection: a reconnecting follower
+// just sends "replicate" again and gets a fresh full sync.
 //
 // Anything else gets "err <reason>".  A connection that only queries
 // never claims a producer slot; when all --producers slots are taken,
@@ -276,6 +293,9 @@ void HandleConnection(Server* server, int fd) {
   ShardedEngine& engine = *server->engine;
   std::string line;
   std::vector<uint64_t> batch;
+  // Per-connection replication baselines: what the follower on the other
+  // end of THIS socket holds per shard (empty until "replicate").
+  std::vector<ShardBaseline> replica_baselines;
   auto ensure_producer = [&]() -> bool {
     if (producer != nullptr) return true;
     Status status;
@@ -363,6 +383,50 @@ void HandleConnection(Server* server, int fd) {
                     " threads=" + std::to_string(engine.num_threads()) +
                     " producers=" + std::to_string(engine.active_producers()) +
                     " algo=" + engine.algorithm());
+      continue;
+    }
+    if (line == "replicate" || line == "sync") {
+      // "sync" before any "replicate" degenerates to a cold full sync:
+      // the connection has no baselines, so every shard ships full.
+      const bool cold = line == "replicate" || replica_baselines.empty();
+      std::vector<ShardFrame> frames;
+      uint64_t total = 0;
+      const Status captured = engine.CaptureFrames(
+          cold ? std::vector<ShardBaseline>{} : replica_baselines,
+          ShardedEngine::kMaxDeltaChain, &frames, &total);
+      if (!captured.ok()) {
+        WriteLine(fd, "err " + captured.ToString());
+        continue;
+      }
+      if (cold) {
+        replica_baselines.assign(engine.num_shards(), ShardBaseline{});
+        if (!WriteLine(fd, "rconf shards=" +
+                               std::to_string(engine.num_shards()) +
+                               " algo=" + engine.algorithm())) {
+          break;
+        }
+      }
+      bool io_ok = true;
+      for (const ShardFrame& frame : frames) {
+        const std::string header =
+            std::string("frame ") + (frame.delta ? "delta" : "full") + " " +
+            std::to_string(frame.shard) + " " +
+            std::to_string(frame.bytes.size());
+        if (!WriteLine(fd, header) ||
+            !WriteAll(fd, reinterpret_cast<const char*>(frame.bytes.data()),
+                      frame.bytes.size())) {
+          io_ok = false;
+          break;
+        }
+        // The follower now holds this state; the next sync diffs
+        // against it.
+        ShardBaseline& baseline = replica_baselines[frame.shard];
+        baseline.chain = frame.delta ? baseline.chain + 1 : 0;
+        baseline.valid = true;
+        baseline.applied = frame.applied;
+        baseline.rotations = frame.rotations;
+      }
+      if (!io_ok || !WriteLine(fd, "rsync " + std::to_string(total))) break;
       continue;
     }
     if (line == "quit") break;
