@@ -9,11 +9,13 @@
 // requires actual cores: on a 1-core machine the engine column measures
 // the overhead of the ring + drain threads, not the scale-out.
 //
-// Doubles as the batch-vs-scalar regression gate (ISSUE 2 satellite): the
-// process exits non-zero if any algorithm's UpdateBatch is slower than
-// its scalar Update loop beyond a 15% noise allowance, so a future
-// adapter change that quietly reverts a tight batch loop fails CI's
-// bench stage instead of landing silently.
+// This binary is informational only and always exits 0.  The
+// batch-vs-scalar regression GATE lives in tests/batch_perf_test.cc
+// (ctest label "perf", RUN_SERIAL, tolerance tunable via
+// L1HH_PERF_TOLERANCE): the retry-once heuristic this bench used to
+// carry still flaked on saturated CI runners, and a gate that cries
+// wolf gets ignored.  A slow batch loop here is worth reading, not
+// worth failing the bench stage over.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -154,37 +156,19 @@ int main(int argc, char** argv) {
   std::printf("%-20s %10s %10s %8s %18s %18s\n", "algorithm", "scalar",
               "batch", "b/s", "engine K=2", "engine K=4");
 
-  bool batch_regression = false;
   for (const auto& name : RegisteredSummaryNames()) {
     // Alternate scalar/batch and keep the min of three reps: on shared or
     // frequency-scaled machines the first timed loop runs turbo-boosted
     // and later ones throttled (or a noisy neighbor steals a slice),
-    // which otherwise skews a single-measurement ratio — and the
-    // regression gate — by 10-15%.
+    // which otherwise skews a single-measurement ratio by 10-15%.
     double scalar_ns = 0;
     double batch_ns = 0;
     MeasureScalarVsBatch(name, options, stream, scalar_ns, batch_ns);
-    // Regression gate: batch must not be slower than scalar (15% noise
-    // allowance; the tight loops should win, never lose).  A failed gate
-    // gets ONE full re-measurement before it counts: min-of-3 absorbs
-    // frequency scaling, but a CI neighbor can still steal a whole
-    // measurement window, and a gate that cries wolf gets ignored.
-    if (batch_ns > 1.15 * scalar_ns) {
-      MeasureScalarVsBatch(name, options, stream, scalar_ns, batch_ns);
-    }
     std::printf("%-20s %10.1f %10.1f %7.2fx", name.c_str(), scalar_ns,
                 batch_ns, scalar_ns / batch_ns);
     PrintEngineCell(TimeEngine(name, options, stream, 2), batch_ns);
     PrintEngineCell(TimeEngine(name, options, stream, 4), batch_ns);
     std::printf("\n");
-    if (batch_ns > 1.15 * scalar_ns) {
-      std::fprintf(stderr,
-                   "REGRESSION: %s UpdateBatch (%.1f ns) slower than "
-                   "scalar Update (%.1f ns) in two independent "
-                   "min-of-3 measurements\n",
-                   name.c_str(), batch_ns, scalar_ns);
-      batch_regression = true;
-    }
   }
 
   // The paper's algorithms through the engine: bdw_optimal is the
@@ -217,5 +201,5 @@ int main(int argc, char** argv) {
                 "(%.2fx)\n",
                 name, p1, p2, p1 / p2, p4, p1 / p4);
   }
-  return batch_regression ? 1 : 0;
+  return 0;
 }

@@ -50,6 +50,13 @@ class BdwSimpleSummary : public Summary {
     for (const uint64_t x : items) impl_.Insert(x);
   }
 
+  // Sequential by necessity: Insert draws from the sampling PRNG, so the
+  // column loop must consume randomness in exactly the scalar order.  The
+  // win over the default is amortized virtual dispatch only.
+  void UpdateColumn(const uint64_t* items, size_t n) override {
+    for (size_t i = 0; i < n; ++i) impl_.Insert(items[i]);
+  }
+
   double Estimate(uint64_t item) const override {
     return impl_.EstimateCount(item);
   }
@@ -135,6 +142,13 @@ class BdwOptimalSummary : public Summary {
 
   void UpdateBatch(std::span<const uint64_t> items) override {
     for (const uint64_t x : items) impl_.Insert(x);
+  }
+
+  // Algorithm 2's Insert consumes PRNG draws (sampling + accelerated-
+  // counter epochs), so the column loop stays strictly sequential; the
+  // saving over the default path is the per-item virtual call.
+  void UpdateColumn(const uint64_t* items, size_t n) override {
+    for (size_t i = 0; i < n; ++i) impl_.Insert(items[i]);
   }
 
   double Estimate(uint64_t item) const override {

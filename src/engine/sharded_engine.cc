@@ -296,6 +296,73 @@ void ShardedEngine::Producer::UpdateBatch(std::span<const uint64_t> items) {
       });
 }
 
+void ShardedEngine::Producer::UpdateColumn(const uint64_t* items, size_t n) {
+  if (!engine_->windowed()) {
+    PartitionPush(items, n);
+    return;
+  }
+  engine_->IngestWindowed(n, [this, items](uint64_t offset, uint64_t count) {
+    PartitionPush(items + offset, static_cast<size_t>(count));
+  });
+}
+
+void ShardedEngine::Producer::PartitionPush(const uint64_t* items, size_t n) {
+  ShardedEngine& e = *engine_;
+  const size_t num_shards = e.shards_.size();
+  if (num_shards == 1) {
+    e.PushBlocking(slot_, 0, items, n);
+    return;
+  }
+  // Tile so the scratch stays cache-resident; each tile makes one
+  // contiguous ring push per occupied shard instead of one staging
+  // append (+ occasional flush) per item.
+  constexpr size_t kTile = 8192;
+  part_shards_.resize(std::min(n, kTile));
+  part_scratch_.resize(std::min(n, kTile));
+  part_starts_.assign(num_shards + 1, 0);
+  part_cursors_.assign(num_shards, 0);
+  // The sweep below must agree with ShardOf (Mix64 then mod) bit for
+  // bit — the differential test compares this route's shard streams
+  // against the per-item scatter route.  For power-of-two K the modulo
+  // reduces to a mask, which keeps the hot loop free of the 64-bit
+  // divide and lets the compiler pipeline the mix across items.
+  const bool pow2 = (num_shards & (num_shards - 1)) == 0;
+  const uint64_t mask = num_shards - 1;
+  for (size_t base = 0; base < n; base += kTile) {
+    const size_t take = std::min(kTile, n - base);
+    // Pass 1: shard ids (a pure Mix64 sweep) plus the per-shard
+    // histogram.
+    std::fill(part_starts_.begin(), part_starts_.end(), 0);
+    if (pow2) {
+      for (size_t i = 0; i < take; ++i) {
+        const auto s = static_cast<uint32_t>(Mix64(items[base + i]) & mask);
+        part_shards_[i] = s;
+        ++part_starts_[s + 1];
+      }
+    } else {
+      for (size_t i = 0; i < take; ++i) {
+        const auto s =
+            static_cast<uint32_t>(Mix64(items[base + i]) % num_shards);
+        part_shards_[i] = s;
+        ++part_starts_[s + 1];
+      }
+    }
+    for (size_t s = 1; s <= num_shards; ++s) {
+      part_starts_[s] += part_starts_[s - 1];
+    }
+    // Pass 2: scatter into contiguous per-shard runs.
+    for (size_t s = 0; s < num_shards; ++s) part_cursors_[s] = part_starts_[s];
+    for (size_t i = 0; i < take; ++i) {
+      part_scratch_[part_cursors_[part_shards_[i]]++] = items[base + i];
+    }
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t count = part_starts_[s + 1] - part_starts_[s];
+      if (count == 0) continue;
+      e.PushBlocking(slot_, s, part_scratch_.data() + part_starts_[s], count);
+    }
+  }
+}
+
 // ---- Construction -----------------------------------------------------
 
 ShardedEngine::Shard::Shard(size_t producer_slots, size_t ring_capacity) {
@@ -446,7 +513,10 @@ void ShardedEngine::WorkerLoop(size_t first_shard, size_t last_shard) {
         const size_t n = ring->PopBatch(batch.data(), batch.size());
         if (n == 0) continue;
         drained += n;
-        shard.summary->UpdateBatch({batch.data(), n});
+        // Columnar drain: same state as UpdateBatch (the differential
+        // battery pins the equivalence) but the adapters' slice-tuned
+        // loops — count_min runs its hash pre-pass per drained batch.
+        shard.summary->UpdateColumn(batch.data(), n);
         // Release-publish the summary mutations; Flush acquires.
         shard.applied.fetch_add(n, std::memory_order_release);
       }
@@ -587,6 +657,10 @@ void ShardedEngine::Update(uint64_t item, uint64_t weight) {
 
 void ShardedEngine::UpdateBatch(std::span<const uint64_t> items) {
   controller_->UpdateBatch(items);
+}
+
+void ShardedEngine::UpdateColumn(const uint64_t* items, size_t n) {
+  controller_->UpdateColumn(items, n);
 }
 
 void ShardedEngine::ScatterPush(size_t slot,

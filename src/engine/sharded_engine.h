@@ -165,6 +165,13 @@ class ShardedEngine {
     /// Enqueues a batch, scatter-partitioned to the owning shards.
     void UpdateBatch(std::span<const uint64_t> items);
 
+    /// Columnar ingest: routes the slice with a per-batch partition pass
+    /// (tiled shard-id sweep -> counting prefix sum -> scatter into
+    /// contiguous per-shard runs, one ring push per shard per tile)
+    /// instead of UpdateBatch's per-item staging dispatch.  Same blocking
+    /// behavior and windowed-rotation gating as UpdateBatch.
+    void UpdateColumn(const uint64_t* items, size_t n);
+
     /// This handle's slot index in [1, max_producers).
     size_t slot() const { return slot_; }
 
@@ -172,10 +179,19 @@ class ShardedEngine {
     friend class ShardedEngine;
     Producer(ShardedEngine* engine, size_t slot);
 
+    // The non-windowed UpdateColumn body (windowed ingest calls it per
+    // rotation chunk): partition one slice and push each shard's run.
+    void PartitionPush(const uint64_t* items, size_t n);
+
     ShardedEngine* engine_;
     size_t slot_;
     // Per-shard scatter buffers, same role as the controller's.
     std::vector<std::vector<uint64_t>> staging_;
+    // UpdateColumn partition-pass scratch (tile-sized, slot-local).
+    std::vector<uint32_t> part_shards_;
+    std::vector<size_t> part_starts_;
+    std::vector<size_t> part_cursors_;
+    std::vector<uint64_t> part_scratch_;
   };
 
   /// Validates options, builds the shard summaries, and starts the worker
@@ -208,6 +224,11 @@ class ShardedEngine {
   /// Enqueues a batch on slot 0, scatter-partitioned to the owning
   /// shards.
   void UpdateBatch(std::span<const uint64_t> items);
+
+  /// Columnar ingest on slot 0: the partition-pass route (see
+  /// Producer::UpdateColumn).  Same single-controller-thread contract as
+  /// Update/UpdateBatch.
+  void UpdateColumn(const uint64_t* items, size_t n);
 
   /// Blocks until every item enqueued BEFORE the call (summed over all
   /// producer slots with acquire ordering) has been applied to its shard

@@ -1,0 +1,392 @@
+#include "group/grouped_summary.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/random.h"
+
+namespace l1hh {
+
+namespace {
+
+// Per-slot overhead a live group charges beyond its summary: the arena
+// node plus its pointer in the open-addressing table.
+constexpr size_t kEntryOverheadBytes =
+    sizeof(void*) + 2 * sizeof(void*) + 4 * sizeof(uint64_t) + sizeof(size_t);
+
+constexpr size_t kInitialSlots = 16;
+
+}  // namespace
+
+// ---- Arena ------------------------------------------------------------
+
+GroupedSummary::GroupEntry* GroupedSummary::Arena::Acquire() {
+  if (!free_list_.empty()) {
+    GroupEntry* entry = free_list_.back();
+    free_list_.pop_back();
+    return entry;
+  }
+  if (blocks_.empty() || used_in_last_block_ == kBlockEntries) {
+    blocks_.emplace_back(new GroupEntry[kBlockEntries]);
+    used_in_last_block_ = 0;
+  }
+  return &blocks_.back()[used_in_last_block_++];
+}
+
+void GroupedSummary::Arena::Release(GroupEntry* entry) {
+  // Drop the summary now (it owns real memory); the node itself stays in
+  // its block and is recycled through the free list.
+  entry->summary.reset();
+  entry->lru_prev = entry->lru_next = nullptr;
+  free_list_.push_back(entry);
+}
+
+size_t GroupedSummary::Arena::allocated_bytes() const {
+  return blocks_.size() * kBlockEntries * sizeof(GroupEntry) +
+         free_list_.capacity() * sizeof(GroupEntry*);
+}
+
+// ---- Construction -----------------------------------------------------
+
+GroupedSummary::GroupedSummary(const GroupedSummaryOptions& options)
+    : options_(options), slots_(kInitialSlots, nullptr) {}
+
+GroupedSummary::~GroupedSummary() = default;
+
+std::unique_ptr<GroupedSummary> GroupedSummary::Create(
+    const GroupedSummaryOptions& options, Status* status) {
+  // Probe the factory once so a typo'd algorithm fails at construction,
+  // not on the first Update.
+  Status make_status;
+  auto probe = MakeSummary(options.algorithm, options.summary, &make_status);
+  if (probe == nullptr) {
+    if (status != nullptr) *status = std::move(make_status);
+    return nullptr;
+  }
+  if (status != nullptr) *status = Status::Ok();
+  return std::unique_ptr<GroupedSummary>(new GroupedSummary(options));
+}
+
+std::unique_ptr<Summary> GroupedSummary::MakeGroupSummary(
+    uint64_t group) const {
+  SummaryOptions per_group = options_.summary;
+  // Independent hash draws per group, reconstructible from (base seed,
+  // key) alone — a reloaded snapshot re-derives the same functions.
+  per_group.seed = Mix64(options_.summary.seed ^ Mix64(group));
+  return MakeSummary(options_.algorithm, per_group);
+}
+
+// ---- Table ------------------------------------------------------------
+
+GroupedSummary::GroupEntry* GroupedSummary::FindEntry(uint64_t group) const {
+  const size_t mask = slots_.size() - 1;
+  size_t idx = static_cast<size_t>(Mix64(group)) & mask;
+  while (slots_[idx] != nullptr) {
+    GroupEntry* slot = slots_[idx];
+    if (slot != Tombstone() && slot->key == group) return slot;
+    idx = (idx + 1) & mask;
+  }
+  return nullptr;
+}
+
+void GroupedSummary::InsertSlot(GroupEntry* entry) {
+  const size_t mask = slots_.size() - 1;
+  size_t idx = static_cast<size_t>(Mix64(entry->key)) & mask;
+  while (IsLive(slots_[idx])) idx = (idx + 1) & mask;
+  if (slots_[idx] == Tombstone()) --tombstones_;
+  slots_[idx] = entry;
+}
+
+void GroupedSummary::MaybeGrowTable() {
+  // Rehash when live + tombstones pass 70% load; tombstones are dropped
+  // by the rebuild, so heavy eviction churn cannot degrade probes.
+  if ((live_ + tombstones_ + 1) * 10 <= slots_.size() * 7) return;
+  std::vector<GroupEntry*> old = std::move(slots_);
+  size_t capacity = std::max(kInitialSlots, old.size());
+  if (live_ * 10 > capacity * 5) capacity *= 2;
+  slots_.assign(capacity, nullptr);
+  tombstones_ = 0;
+  for (GroupEntry* slot : old) {
+    if (IsLive(slot)) InsertSlot(slot);
+  }
+}
+
+GroupedSummary::GroupEntry* GroupedSummary::CreateEntry(uint64_t group,
+                                                        bool at_tail) {
+  MaybeGrowTable();
+  GroupEntry* entry = arena_.Acquire();
+  entry->key = group;
+  entry->summary = MakeGroupSummary(group);
+  entry->items = 0;
+  entry->uncharged_items = 0;
+  entry->charged_bytes = 0;
+  entry->lru_prev = entry->lru_next = nullptr;
+  InsertSlot(entry);
+  ++live_;
+  if (at_tail) {
+    LinkTail(entry);
+  } else {
+    LinkHead(entry);
+  }
+  RefreshCharge(entry);
+  return entry;
+}
+
+GroupedSummary::GroupEntry* GroupedSummary::FindOrCreate(uint64_t group) {
+  GroupEntry* entry = FindEntry(group);
+  return entry != nullptr ? entry : CreateEntry(group, /*at_tail=*/false);
+}
+
+// ---- LRU --------------------------------------------------------------
+
+void GroupedSummary::LinkHead(GroupEntry* entry) {
+  entry->lru_prev = nullptr;
+  entry->lru_next = lru_head_;
+  if (lru_head_ != nullptr) lru_head_->lru_prev = entry;
+  lru_head_ = entry;
+  if (lru_tail_ == nullptr) lru_tail_ = entry;
+}
+
+void GroupedSummary::LinkTail(GroupEntry* entry) {
+  entry->lru_next = nullptr;
+  entry->lru_prev = lru_tail_;
+  if (lru_tail_ != nullptr) lru_tail_->lru_next = entry;
+  lru_tail_ = entry;
+  if (lru_head_ == nullptr) lru_head_ = entry;
+}
+
+void GroupedSummary::Unlink(GroupEntry* entry) {
+  if (entry->lru_prev != nullptr) {
+    entry->lru_prev->lru_next = entry->lru_next;
+  } else {
+    lru_head_ = entry->lru_next;
+  }
+  if (entry->lru_next != nullptr) {
+    entry->lru_next->lru_prev = entry->lru_prev;
+  } else {
+    lru_tail_ = entry->lru_prev;
+  }
+  entry->lru_prev = entry->lru_next = nullptr;
+}
+
+void GroupedSummary::MoveToHead(GroupEntry* entry) {
+  if (lru_head_ == entry) return;
+  Unlink(entry);
+  LinkHead(entry);
+}
+
+// ---- Budget -----------------------------------------------------------
+
+void GroupedSummary::RefreshCharge(GroupEntry* entry) {
+  charged_bytes_ -= entry->charged_bytes;
+  entry->charged_bytes =
+      kEntryOverheadBytes + entry->summary->MemoryUsageBytes();
+  charged_bytes_ += entry->charged_bytes;
+  entry->uncharged_items = 0;
+}
+
+void GroupedSummary::AfterIngest(GroupEntry* entry, uint64_t n) {
+  items_processed_ += n;
+  entry->items += n;
+  entry->uncharged_items += n;
+  MoveToHead(entry);
+  if (entry->uncharged_items >= kChargeInterval) RefreshCharge(entry);
+  EnforceBudget();
+}
+
+void GroupedSummary::EnforceBudget() {
+  while (options_.max_groups > 0 && live_ > options_.max_groups) {
+    EvictTail();
+  }
+  // Never evict the last group: the just-updated entry is at the head,
+  // and a budget smaller than one summary would otherwise thrash.
+  while (options_.memory_budget_bytes > 0 && live_ > 1 &&
+         charged_bytes_ > options_.memory_budget_bytes) {
+    EvictTail();
+  }
+}
+
+void GroupedSummary::EvictTail() {
+  GroupEntry* victim = lru_tail_;
+  if (victim == nullptr) return;
+  // Tombstone the slot (probe chains through it must stay intact).
+  const size_t mask = slots_.size() - 1;
+  size_t idx = static_cast<size_t>(Mix64(victim->key)) & mask;
+  while (slots_[idx] != victim) idx = (idx + 1) & mask;
+  slots_[idx] = Tombstone();
+  ++tombstones_;
+  Unlink(victim);
+  charged_bytes_ -= victim->charged_bytes;
+  ++evicted_groups_;
+  evicted_items_ += victim->items;
+  --live_;
+  arena_.Release(victim);
+}
+
+void GroupedSummary::Clear() {
+  while (lru_tail_ != nullptr) {
+    GroupEntry* victim = lru_tail_;
+    Unlink(victim);
+    arena_.Release(victim);
+  }
+  slots_.assign(kInitialSlots, nullptr);
+  live_ = 0;
+  tombstones_ = 0;
+  charged_bytes_ = 0;
+}
+
+// ---- Ingest -----------------------------------------------------------
+
+void GroupedSummary::Update(uint64_t group, uint64_t item) {
+  GroupEntry* entry = FindOrCreate(group);
+  entry->summary->Update(item, 1);
+  AfterIngest(entry, 1);
+}
+
+void GroupedSummary::UpdateColumn(const uint64_t* groups,
+                                  const uint64_t* items, size_t n) {
+  size_t i = 0;
+  while (i < n) {
+    // Run detection: sorted or clustered group columns (the common
+    // output of an upstream GROUP BY or per-tenant batching) collapse to
+    // one lookup + one columnar inner update per run.
+    size_t j = i + 1;
+    while (j < n && groups[j] == groups[i]) ++j;
+    GroupEntry* entry = FindOrCreate(groups[i]);
+    entry->summary->UpdateColumn(items + i, j - i);
+    AfterIngest(entry, j - i);
+    i = j;
+  }
+}
+
+// ---- Queries ----------------------------------------------------------
+
+const Summary* GroupedSummary::Find(uint64_t group) const {
+  const GroupEntry* entry = FindEntry(group);
+  return entry != nullptr ? entry->summary.get() : nullptr;
+}
+
+double GroupedSummary::Estimate(uint64_t group, uint64_t item) const {
+  const Summary* summary = Find(group);
+  return summary != nullptr ? summary->Estimate(item) : 0.0;
+}
+
+std::vector<ItemEstimate> GroupedSummary::HeavyHitters(uint64_t group,
+                                                       double phi) const {
+  const Summary* summary = Find(group);
+  return summary != nullptr ? summary->HeavyHitters(phi)
+                            : std::vector<ItemEstimate>{};
+}
+
+std::vector<GroupedSummary::GroupStats> GroupedSummary::TopGroups(
+    size_t k) const {
+  std::vector<GroupStats> out;
+  out.reserve(live_);
+  for (const GroupEntry* e = lru_head_; e != nullptr; e = e->lru_next) {
+    out.push_back({e->key, e->items});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GroupStats& a, const GroupStats& b) {
+              return a.items > b.items ||
+                     (a.items == b.items && a.group < b.group);
+            });
+  if (k != 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<uint64_t> GroupedSummary::GroupKeys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(live_);
+  for (const GroupEntry* e = lru_head_; e != nullptr; e = e->lru_next) {
+    keys.push_back(e->key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+size_t GroupedSummary::MemoryUsageBytes() const {
+  return charged_bytes_ + slots_.size() * sizeof(GroupEntry*) +
+         arena_.allocated_bytes();
+}
+
+// ---- Snapshot payload -------------------------------------------------
+
+void GroupedSummary::SaveGroups(BitWriter& out) const {
+  out.WriteCounter(items_processed_);
+  out.WriteCounter(evicted_groups_);
+  out.WriteCounter(evicted_items_);
+  out.WriteCounter(live_);
+  // MRU -> LRU: LoadGroups appends each entry at the tail, so the
+  // reloaded recency order (and therefore the next eviction victim) is
+  // exactly the saved one.
+  for (const GroupEntry* e = lru_head_; e != nullptr; e = e->lru_next) {
+    out.WriteU64(e->key);
+    out.WriteCounter(e->items);
+    BitWriter payload;
+    const Status saved = e->summary->SaveTo(payload);
+    if (!saved.ok()) {
+      // Create() verified the algorithm; a non-snapshot structure inside
+      // a grouped save surfaces as a zero-length payload that LoadGroups
+      // will reject loudly rather than silently drop.
+      out.WriteCounter(0);
+      continue;
+    }
+    out.WriteCounter(payload.size_bits());
+    for (size_t bit = 0; bit < payload.size_bits(); bit += 64) {
+      const int nbits =
+          static_cast<int>(std::min<size_t>(64, payload.size_bits() - bit));
+      out.WriteBits(payload.words()[bit / 64] &
+                        (nbits == 64 ? ~uint64_t{0}
+                                     : ((uint64_t{1} << nbits) - 1)),
+                    nbits);
+    }
+  }
+}
+
+Status GroupedSummary::LoadGroups(BitReader& in) {
+  Clear();
+  items_processed_ = in.ReadCounter();
+  evicted_groups_ = in.ReadCounter();
+  evicted_items_ = in.ReadCounter();
+  const uint64_t groups = in.CheckedCount(in.ReadCounter());
+  for (uint64_t g = 0; g < groups && !in.overflow(); ++g) {
+    const uint64_t key = in.ReadU64();
+    const uint64_t items = in.ReadCounter();
+    const uint64_t payload_bits = in.ReadCounter();
+    if (in.overflow()) break;
+    if (payload_bits == 0 || payload_bits > in.remaining_bits()) {
+      Clear();
+      return Status::Corruption(
+          "grouped snapshot: group payload length exceeds the container");
+    }
+    if (FindEntry(key) != nullptr) {
+      Clear();
+      return Status::Corruption(
+          "grouped snapshot: duplicate group key in payload");
+    }
+    GroupEntry* entry = CreateEntry(key, /*at_tail=*/true);
+    const size_t before = in.position_bits();
+    const Status loaded = entry->summary->LoadFrom(in);
+    if (!loaded.ok()) {
+      Clear();
+      return loaded;
+    }
+    if (in.position_bits() - before != payload_bits) {
+      // A payload that parses but with the wrong length means the framing
+      // and the structure disagree — refuse rather than desync the next
+      // group's fields.
+      Clear();
+      return Status::Corruption(
+          "grouped snapshot: group payload length mismatch");
+    }
+    entry->items = items;
+    RefreshCharge(entry);
+  }
+  if (in.overflow()) {
+    Clear();
+    return in.status();
+  }
+  return Status::Ok();
+}
+
+}  // namespace l1hh

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "group/grouped_summary.h"
 #include "io/durable_file.h"
 #include "util/bit_stream.h"
 #include "util/crc32.h"
@@ -14,6 +15,7 @@ namespace {
 
 constexpr char kMagic[8] = {'L', '1', 'H', 'H', 'S', 'N', 'A', 'P'};
 constexpr char kDeltaMagic[8] = {'L', '1', 'H', 'H', 'D', 'E', 'L', 'T'};
+constexpr char kGroupedMagic[8] = {'L', '1', 'H', 'H', 'G', 'R', 'U', 'P'};
 constexpr size_t kPreambleBytes = 8 + 4 + 8;  // magic + version + stream_bits
 constexpr size_t kTrailerBytes = 4;           // CRC-32
 constexpr size_t kMaxNameLength = 128;
@@ -408,6 +410,84 @@ Status ApplySummaryDeltaFromFile(const std::string& path, Summary* target) {
   const Status s = ReadFileBytes(path, &bytes);
   if (!s.ok()) return s;
   return ApplySummaryDelta(bytes, target);
+}
+
+// ---- Grouped snapshots --------------------------------------------------
+
+Status SaveGrouped(const GroupedSummary& grouped, std::vector<uint8_t>* out) {
+  const GroupedSummaryOptions& opt = grouped.options();
+  if (opt.algorithm.empty() || opt.algorithm.size() > kMaxNameLength) {
+    return Status::InvalidArgument(
+        "grouped snapshot cannot encode algorithm name of length " +
+        std::to_string(opt.algorithm.size()));
+  }
+  BitWriter stream;
+  WriteNameAndOptions(stream, opt.algorithm, opt.summary);
+  stream.WriteCounter(opt.max_groups);
+  stream.WriteCounter(opt.memory_budget_bytes);
+  grouped.SaveGroups(stream);
+  SealContainer(kGroupedMagic, kGroupedFormatVersion, stream, out);
+  return Status::Ok();
+}
+
+Status SaveGroupedToFile(const GroupedSummary& grouped,
+                         const std::string& path) {
+  std::vector<uint8_t> bytes;
+  const Status s = SaveGrouped(grouped, &bytes);
+  if (!s.ok()) return s;
+  return DurableWriteFile(path, bytes);
+}
+
+std::unique_ptr<GroupedSummary> LoadGrouped(std::span<const uint8_t> bytes,
+                                            Status* status) {
+  Status local;
+  Status& out_status = status != nullptr ? *status : local;
+
+  std::vector<uint64_t> words;
+  std::optional<BitReader> reader;
+  out_status = OpenContainer(bytes, kGroupedMagic, kGroupedFormatVersion,
+                             "grouped snapshot", &words, &reader);
+  if (!out_status.ok()) return nullptr;
+  BitReader& in = *reader;
+
+  GroupedSummaryOptions opt;
+  out_status = ReadName(in, "grouped snapshot", &opt.algorithm);
+  if (!out_status.ok()) return nullptr;
+  ReadOptions(in, &opt.summary);
+  opt.max_groups = in.ReadCounter();
+  opt.memory_budget_bytes = in.ReadCounter();
+  if (in.overflow()) {
+    out_status = in.status();
+    return nullptr;
+  }
+  // Same domain gate as single snapshots: these options reach every
+  // per-group factory construction.
+  out_status = ValidateHeaderOptions(opt.summary);
+  if (!out_status.ok()) return nullptr;
+
+  std::unique_ptr<GroupedSummary> grouped =
+      GroupedSummary::Create(opt, &out_status);
+  if (grouped == nullptr) return nullptr;
+  out_status = grouped->LoadGroups(in);
+  if (!out_status.ok()) return nullptr;
+  if (in.remaining_bits() != 0) {
+    out_status = Status::Corruption(
+        "grouped snapshot has " + std::to_string(in.remaining_bits()) +
+        " trailing bits after the group table");
+    return nullptr;
+  }
+  out_status = Status::Ok();
+  return grouped;
+}
+
+std::unique_ptr<GroupedSummary> LoadGroupedFromFile(const std::string& path,
+                                                    Status* status) {
+  Status local;
+  Status& out_status = status != nullptr ? *status : local;
+  std::vector<uint8_t> bytes;
+  out_status = ReadFileBytes(path, &bytes);
+  if (!out_status.ok()) return nullptr;
+  return LoadGrouped(bytes, status);
 }
 
 }  // namespace l1hh

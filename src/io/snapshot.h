@@ -119,6 +119,48 @@ Status SaveSummaryDeltaToFile(const Summary& summary,
 Status ApplySummaryDelta(std::span<const uint8_t> bytes, Summary* target);
 Status ApplySummaryDeltaFromFile(const std::string& path, Summary* target);
 
+// ---- Grouped snapshots (src/group/grouped_summary.h) -------------------
+//
+// One container for a whole GroupedSummary — every live per-group summary,
+// the recency order, and the eviction counters — so per-tenant monitoring
+// state rides the same durable-write machinery as single summaries:
+//
+//   bytes  0..7   magic "L1HHGRUP"
+//   bytes  8..11  grouped format version (u32 LE)
+//   bytes 12..19  stream_bits (u64 LE)
+//   bytes 20..    bit-stream: per-group algorithm name + base
+//                 SummaryOptions (same encoding as a snapshot header),
+//                 max_groups, memory_budget_bytes, then the
+//                 GroupedSummary::SaveGroups payload (totals, eviction
+//                 counters, and each group's key + bit-framed state in
+//                 MRU->LRU order)
+//   last 4 bytes  CRC-32 over every preceding byte
+//
+// Same hostility contract as the other containers: corrupt, truncated,
+// version-bumped, or domain-violating input is a Status, never UB
+// (tests/grouped_summary_test.cc fuzzes this).
+
+/// Version 3 of the container family: the first grouped format.
+inline constexpr uint32_t kGroupedFormatVersion = 3;
+
+class GroupedSummary;
+
+/// Serializes a whole grouped summary into a self-describing container.
+Status SaveGrouped(const GroupedSummary& grouped, std::vector<uint8_t>* out);
+/// SaveGrouped + the crash-safe write-tmp/fsync/rename file protocol.
+Status SaveGroupedToFile(const GroupedSummary& grouped,
+                         const std::string& path);
+
+/// Reconstructs a GroupedSummary from a container: validates the framing
+/// and header options, rebuilds the instance from the embedded
+/// GroupedSummaryOptions, and restores every group (per-group seeds are
+/// re-derived from the base seed, so restored groups continue their exact
+/// random sequences).  Returns nullptr with the reason in *status.
+std::unique_ptr<GroupedSummary> LoadGrouped(std::span<const uint8_t> bytes,
+                                            Status* status = nullptr);
+std::unique_ptr<GroupedSummary> LoadGroupedFromFile(const std::string& path,
+                                                    Status* status = nullptr);
+
 }  // namespace l1hh
 
 #endif  // L1HH_IO_SNAPSHOT_H_

@@ -137,6 +137,31 @@ void CountMinHeavyHitters::InsertBatch(const uint64_t* items, size_t n) {
   for (size_t i = 0; i < n; ++i) Insert(items[i]);
 }
 
+void CountMinHeavyHitters::InsertColumn(const uint64_t* items, size_t n) {
+  // The visitor runs after item i's increments land and before item
+  // i+1's, so the candidate checks (and the occasional prune, which
+  // re-queries the sketch) see exactly the table state the scalar Insert
+  // loop would — bit-for-bit equal snapshots either way.
+  cms_.InsertColumn(items, n, [&](size_t i, uint64_t est) {
+    const uint64_t m_so_far = cms_.items_processed();
+    if (static_cast<double>(est) >=
+        (phi_ - epsilon_ / 2) * static_cast<double>(m_so_far)) {
+      candidates_[items[i]] = est;
+      if (candidates_.size() > 4.0 / phi_) {
+        const double threshold =
+            (phi_ - epsilon_) * static_cast<double>(m_so_far);
+        for (auto it = candidates_.begin(); it != candidates_.end();) {
+          if (static_cast<double>(cms_.Estimate(it->first)) < threshold) {
+            it = candidates_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+  });
+}
+
 bool CountMinHeavyHitters::Compatible(
     const CountMinHeavyHitters& other) const {
   return phi_ == other.phi_ && epsilon_ == other.epsilon_ &&

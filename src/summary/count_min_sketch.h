@@ -9,6 +9,8 @@
 #ifndef L1HH_SUMMARY_COUNT_MIN_SKETCH_H_
 #define L1HH_SUMMARY_COUNT_MIN_SKETCH_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +41,46 @@ class CountMinSketch {
   /// each row once instead of twice — the fused hot path behind
   /// CountMinHeavyHitters::Insert and the batched Summary adapter.
   uint64_t InsertAndEstimate(uint64_t item);
+
+  /// Columnar ingest over a contiguous slice: tiles the column, runs one
+  /// multiply-shift hash sweep per row per tile (independent per item, so
+  /// the compiler vectorizes it), then applies the increments item by
+  /// item in stream order, calling `visit(i, post_insert_estimate)` after
+  /// item i lands.  At the moment visit(i, ...) runs, the table holds
+  /// exactly the inserts for items 0..i — state-identical to calling
+  /// InsertAndEstimate(items[i]) in a loop, which is what the
+  /// conservative-update variant falls back to.
+  template <typename Visitor>
+  void InsertColumn(const uint64_t* items, size_t n, Visitor&& visit) {
+    if (conservative_) {
+      for (size_t i = 0; i < n; ++i) visit(i, InsertAndEstimate(items[i]));
+      return;
+    }
+    constexpr size_t kTile = 256;
+    const size_t depth = hashes_.size();
+    column_cells_.resize(depth * kTile);
+    for (size_t base = 0; base < n; base += kTile) {
+      const size_t take = std::min(kTile, n - base);
+      for (size_t r = 0; r < depth; ++r) {
+        const MultiplyShiftHash h = hashes_[r];  // hoist a, b, shift
+        const size_t row_base = r * width_;
+        size_t* cells = column_cells_.data() + r * kTile;
+        for (size_t i = 0; i < take; ++i) {
+          cells[i] = row_base + static_cast<size_t>(h(items[base + i]));
+        }
+      }
+      for (size_t i = 0; i < take; ++i) {
+        ++processed_;
+        uint64_t best = UINT64_MAX;
+        for (size_t r = 0; r < depth; ++r) {
+          uint64_t& cell = table_[column_cells_[r * kTile + i]];
+          ++cell;
+          best = std::min(best, cell);
+        }
+        visit(base + i, best);
+      }
+    }
+  }
 
   /// Overestimate (min over rows).
   uint64_t Estimate(uint64_t item) const;
@@ -74,6 +116,7 @@ class CountMinSketch {
   uint64_t processed_ = 0;
   std::vector<MultiplyShiftHash> hashes_;
   std::vector<uint64_t> table_;  // depth x width
+  std::vector<size_t> column_cells_;  // InsertColumn tile scratch
 };
 
 /// Count-Min as a full (eps, phi)-heavy-hitters baseline: the standard
@@ -96,6 +139,12 @@ class CountMinHeavyHitters {
   /// Tight batch ingestion: one pass over `items` without per-item
   /// function-call overhead; state-identical to calling Insert in a loop.
   void InsertBatch(const uint64_t* items, size_t n);
+
+  /// Columnar ingestion: the sketch's tiled hash-prepass path plus the
+  /// same candidate bookkeeping Insert does, applied per item as its
+  /// increment lands — state-identical to calling Insert in a loop (the
+  /// columnar differential battery pins this).
+  void InsertColumn(const uint64_t* items, size_t n);
 
   /// True iff `other` was built with the same (eps, phi) contract and a
   /// Compatible underlying sketch, i.e. MergeFrom(other) is sound.

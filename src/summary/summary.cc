@@ -112,6 +112,10 @@ class MisraGriesSummary : public Summary {
     for (const uint64_t x : items) mg_.Insert(x);
   }
 
+  void UpdateColumn(const uint64_t* items, size_t n) override {
+    for (size_t i = 0; i < n; ++i) mg_.Insert(items[i]);
+  }
+
   double Estimate(uint64_t item) const override {
     return static_cast<double>(mg_.Estimate(item));
   }
@@ -176,6 +180,10 @@ class SpaceSavingSummary : public Summary {
     for (const uint64_t x : items) ss_.Insert(x);
   }
 
+  void UpdateColumn(const uint64_t* items, size_t n) override {
+    for (size_t i = 0; i < n; ++i) ss_.Insert(items[i]);
+  }
+
   double Estimate(uint64_t item) const override {
     return static_cast<double>(ss_.Estimate(item));
   }
@@ -237,6 +245,10 @@ class LossyCountingSummary : public Summary {
     for (const uint64_t x : items) lc_.Insert(x);
   }
 
+  void UpdateColumn(const uint64_t* items, size_t n) override {
+    for (size_t i = 0; i < n; ++i) lc_.Insert(items[i]);
+  }
+
   double Estimate(uint64_t item) const override {
     return static_cast<double>(lc_.Estimate(item));
   }
@@ -290,6 +302,12 @@ class StickySamplingSummary : public Summary {
     for (const uint64_t x : items) ss_.Insert(x);
   }
 
+  // Sequential by necessity: each Insert draws from the sampling PRNG, so
+  // the column loop must consume randomness in exactly the scalar order.
+  void UpdateColumn(const uint64_t* items, size_t n) override {
+    for (size_t i = 0; i < n; ++i) ss_.Insert(items[i]);
+  }
+
   double Estimate(uint64_t item) const override {
     return static_cast<double>(ss_.Estimate(item));
   }
@@ -339,6 +357,10 @@ class ExactCounterSummary : public Summary {
 
   void UpdateBatch(std::span<const uint64_t> items) override {
     for (const uint64_t x : items) exact_.Insert(x);
+  }
+
+  void UpdateColumn(const uint64_t* items, size_t n) override {
+    for (size_t i = 0; i < n; ++i) exact_.Insert(items[i]);
   }
 
   double Estimate(uint64_t item) const override {
@@ -413,6 +435,13 @@ class CountMinSummary : public Summary {
   // (one hash per row per item) with no virtual dispatch per item.
   void UpdateBatch(std::span<const uint64_t> items) override {
     cm_.InsertBatch(items.data(), items.size());
+  }
+
+  // Native columnar path: a vectorizable multiply-shift hash pre-pass
+  // over the slice, then the sequential increment+candidate sweep
+  // (state-identical to the scalar Insert loop).
+  void UpdateColumn(const uint64_t* items, size_t n) override {
+    cm_.InsertColumn(items, n);
   }
 
   double Estimate(uint64_t item) const override {
@@ -497,6 +526,13 @@ class CountSketchSummary : public Summary {
     for (const uint64_t x : items) {
       cs_.Insert(x, 1);
       TrackCandidate(x);
+    }
+  }
+
+  void UpdateColumn(const uint64_t* items, size_t n) override {
+    for (size_t i = 0; i < n; ++i) {
+      cs_.Insert(items[i], 1);
+      TrackCandidate(items[i]);
     }
   }
 
@@ -602,6 +638,10 @@ class HashedMisraGriesSummary : public Summary {
 
   void UpdateBatch(std::span<const uint64_t> items) override {
     for (const uint64_t x : items) table_.Insert(x);
+  }
+
+  void UpdateColumn(const uint64_t* items, size_t n) override {
+    for (size_t i = 0; i < n; ++i) table_.Insert(items[i]);
   }
 
   double Estimate(uint64_t item) const override {

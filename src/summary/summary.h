@@ -104,6 +104,18 @@ class Summary {
     for (const uint64_t x : items) Update(x, 1);
   }
 
+  /// Columnar ingest: `n` unit-weight updates from a contiguous column
+  /// slice (the database deployment shape — one column chunk per call).
+  /// Contract: state-identical to calling Update(items[i], 1) for
+  /// i = 0..n-1 in order; overrides may only reorder order-independent
+  /// work such as hash precomputation (tests/columnar_differential_test.cc
+  /// pins bit-for-bit snapshot equality against the scalar loop).  The
+  /// default forwards to UpdateBatch; hot adapters override with
+  /// slice-tuned loops (see docs/GROUPED.md#columnar-ingest).
+  virtual void UpdateColumn(const uint64_t* items, size_t n) {
+    UpdateBatch({items, n});
+  }
+
   /// Estimated frequency of `item` in full-stream units.  Whether this
   /// over- or under-estimates (and by how much) is structure-specific.
   virtual double Estimate(uint64_t item) const = 0;

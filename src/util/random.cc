@@ -4,18 +4,6 @@
 
 namespace l1hh {
 
-uint64_t SplitMix64(uint64_t& state) {
-  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-uint64_t Mix64(uint64_t x) {
-  uint64_t s = x;
-  return SplitMix64(s);
-}
-
 void Rng::Seed(uint64_t seed) {
   uint64_t s = seed;
   for (auto& word : state_) {

@@ -122,10 +122,20 @@ class Rng {
 };
 
 /// SplitMix64 step; used for seeding and as a cheap stateless mixer.
-uint64_t SplitMix64(uint64_t& state);
+/// Inline so per-item hash sweeps (engine shard routing, the grouped
+/// table's probe sequence) pipeline the mix instead of paying a call.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 /// One-shot mix of a 64-bit value (stateless fingerprint).
-uint64_t Mix64(uint64_t x);
+inline uint64_t Mix64(uint64_t x) {
+  uint64_t s = x;
+  return SplitMix64(s);
+}
 
 }  // namespace l1hh
 

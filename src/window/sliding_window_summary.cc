@@ -155,6 +155,29 @@ void SlidingWindowSummary::UpdateBatch(std::span<const uint64_t> items) {
   }
 }
 
+void SlidingWindowSummary::UpdateColumn(const uint64_t* items, size_t n) {
+  if (n == 0) return;
+  InvalidateCache();
+  if (external_rotation_) {
+    LiveBucket().UpdateColumn(items, n);
+    total_items_ += n;
+    return;
+  }
+  size_t offset = 0;
+  while (offset < n) {
+    const uint64_t fill = live_bucket_items();
+    if (fill >= bucket_width_) {
+      Rotate();
+      continue;
+    }
+    const size_t take = static_cast<size_t>(
+        std::min<uint64_t>(n - offset, bucket_width_ - fill));
+    LiveBucket().UpdateColumn(items + offset, take);
+    total_items_ += take;
+    offset += take;
+  }
+}
+
 const Summary& SlidingWindowSummary::MergedWindow() const {
   if (merged_valid_ && merged_items_ == total_items_ &&
       merged_rotations_ == rotations_) {

@@ -86,6 +86,10 @@ class SlidingWindowSummary : public Summary {
 
   void Update(uint64_t item, uint64_t weight = 1) override;
   void UpdateBatch(std::span<const uint64_t> items) override;
+  /// Same bucket-chunking as UpdateBatch, forwarding each chunk to the
+  /// live bucket's columnar path so the inner structure's slice-tuned
+  /// loop runs even inside a window.
+  void UpdateColumn(const uint64_t* items, size_t n) override;
 
   /// Estimated frequency of `item` over the covered window (the last
   /// window_items() ingested items), in window units.

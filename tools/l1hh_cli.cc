@@ -24,8 +24,19 @@
 //   l1hh_cli run --algo=misra_gries --format=json
 //                                             # machine-readable one-line
 //                                             # JSON report (also: merge)
+//   l1hh_cli generate --groups=4 --m=1000000  # "group item" per line: G
+//                                             # tenants' Zipf streams,
+//                                             # clustered in runs of 64
+//   l1hh_cli run --algo=space_saving --group-col --groups=4
+//                                             # per-tenant heavy hitters
+//                                             # (src/group/, docs/GROUPED.md):
+//                                             # one summary per group key,
+//                                             # per-group recall vs truth
 //   l1hh_cli heavy --algo=misra_gries --m=<length> [--phi=...]
 //                                             # reads ids from stdin
+//   l1hh_cli heavy --algo=space_saving --group-col
+//                                             # stdin is "group item" lines;
+//                                             # report per observed group
 //   l1hh_cli save --algo=count_min --out=a.l1hh --m=<FULL stream length>
 //                                             # ingest stdin, write snapshot
 //                                             # (see docs/SNAPSHOTS.md)
@@ -48,17 +59,21 @@
 // stream length — and a coordinator `merge`s the snapshot files into one
 // Definition-1-conformant report.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/epsilon_maximum.h"
 #include "core/epsilon_minimum.h"
 #include "engine/sharded_engine.h"
+#include "group/grouped_summary.h"
 #include "io/snapshot.h"
 #include "stream/stream_generator.h"
 #include "summary/evaluation.h"
@@ -95,6 +110,12 @@ struct Args {
   // Report format for run/merge: "text" (default) or "json" — one JSON
   // object per run with the scored fields, for CI smokes to assert on.
   std::string format = "text";
+  // Grouped (per-key) mode: --group-col switches run/heavy to the
+  // GroupedSummary path (src/group/), where heavy reads "group item"
+  // lines from stdin and run generates --groups tenants itself; --groups
+  // also makes `generate` emit two-column grouped output.
+  bool group_col = false;
+  uint64_t groups = 0;
   // Snapshot paths: --out for `save`, --save for `run`, positionals for
   // `load` / `merge`.
   std::string out;
@@ -122,7 +143,7 @@ const char* const kKnownFlags[] = {
     "--kind",  "--algo", "--algorithm", "--alpha",   "--epsilon",
     "--phi",   "--delta", "--n",        "--m",       "--seed",
     "--shards", "--threads", "--out",   "--save",    "--window",
-    "--buckets", "--format",
+    "--buckets", "--format", "--group-col", "--groups",
 };
 
 size_t EditDistance(const std::string& a, const std::string& b) {
@@ -171,6 +192,11 @@ bool Parse(int argc, char** argv, Args* out) {
       // Bare tokens after the command are positional arguments (the
       // snapshot files of `load` / `merge`).
       out->positional.push_back(key);
+      continue;
+    }
+    if (key == "--group-col") {
+      // The one boolean flag: its presence is the value.
+      out->group_col = true;
       continue;
     }
     std::string value;
@@ -222,6 +248,8 @@ bool Parse(int argc, char** argv, Args* out) {
       out->buckets = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "--format") {
       out->format = value;
+    } else if (key == "--groups") {
+      out->groups = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       PrintUnknownFlag(key);
       return false;
@@ -245,6 +273,24 @@ bool Parse(int argc, char** argv, Args* out) {
   if (out->format == "json" && !out->command.empty() &&
       out->command != "run" && out->command != "merge") {
     std::fprintf(stderr, "--format=json is supported by run and merge\n");
+    return false;
+  }
+  // Grouped mode only exists where a GroupedSummary can be driven; on
+  // any other command the flag would be silently ignored — reject.
+  if (out->group_col && !out->command.empty() && out->command != "run" &&
+      out->command != "heavy") {
+    std::fprintf(stderr, "--group-col is supported by run and heavy\n");
+    return false;
+  }
+  if (out->groups != 0 && !out->command.empty() &&
+      out->command != "generate" && out->command != "run") {
+    std::fprintf(stderr, "--groups is supported by generate and run\n");
+    return false;
+  }
+  // A GroupedSummary is a single-threaded object; the sharded engine has
+  // no per-key routing (yet).
+  if (out->group_col && out->shards > 1) {
+    std::fprintf(stderr, "--group-col does not combine with --shards\n");
     return false;
   }
   // --buckets shapes a window; on a plain algorithm with no --window it
@@ -276,6 +322,58 @@ std::vector<uint64_t> ReadStdinItems() {
   return items;
 }
 
+/// Parallel columns, same index = same row — the shape
+/// GroupedSummary::UpdateColumn takes directly.
+struct GroupedColumns {
+  std::vector<uint64_t> groups;
+  std::vector<uint64_t> items;
+};
+
+/// stdin lines of "group item" (whitespace separated), # and blank lines
+/// skipped — the two-column form `generate --groups=G` emits.
+GroupedColumns ReadStdinGroupedItems() {
+  GroupedColumns in;
+  char line[64];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    if (line[0] == '\n' || line[0] == '#') continue;
+    char* rest = nullptr;
+    in.groups.push_back(std::strtoull(line, &rest, 10));
+    in.items.push_back(std::strtoull(rest, nullptr, 10));
+  }
+  return in;
+}
+
+/// The multi-tenant stream shared by `generate --groups` and `run
+/// --group-col`: every tenant draws its own independently-seeded stream
+/// of m/G items, and rows arrive clustered in runs of 64 — the shape a
+/// columnar scan of a partitioned table produces, which is what the
+/// grouped run-detection fast path is built for.
+GroupedColumns MakeGroupedStream(const Args& a, uint64_t tenants,
+                                 uint64_t m_total) {
+  const uint64_t per_tenant = std::max<uint64_t>(1, m_total / tenants);
+  std::vector<std::vector<uint64_t>> tenant(tenants);
+  for (uint64_t t = 0; t < tenants; ++t) {
+    const uint64_t seed = a.seed + 101 * t;
+    tenant[t] = a.kind == "uniform"
+                    ? MakeUniformStream(a.n, per_tenant, seed)
+                    : MakeZipfStream(a.n, a.alpha, per_tenant, seed);
+  }
+  GroupedColumns out;
+  out.groups.reserve(per_tenant * tenants);
+  out.items.reserve(per_tenant * tenants);
+  constexpr uint64_t kRun = 64;
+  for (uint64_t base = 0; base < per_tenant; base += kRun) {
+    const uint64_t take = std::min(kRun, per_tenant - base);
+    for (uint64_t t = 0; t < tenants; ++t) {
+      for (uint64_t i = 0; i < take; ++i) {
+        out.groups.push_back(t);
+        out.items.push_back(tenant[t][base + i]);
+      }
+    }
+  }
+  return out;
+}
+
 SummaryOptions ToSummaryOptions(const Args& a, uint64_t stream_length) {
   SummaryOptions opt;
   opt.epsilon = a.epsilon;
@@ -298,16 +396,23 @@ int CmdList() {
 
 int CmdGenerate(const Args& a) {
   const uint64_t m = a.m != 0 ? a.m : kDefaultM;
-  std::vector<uint64_t> stream;
-  if (a.kind == "zipf") {
-    stream = MakeZipfStream(a.n, a.alpha, m, a.seed);
-  } else if (a.kind == "uniform") {
-    stream = MakeUniformStream(a.n, m, a.seed);
-  } else {
+  if (a.kind != "zipf" && a.kind != "uniform") {
     std::fprintf(stderr, "unknown --kind %s (zipf|uniform)\n",
                  a.kind.c_str());
     return 2;
   }
+  if (a.groups != 0) {
+    const GroupedColumns gs = MakeGroupedStream(a, a.groups, m);
+    for (size_t i = 0; i < gs.items.size(); ++i) {
+      std::printf("%llu %llu\n",
+                  static_cast<unsigned long long>(gs.groups[i]),
+                  static_cast<unsigned long long>(gs.items[i]));
+    }
+    return 0;
+  }
+  const std::vector<uint64_t> stream =
+      a.kind == "zipf" ? MakeZipfStream(a.n, a.alpha, m, a.seed)
+                       : MakeUniformStream(a.n, m, a.seed);
   for (const uint64_t x : stream) {
     std::printf("%llu\n", static_cast<unsigned long long>(x));
   }
@@ -341,6 +446,44 @@ int CmdHeavy(const Args& a, const std::vector<uint64_t>& items) {
     std::printf("%-20s %12llu %14.0f %8.2f%%\n", a.algorithm.c_str(),
                 static_cast<unsigned long long>(hh.item), hh.estimate,
                 100.0 * hh.estimate / static_cast<double>(over));
+  }
+  return 0;
+}
+
+/// `heavy --group-col`: stdin is "group item" rows; one lazily-created
+/// summary per observed group key, reported group by group.
+int CmdHeavyGrouped(const Args& a) {
+  const GroupedColumns in = ReadStdinGroupedItems();
+  GroupedSummaryOptions grouped_options;
+  grouped_options.algorithm = a.algorithm;
+  grouped_options.summary =
+      ToSummaryOptions(a, a.m != 0 ? a.m : in.items.size());
+  Status status;
+  auto grouped = GroupedSummary::Create(grouped_options, &status);
+  if (grouped == nullptr) {
+    std::fprintf(stderr, "--algo %s: %s; try `l1hh_cli list`\n",
+                 a.algorithm.c_str(), status.ToString().c_str());
+    return 2;
+  }
+  grouped->UpdateColumn(in.groups.data(), in.items.data(), in.items.size());
+  std::printf("# %s: %zu groups over %llu rows (%zu bytes)\n",
+              a.algorithm.c_str(), grouped->group_count(),
+              static_cast<unsigned long long>(grouped->ItemsProcessed()),
+              grouped->MemoryUsageBytes());
+  for (const uint64_t g : grouped->GroupKeys()) {
+    const Summary* summary = grouped->Find(g);
+    const auto hitters = grouped->HeavyHitters(g, a.phi);
+    const auto over = static_cast<double>(summary->CoveredItems());
+    std::printf("# group %llu: %zu heavy hitters at phi=%.3f over %llu "
+                "items\n",
+                static_cast<unsigned long long>(g), hitters.size(), a.phi,
+                static_cast<unsigned long long>(summary->ItemsProcessed()));
+    for (const auto& hh : hitters) {
+      std::printf("%-12llu %12llu %14.0f %8.2f%%\n",
+                  static_cast<unsigned long long>(g),
+                  static_cast<unsigned long long>(hh.item), hh.estimate,
+                  over > 0 ? 100.0 * hh.estimate / over : 0.0);
+    }
   }
   return 0;
 }
@@ -433,6 +576,35 @@ int CmdLoad(const Args& a) {
   if (!file && bytes.empty()) {
     std::fprintf(stderr, "load failed: cannot read '%s'\n", path.c_str());
     return 1;
+  }
+  // A grouped container (`run --group-col --save=FILE`) reloads into the
+  // per-group report; the magic in the first 8 bytes says which family
+  // this file is.
+  if (bytes.size() >= 8 && std::memcmp(bytes.data(), "L1HHGRUP", 8) == 0) {
+    Status status;
+    auto grouped = LoadGrouped(bytes, &status);
+    if (grouped == nullptr) {
+      std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("# %s: grouped, %zu groups, %llu items, %llu evicted "
+                "groups, file=%zu bytes\n",
+                path.c_str(), grouped->group_count(),
+                static_cast<unsigned long long>(grouped->ItemsProcessed()),
+                static_cast<unsigned long long>(grouped->evicted_groups()),
+                bytes.size());
+    for (const uint64_t g : grouped->GroupKeys()) {
+      const Summary* summary = grouped->Find(g);
+      const double phi = a.phi_given ? a.phi : summary->Options().phi;
+      const auto over = static_cast<double>(summary->CoveredItems());
+      for (const auto& hh : grouped->HeavyHitters(g, phi)) {
+        std::printf("%-12llu %12llu %14.0f %8.2f%%\n",
+                    static_cast<unsigned long long>(g),
+                    static_cast<unsigned long long>(hh.item), hh.estimate,
+                    over > 0 ? 100.0 * hh.estimate / over : 0.0);
+      }
+    }
+    return 0;
   }
   SnapshotInfo info;
   Status status = ReadSnapshotInfo(bytes, &info);
@@ -546,9 +718,130 @@ int CmdMerge(const Args& a) {
   return 0;
 }
 
+/// `run --group-col`: self-contained grouped accuracy run.  Generates
+/// --groups tenants' Zipf streams (clustered in runs, as MakeGroupedStream
+/// documents), ingests them through GroupedSummary::UpdateColumn, and
+/// scores every tenant's report against its own exact ground truth — the
+/// per-group analogue of CmdRun's Definition-1 scoring.
+int CmdRunGrouped(const Args& a) {
+  const uint64_t tenants = a.groups != 0 ? a.groups : 2;
+  const uint64_t m_total = a.m != 0 ? a.m : kDefaultM;
+  const GroupedColumns gs = MakeGroupedStream(a, tenants, m_total);
+  const uint64_t per_tenant = gs.items.size() / tenants;
+  GroupedSummaryOptions grouped_options;
+  grouped_options.algorithm = a.algorithm;
+  // Per-tenant stream length: every tenant's summary sizes itself (and
+  // the bdw thresholds derive) from ITS stream, not the union.
+  grouped_options.summary = ToSummaryOptions(a, per_tenant);
+  Status status;
+  auto grouped = GroupedSummary::Create(grouped_options, &status);
+  if (grouped == nullptr) {
+    std::fprintf(stderr, "--algo %s: %s; try `l1hh_cli list`\n",
+                 a.algorithm.c_str(), status.ToString().c_str());
+    return 2;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  grouped->UpdateColumn(gs.groups.data(), gs.items.data(), gs.items.size());
+  const auto end = std::chrono::steady_clock::now();
+  const double update_ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+              .count()) /
+      static_cast<double>(gs.items.size());
+
+  // Exact per-tenant truth, same convention as the evaluation harness:
+  // heavy means f > phi * (that tenant's length).
+  std::vector<std::unordered_map<uint64_t, uint64_t>> exact(tenants);
+  for (size_t i = 0; i < gs.items.size(); ++i) {
+    ++exact[gs.groups[i]][gs.items[i]];
+  }
+  struct GroupScore {
+    uint64_t group = 0;
+    uint64_t items = 0;
+    size_t true_heavies = 0;
+    size_t recalled = 0;
+    size_t reported = 0;
+  };
+  std::vector<GroupScore> scores(tenants);
+  bool all_recalled = true;
+  for (uint64_t t = 0; t < tenants; ++t) {
+    GroupScore& s = scores[t];
+    s.group = t;
+    const Summary* summary = grouped->Find(t);
+    s.items = summary != nullptr ? summary->ItemsProcessed() : 0;
+    const auto report = grouped->HeavyHitters(t, a.phi);
+    s.reported = report.size();
+    std::unordered_set<uint64_t> reported_set;
+    for (const auto& hh : report) reported_set.insert(hh.item);
+    const double threshold = a.phi * static_cast<double>(s.items);
+    for (const auto& [item, count] : exact[t]) {
+      if (static_cast<double>(count) > threshold) {
+        ++s.true_heavies;
+        if (reported_set.count(item) != 0) ++s.recalled;
+      }
+    }
+    if (s.recalled != s.true_heavies) all_recalled = false;
+  }
+
+  if (a.format == "json") {
+    std::printf("{\"command\":\"run\",\"grouped\":true,\"algo\":\"%s\","
+                "\"tenants\":%llu,\"m_per_tenant\":%llu,\"epsilon\":%.6g,"
+                "\"phi\":%.6g,\"seed\":%llu,\"update_ns\":%.1f,"
+                "\"space_bits\":%zu,\"groups\":[",
+                a.algorithm.c_str(),
+                static_cast<unsigned long long>(tenants),
+                static_cast<unsigned long long>(per_tenant), a.epsilon,
+                a.phi, static_cast<unsigned long long>(a.seed), update_ns,
+                grouped->MemoryUsageBytes() * 8);
+    for (uint64_t t = 0; t < tenants; ++t) {
+      const GroupScore& s = scores[t];
+      std::printf("%s{\"group\":%llu,\"items\":%llu,\"true_heavies\":%zu,"
+                  "\"recalled\":%zu,\"reported\":%zu,\"recall\":%.6f}",
+                  t == 0 ? "" : ",",
+                  static_cast<unsigned long long>(s.group),
+                  static_cast<unsigned long long>(s.items), s.true_heavies,
+                  s.recalled, s.reported,
+                  s.true_heavies == 0
+                      ? 1.0
+                      : static_cast<double>(s.recalled) /
+                            static_cast<double>(s.true_heavies));
+    }
+    std::printf("]}\n");
+  } else {
+    std::printf("algo=%s  grouped: %llu tenants x %llu zipf(alpha=%.2f) "
+                "items  eps=%.3f  phi=%.3f  seed=%llu  %.1f ns/item\n",
+                a.algorithm.c_str(),
+                static_cast<unsigned long long>(tenants),
+                static_cast<unsigned long long>(per_tenant), a.alpha,
+                a.epsilon, a.phi,
+                static_cast<unsigned long long>(a.seed), update_ns);
+    std::printf("%-12s %12s %14s %10s %10s\n", "group", "items",
+                "true-heavies", "recalled", "reported");
+    for (const GroupScore& s : scores) {
+      std::printf("%-12llu %12llu %14zu %10zu %10zu\n",
+                  static_cast<unsigned long long>(s.group),
+                  static_cast<unsigned long long>(s.items), s.true_heavies,
+                  s.recalled, s.reported);
+    }
+    std::printf("groups: %zu live   memory: %zu bytes\n",
+                grouped->group_count(), grouped->MemoryUsageBytes());
+  }
+  if (!a.save_path.empty()) {
+    const Status saved = SaveGroupedToFile(*grouped, a.save_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "--save failed: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(a.format == "json" ? stderr : stdout,
+                 "grouped snapshot written to %s\n", a.save_path.c_str());
+  }
+  return all_recalled ? 0 : 1;
+}
+
 /// Self-contained accuracy run: generates the stream and scores the
 /// report against exact ground truth via the shared evaluation harness.
 int CmdRun(const Args& a) {
+  if (a.group_col) return CmdRunGrouped(a);
   const uint64_t m_arg = a.m != 0 ? a.m : kDefaultM;
   const auto stream = MakeZipfStream(a.n, a.alpha, m_arg, a.seed);
   const SummaryOptions options = ToSummaryOptions(a, stream.size());
@@ -678,8 +971,11 @@ int main(int argc, char** argv) {
         "[flags]\n"
         "  run    [--algo --shards --threads --save=FILE ...]  self-scored "
         "Zipf run\n"
+        "         [--group-col --groups=G]        per-tenant grouped run\n"
         "  heavy  --algo=NAME --m=M [--phi=P]     report HH over stdin "
         "ids\n"
+        "         [--group-col]                   stdin is \"group item\" "
+        "rows\n"
         "  save   --algo=NAME --out=FILE --m=M    ingest stdin, write "
         "snapshot\n"
         "  load   <snapshot> [--phi=P]            print snapshot header + "
@@ -689,6 +985,10 @@ int main(int argc, char** argv) {
         "see the header comment of tools/l1hh_cli.cc and "
         "docs/SNAPSHOTS.md\n");
     return 2;
+  }
+  // Grouped heavy reads the two-column form itself.
+  if (args.command == "heavy" && args.group_col) {
+    return CmdHeavyGrouped(args);
   }
   const std::vector<uint64_t> items = ReadStdinItems();
   if (args.command == "heavy") return CmdHeavy(args, items);
