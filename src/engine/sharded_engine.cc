@@ -13,6 +13,8 @@
 
 #include "io/durable_file.h"
 #include "io/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/random.h"
 #include "window/sliding_window_summary.h"
 
@@ -501,6 +503,12 @@ void ShardedEngine::StartWorkers() {
 
 void ShardedEngine::WorkerLoop(size_t first_shard, size_t last_shard) {
   std::vector<uint64_t> batch(options_.drain_batch);
+  // Resolved once per worker (registry lookup is a cold mutexed path);
+  // increments below are relaxed striped adds, once per drained BATCH.
+  obs::Counter* const items_ctr =
+      obs::GetCounter("l1hh_engine_items_applied_total");
+  obs::Histogram* const drain_hist =
+      obs::GetHistogram("l1hh_engine_drain_batch_items");
   IdleBackoff backoff;
   while (true) {
     if (pause_.load(std::memory_order_acquire)) WorkerPark();
@@ -519,6 +527,17 @@ void ShardedEngine::WorkerLoop(size_t first_shard, size_t last_shard) {
         shard.summary->UpdateColumn(batch.data(), n);
         // Release-publish the summary mutations; Flush acquires.
         shard.applied.fetch_add(n, std::memory_order_release);
+        if (obs::Enabled()) {
+          // Occupancy at pop time was n plus whatever is still queued.
+          // Single-writer high-water (this worker owns the shard), so a
+          // plain load/compare/store suffices — no RMW on the hot path.
+          const uint64_t occ = n + ring->ApproxSize();
+          if (occ > shard.ring_high_water.load(std::memory_order_relaxed)) {
+            shard.ring_high_water.store(occ, std::memory_order_relaxed);
+          }
+          drain_hist->Observe(n);
+          items_ctr->Inc(n);
+        }
       }
     }
     if (drained != 0) {
@@ -546,11 +565,18 @@ void ShardedEngine::WorkerPark() {
 }
 
 void ShardedEngine::PauseWorkers() {
+  static obs::Histogram* const park_hist =
+      obs::GetHistogram("l1hh_engine_park_wait_ns");
+  const bool obs_on = obs::Enabled();
+  const uint64_t t0 = obs_on ? obs::TraceRing::NowNs() : 0;
   std::unique_lock<std::mutex> lock(park_mutex_);
   pause_.store(true, std::memory_order_release);
   park_cv_.wait(lock, [this] { return parked_workers_ == workers_.size(); });
   // All workers are inside WorkerPark with the summaries untouched; the
   // mutex handoff orders their last drains before our reads.
+  if (obs_on) {
+    park_hist->Observe(obs::TraceRing::NowNs() - t0);
+  }
 }
 
 void ShardedEngine::ResumeWorkers() {
@@ -590,6 +616,12 @@ void ShardedEngine::PushBlocking(size_t slot, size_t shard_index,
 }
 
 void ShardedEngine::RotateAtBoundary(uint64_t bucket) {
+  static obs::Histogram* const wait_hist =
+      obs::GetHistogram("l1hh_engine_rotation_wait_ns");
+  static obs::Counter* const rotations_ctr =
+      obs::GetCounter("l1hh_engine_rotations_total");
+  const bool obs_on = obs::Enabled();
+  const uint64_t t0 = obs_on ? obs::TraceRing::NowNs() : 0;
   IdleBackoff backoff;
   // Every earlier bucket has its own boundary owner; wait for all of
   // them, then for every position before this boundary to be applied
@@ -615,6 +647,13 @@ void ShardedEngine::RotateAtBoundary(uint64_t bucket) {
     // the rotated windows, and its subsequent ring pushes carry that
     // ordering through to the workers.
     rotations_done_.store(bucket, std::memory_order_release);
+  }
+  if (obs_on) {
+    const uint64_t waited = obs::TraceRing::NowNs() - t0;
+    wait_hist->Observe(waited);
+    rotations_ctr->Inc();
+    obs::Trace(obs::Severity::kDebug, "engine.rotation",
+               static_cast<int64_t>(bucket), static_cast<int64_t>(waited));
   }
 }
 
@@ -702,8 +741,14 @@ std::unique_ptr<ShardedEngine::Producer> ShardedEngine::RegisterProducer(
     if (slots_[p]->active) continue;
     slots_[p]->active = true;
     if (status != nullptr) *status = Status::Ok();
+    obs::GetCounter("l1hh_engine_producer_claims_total")->Inc();
+    obs::Trace(obs::Severity::kInfo, "engine.slot_claim",
+               static_cast<int64_t>(p));
     return std::unique_ptr<Producer>(new Producer(this, p));
   }
+  obs::GetCounter("l1hh_engine_producer_claim_failures_total")->Inc();
+  obs::Trace(obs::Severity::kWarn, "engine.slot_exhausted",
+             static_cast<int64_t>(slots_.size() - 1));
   if (status != nullptr) {
     *status = Status::FailedPrecondition(
         "all " + std::to_string(slots_.size() - 1) +
@@ -719,6 +764,9 @@ void ShardedEngine::ReleaseProducer(size_t slot) {
   // by the slot's next owner.
   std::lock_guard<std::mutex> lock(producers_mutex_);
   slots_[slot]->active = false;
+  obs::GetCounter("l1hh_engine_producer_releases_total")->Inc();
+  obs::Trace(obs::Severity::kInfo, "engine.slot_release",
+             static_cast<int64_t>(slot));
 }
 
 size_t ShardedEngine::active_producers() const {
@@ -750,6 +798,12 @@ uint64_t ShardedEngine::TotalApplied() const {
 }
 
 void ShardedEngine::Flush() {
+  static obs::Histogram* const flush_hist =
+      obs::GetHistogram("l1hh_engine_flush_wait_ns");
+  static obs::Counter* const flush_ctr =
+      obs::GetCounter("l1hh_engine_flushes_total");
+  const bool obs_on = obs::Enabled();
+  const uint64_t t0 = obs_on ? obs::TraceRing::NowNs() : 0;
   // Staging buffers need no draining here: ScatterPush always flushes
   // them before returning, so they are empty between public calls.
   IdleBackoff backoff;
@@ -758,6 +812,10 @@ void ShardedEngine::Flush() {
     while (shards_[s]->applied.load(std::memory_order_acquire) < target) {
       backoff.Idle();
     }
+  }
+  if (obs_on) {
+    flush_hist->Observe(obs::TraceRing::NowNs() - t0);
+    flush_ctr->Inc();
   }
 }
 
@@ -770,6 +828,58 @@ std::vector<uint64_t> ShardedEngine::ShardItemCounts() const {
     counts.push_back(shard->applied.load(std::memory_order_acquire));
   }
   return counts;
+}
+
+EngineMetrics ShardedEngine::Metrics() const {
+  EngineMetrics m;
+  m.num_shards = shards_.size();
+  m.num_threads = workers_.size();
+  m.max_producers = slots_.size();
+  m.rotations = rotations_done_.load(std::memory_order_acquire);
+  m.shard_applied.reserve(shards_.size());
+  m.ring_high_water.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const uint64_t applied = shard->applied.load(std::memory_order_acquire);
+    m.shard_applied.push_back(applied);
+    m.items_applied += applied;
+    m.ring_high_water.push_back(
+        shard->ring_high_water.load(std::memory_order_relaxed));
+  }
+  std::lock_guard<std::mutex> lock(producers_mutex_);
+  m.slot_enqueued.resize(slots_.size(), 0);
+  m.slot_active.resize(slots_.size(), 0);
+  for (size_t p = 0; p < slots_.size(); ++p) {
+    uint64_t enqueued = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      enqueued +=
+          slots_[p]->enqueued[s].value.load(std::memory_order_acquire);
+    }
+    m.slot_enqueued[p] = enqueued;
+    const bool live = p == 0 || slots_[p]->active;
+    m.slot_active[p] = live ? 1 : 0;
+    if (p > 0 && live) ++m.active_producers;
+  }
+  return m;
+}
+
+void ShardedEngine::PublishMetrics() const {
+  const EngineMetrics m = Metrics();
+  obs::GetGauge("l1hh_engine_active_producers")
+      ->Set(static_cast<int64_t>(m.active_producers));
+  obs::GetGauge("l1hh_engine_max_producers")
+      ->Set(static_cast<int64_t>(m.max_producers));
+  for (size_t s = 0; s < m.num_shards; ++s) {
+    const std::string label = "shard=\"" + std::to_string(s) + "\"";
+    obs::GetGauge("l1hh_engine_shard_applied", label)
+        ->Set(static_cast<int64_t>(m.shard_applied[s]));
+    obs::GetGauge("l1hh_engine_ring_occupancy_high_water", label)
+        ->Set(static_cast<int64_t>(m.ring_high_water[s]));
+  }
+  for (size_t p = 0; p < m.slot_enqueued.size(); ++p) {
+    obs::GetGauge("l1hh_engine_slot_enqueued",
+                  "slot=\"" + std::to_string(p) + "\"")
+        ->Set(static_cast<int64_t>(m.slot_enqueued[p]));
+  }
 }
 
 const Summary& ShardedEngine::RebuildMergedLocked() {
@@ -785,6 +895,12 @@ const Summary& ShardedEngine::RebuildMergedLocked() {
   // constructed from the same options/seed, so the merges cannot fail on
   // compatibility; if one does, surface it loudly (a silent partial merge
   // would corrupt the global report).
+  static obs::Counter* const rebuild_ctr =
+      obs::GetCounter("l1hh_engine_merge_rebuilds_total");
+  static obs::Histogram* const rebuild_hist =
+      obs::GetHistogram("l1hh_engine_merge_rebuild_ns");
+  const bool obs_on = obs::Enabled();
+  const uint64_t t0 = obs_on ? obs::TraceRing::NowNs() : 0;
   merged_ = MakeSummary(options_.algorithm, options_.summary);
   for (const auto& shard : shards_) {
     const Status s = merged_->Merge(*shard->summary);
@@ -797,6 +913,10 @@ const Summary& ShardedEngine::RebuildMergedLocked() {
   merged_epoch_ = epoch;
   merged_rotations_ = rotations;
   merged_valid_ = true;
+  if (obs_on) {
+    rebuild_ctr->Inc();
+    rebuild_hist->Observe(obs::TraceRing::NowNs() - t0);
+  }
   return *merged_;
 }
 
@@ -903,6 +1023,12 @@ Status ShardedEngine::CaptureFrames(
 
 Status ShardedEngine::WriteCheckpoint(const std::string& dir,
                                       bool incremental) {
+  const char* const kind = incremental ? "delta" : "full";
+  obs::Trace(obs::Severity::kInfo, "checkpoint.begin", incremental ? 1 : 0);
+  const uint64_t t0 = obs::TraceRing::NowNs();
+  uint64_t frame_bytes = 0;
+  uint64_t full_frames = 0;
+  uint64_t delta_frames = 0;
   std::lock_guard<std::mutex> lock(state_mutex_);
   Flush();
   PauseWorkers();
@@ -962,6 +1088,12 @@ Status ShardedEngine::WriteCheckpoint(const std::string& dir,
       ManifestShard& record = records[frame.shard];
       record.applied = frame.applied;
       record.rotations = frame.rotations;
+      frame_bytes += frame.bytes.size();
+      if (frame.delta) {
+        ++delta_frames;
+      } else {
+        ++full_frames;
+      }
       if (frame.delta) {
         record.files.push_back(ShardDeltaFileName(frame.shard, gen));
       } else {
@@ -999,6 +1131,24 @@ Status ShardedEngine::WriteCheckpoint(const std::string& dir,
     return Status::Ok();
   }();
   ResumeWorkers();
+  if (result.ok()) {
+    obs::GetCounter("l1hh_io_checkpoints_total",
+                    std::string("kind=\"") + kind + "\"")
+        ->Inc();
+    obs::GetCounter("l1hh_io_checkpoint_frames_total", "kind=\"full\"")
+        ->Inc(full_frames);
+    obs::GetCounter("l1hh_io_checkpoint_frames_total", "kind=\"delta\"")
+        ->Inc(delta_frames);
+    obs::GetCounter("l1hh_io_checkpoint_bytes_total")->Inc(frame_bytes);
+    obs::GetHistogram("l1hh_io_checkpoint_ns")
+        ->Observe(obs::TraceRing::NowNs() - t0);
+    obs::Trace(obs::Severity::kInfo, "checkpoint.commit",
+               static_cast<int64_t>(full_frames + delta_frames),
+               static_cast<int64_t>(frame_bytes));
+  } else {
+    obs::GetCounter("l1hh_io_checkpoint_failures_total")->Inc();
+    obs::Trace(obs::Severity::kWarn, "checkpoint.fail");
+  }
   return result;
 }
 
@@ -1035,6 +1185,11 @@ std::unique_ptr<ShardedEngine> ShardedEngine::Restore(
       if (status != nullptr) *status = Status::Ok();
       return engine;
     }
+    // This generation was torn or corrupt; fall back to the next older
+    // one (counted so operators can see silent data-loss near-misses).
+    obs::GetCounter("l1hh_io_restore_fallbacks_total")->Inc();
+    obs::Trace(obs::Severity::kWarn, "checkpoint.fallback",
+               static_cast<int64_t>(gen));
     if (newest_error.ok()) newest_error = std::move(attempt);
   }
   return fail(std::move(newest_error));

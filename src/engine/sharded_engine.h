@@ -145,6 +145,30 @@ struct ShardFrame {
   std::vector<uint8_t> bytes;
 };
 
+/// Point-in-time telemetry snapshot for ONE engine instance, for in-process
+/// callers (the process-wide obs::Registry aggregates across instances; this
+/// struct is the per-engine view).  Counter semantics:
+///   * items_applied / shard_applied — items drained into shard summaries
+///     (== enqueued after a Flush; lags ingestion otherwise).
+///   * ring_high_water[k] — max occupancy ever observed on shard k's rings
+///     by its owning worker (backpressure headroom diagnostic).
+///   * slot_enqueued[p] — items enqueued by producer slot p summed over
+///     shards (slot 0 is the engine's own Update path).
+///   * rotations — completed lockstep window rotations (0 when not
+///     windowed).
+struct EngineMetrics {
+  uint64_t items_applied = 0;
+  uint64_t rotations = 0;
+  size_t num_shards = 0;
+  size_t num_threads = 0;
+  size_t max_producers = 0;
+  size_t active_producers = 0;
+  std::vector<uint64_t> shard_applied;
+  std::vector<uint64_t> ring_high_water;
+  std::vector<uint64_t> slot_enqueued;
+  std::vector<uint8_t> slot_active;  // 1 = slot live (slot 0 always)
+};
+
 class ShardedEngine {
  public:
   /// A claimed producer slot: an independent ingestion endpoint with its
@@ -357,6 +381,17 @@ class ShardedEngine {
   /// surfaced by the CLI and the throughput bench.
   std::vector<uint64_t> ShardItemCounts() const;
 
+  /// Telemetry snapshot for THIS engine (see EngineMetrics).  Safe from
+  /// any thread at any time: every field is read from atomics or
+  /// mutex-guarded slot flags; values lag ingestion until a Flush.
+  EngineMetrics Metrics() const;
+
+  /// Publishes the per-shard and per-slot gauges from Metrics() into the
+  /// process-wide obs::Registry (labels shard="k" / slot="p").  Called at
+  /// scrape time by the serve front end and the CLI — gauges are
+  /// point-in-time, so there is no need to maintain them on the hot path.
+  void PublishMetrics() const;
+
  private:
   // A cache line per counter: the per-(slot, shard) enqueued counters
   // are written by different producer threads and must not false-share.
@@ -375,6 +410,9 @@ class ShardedEngine {
     std::vector<std::unique_ptr<SpscRing<uint64_t>>> rings;
     std::unique_ptr<Summary> summary;
     alignas(64) std::atomic<uint64_t> applied{0};
+    // Max ring occupancy ever observed by the owning worker (single
+    // writer: plain load/compare/store-relaxed, no RMW needed).
+    alignas(64) std::atomic<uint64_t> ring_high_water{0};
   };
 
   // One producer slot: the live flag (guarded by producers_mutex_) and

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 namespace l1hh {
@@ -220,7 +222,26 @@ void GroupedSummary::EvictTail() {
   ++evicted_groups_;
   evicted_items_ += victim->items;
   --live_;
+  // Eviction pressure is the signal operators watch for an undersized
+  // budget; counted live (not just published at scrape time).
+  obs::GetCounter("l1hh_group_evictions_total")->Inc();
+  obs::GetCounter("l1hh_group_evicted_items_total")->Inc(victim->items);
+  obs::Trace(obs::Severity::kDebug, "group.evict",
+             static_cast<int64_t>(victim->key),
+             static_cast<int64_t>(victim->items));
   arena_.Release(victim);
+}
+
+void GroupedSummary::PublishMetrics() const {
+  obs::GetGauge("l1hh_group_live_groups")
+      ->Set(static_cast<int64_t>(live_));
+  obs::GetGauge("l1hh_group_charged_bytes")
+      ->Set(static_cast<int64_t>(charged_bytes_));
+  obs::GetGauge("l1hh_group_arena_bytes")
+      ->Set(static_cast<int64_t>(arena_.allocated_bytes()));
+  obs::GetCounter("l1hh_group_items_total")
+      ->Inc(items_processed_ - published_items_);
+  published_items_ = items_processed_;
 }
 
 void GroupedSummary::Clear() {

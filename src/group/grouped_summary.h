@@ -124,6 +124,12 @@ class GroupedSummary {
   /// Items a group may ingest between refreshes of its charged bytes.
   static constexpr uint64_t kChargeInterval = 1024;
 
+  /// Publishes this instance's gauges (live groups, charged/arena bytes)
+  /// and the items-ingested delta since the last publish into the
+  /// process-wide obs::Registry.  Eviction counters are maintained live
+  /// (incremented inside EvictTail), so they need no publish step.
+  void PublishMetrics() const;
+
   // ---- Raw snapshot payload (the "L1HHGRUP" container in src/io/ wraps
   // this with the name/options header, framing, and CRC) -----------------
 
@@ -212,6 +218,10 @@ class GroupedSummary {
   uint64_t evicted_groups_ = 0;
   uint64_t evicted_items_ = 0;
   size_t charged_bytes_ = 0;
+  // Items already folded into the registry's l1hh_group_items_total by
+  // PublishMetrics (so repeated publishes stay monotone, not double
+  // counted).
+  mutable uint64_t published_items_ = 0;
 };
 
 }  // namespace l1hh

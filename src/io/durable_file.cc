@@ -9,6 +9,9 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace l1hh {
 namespace {
 
@@ -93,35 +96,60 @@ void SetDurableWriteFailure(DurableFailMode mode, int countdown) {
 
 Status DurableWriteFile(const std::string& path,
                         std::span<const uint8_t> bytes) {
+  static obs::Counter* const writes_ctr =
+      obs::GetCounter("l1hh_io_durable_writes_total");
+  static obs::Counter* const bytes_ctr =
+      obs::GetCounter("l1hh_io_durable_write_bytes_total");
+  static obs::Counter* const errors_ctr =
+      obs::GetCounter("l1hh_io_errors_total");
+  static obs::Histogram* const fsync_hist =
+      obs::GetHistogram("l1hh_io_fsync_ns");
   const std::string tmp_path = path + kDurableTmpSuffix;
   if (g_fail_mode != DurableFailMode::kNone) {
-    if (g_fail_countdown <= 0) return InjectFailure(tmp_path, bytes);
+    if (g_fail_countdown <= 0) {
+      errors_ctr->Inc();
+      return InjectFailure(tmp_path, bytes);
+    }
     --g_fail_countdown;
   }
   const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
                         0644);
   if (fd < 0) {
+    errors_ctr->Inc();
     return Status::IOError(ErrnoText("cannot create", tmp_path));
   }
   Status s = WriteAllFd(fd, bytes.data(), bytes.size(), tmp_path);
+  const uint64_t fsync_t0 = obs::TraceRing::NowNs();
   if (s.ok() && ::fsync(fd) != 0) {
     s = Status::IOError(ErrnoText("cannot fsync", tmp_path));
+  }
+  if (s.ok() && obs::Enabled()) {
+    fsync_hist->Observe(obs::TraceRing::NowNs() - fsync_t0);
   }
   if (::close(fd) != 0 && s.ok()) {
     s = Status::IOError(ErrnoText("cannot close", tmp_path));
   }
   if (!s.ok()) {
     ::unlink(tmp_path.c_str());
+    errors_ctr->Inc();
     return s;
   }
   if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
     s = Status::IOError(ErrnoText("cannot rename over", path));
     ::unlink(tmp_path.c_str());
+    errors_ctr->Inc();
     return s;
   }
   // Make the rename itself durable; without this the directory entry can
   // still be lost even though the file data is on the device.
-  return FsyncDirectoryOf(path);
+  s = FsyncDirectoryOf(path);
+  if (!s.ok()) {
+    errors_ctr->Inc();
+    return s;
+  }
+  writes_ctr->Inc();
+  bytes_ctr->Inc(bytes.size());
+  return s;
 }
 
 Status DurableWriteFile(const std::string& path, const std::string& text) {

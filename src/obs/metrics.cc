@@ -1,0 +1,170 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace l1hh {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+std::atomic<size_t> g_next_stripe{0};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+namespace detail {
+size_t ThreadStripe() {
+  thread_local size_t stripe =
+      g_next_stripe.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+}  // namespace detail
+
+struct Registry::Impl {
+  std::mutex mu;
+  // Key is (name, labels). Instruments live in deques so pointers returned
+  // from Get* stay valid as the registry grows.
+  std::map<std::pair<std::string, std::string>, Counter*> counters;
+  std::map<std::pair<std::string, std::string>, Gauge*> gauges;
+  std::map<std::pair<std::string, std::string>, Histogram*> histograms;
+  std::deque<Counter> counter_store;
+  std::deque<Gauge> gauge_store;
+  std::deque<Histogram> histogram_store;
+};
+
+Registry& Registry::Get() {
+  static Registry* reg = new Registry();  // leaked: outlives all threads
+  return *reg;
+}
+
+Registry::Impl* Registry::impl() {
+  Impl* p = impl_.load(std::memory_order_acquire);
+  if (p != nullptr) return p;
+  Impl* fresh = new Impl();
+  if (impl_.compare_exchange_strong(p, fresh, std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete fresh;
+  return p;
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& labels) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  auto key = std::make_pair(name, labels);
+  auto it = im->counters.find(key);
+  if (it != im->counters.end()) return it->second;
+  im->counter_store.emplace_back();
+  Counter* c = &im->counter_store.back();
+  im->counters.emplace(std::move(key), c);
+  return c;
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& labels) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  auto key = std::make_pair(name, labels);
+  auto it = im->gauges.find(key);
+  if (it != im->gauges.end()) return it->second;
+  im->gauge_store.emplace_back();
+  Gauge* g = &im->gauge_store.back();
+  im->gauges.emplace(std::move(key), g);
+  return g;
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& labels) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  auto key = std::make_pair(name, labels);
+  auto it = im->histograms.find(key);
+  if (it != im->histograms.end()) return it->second;
+  im->histogram_store.emplace_back();
+  Histogram* h = &im->histogram_store.back();
+  im->histograms.emplace(std::move(key), h);
+  return h;
+}
+
+namespace {
+
+std::string RenderName(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+// Merge a base label set with an extra `le="..."` label.
+std::string RenderBucketName(const std::string& name, const std::string& labels,
+                             const std::string& le) {
+  std::string inner = labels.empty() ? "" : labels + ",";
+  return name + "_bucket{" + inner + "le=\"" + le + "\"}";
+}
+
+}  // namespace
+
+std::vector<std::string> Registry::ExpositionLines() const {
+  Impl* im = const_cast<Registry*>(this)->impl();
+  std::vector<std::string> lines;
+  std::lock_guard<std::mutex> lock(im->mu);
+  lines.reserve(im->counters.size() + im->gauges.size() +
+                im->histograms.size() * 8);
+  for (const auto& kv : im->counters) {
+    lines.push_back(RenderName(kv.first.first, kv.first.second) + " " +
+                    std::to_string(kv.second->Value()));
+  }
+  for (const auto& kv : im->gauges) {
+    lines.push_back(RenderName(kv.first.first, kv.first.second) + " " +
+                    std::to_string(kv.second->Value()));
+  }
+  for (const auto& kv : im->histograms) {
+    const std::string& name = kv.first.first;
+    const std::string& labels = kv.first.second;
+    const Histogram* h = kv.second;
+    // Render cumulative buckets up to the highest non-empty one, then +Inf.
+    size_t top = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h->BucketCount(i) != 0) top = i;
+    }
+    uint64_t cum = 0;
+    for (size_t i = 0; i <= top; ++i) {
+      cum += h->BucketCount(i);
+      lines.push_back(RenderBucketName(
+                          name, labels,
+                          std::to_string(Histogram::BucketBound(i))) +
+                      " " + std::to_string(cum));
+    }
+    lines.push_back(RenderBucketName(name, labels, "+Inf") + " " +
+                    std::to_string(h->Count()));
+    lines.push_back(RenderName(name + "_sum", labels) + " " +
+                    std::to_string(h->Sum()));
+    lines.push_back(RenderName(name + "_count", labels) + " " +
+                    std::to_string(h->Count()));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+std::string Registry::Exposition() const {
+  std::string out;
+  for (const std::string& line : ExpositionLines()) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void Registry::ResetForTest() {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  for (auto& c : im->counter_store) c.ResetForTest();
+  for (auto& g : im->gauge_store) g.ResetForTest();
+  for (auto& h : im->histogram_store) h.ResetForTest();
+}
+
+}  // namespace obs
+}  // namespace l1hh

@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace l1hh {
+namespace obs {
+
+TraceRing& TraceRing::Get() {
+  static TraceRing* ring = new TraceRing();  // leaked: outlives all threads
+  return *ring;
+}
+
+uint64_t TraceRing::NowNs() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+void TraceRing::Emit(Severity sev, const char* name, int64_t a, int64_t b) {
+  const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq & (kCapacity - 1)];
+  slot.ns.store(NowNs(), std::memory_order_relaxed);
+  slot.sev.store(static_cast<uint32_t>(sev), std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  // Publish: the ticket is the last write. Readers re-check it after loading
+  // the payload, so a slot reused for a newer event is detected and dropped.
+  slot.ticket.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::vector<TraceEvent> out;
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t begin = head > kCapacity ? head - kCapacity : 0;
+  out.reserve(static_cast<size_t>(head - begin));
+  for (uint64_t seq = begin; seq < head; ++seq) {
+    const Slot& slot = slots_[seq & (kCapacity - 1)];
+    const uint64_t ticket = slot.ticket.load(std::memory_order_acquire);
+    if (ticket != seq + 1) continue;  // not yet published or already reused
+    TraceEvent ev;
+    ev.seq = seq;
+    ev.ns = slot.ns.load(std::memory_order_relaxed);
+    ev.sev = static_cast<Severity>(slot.sev.load(std::memory_order_relaxed));
+    ev.name = slot.name.load(std::memory_order_relaxed);
+    ev.a = slot.a.load(std::memory_order_relaxed);
+    ev.b = slot.b.load(std::memory_order_relaxed);
+    // Torn-read guard: if a writer lapped us mid-read, drop the event.
+    if (slot.ticket.load(std::memory_order_acquire) != seq + 1) continue;
+    if (ev.name == nullptr) continue;
+    out.push_back(ev);
+  }
+  return out;
+}
+
+std::vector<std::string> TraceRing::DrainText() const {
+  std::vector<std::string> lines;
+  for (const TraceEvent& ev : Snapshot()) {
+    const char* sev = ev.sev == Severity::kWarn
+                          ? "warn"
+                          : (ev.sev == Severity::kDebug ? "debug" : "info");
+    lines.push_back(std::to_string(ev.seq) + " " + std::to_string(ev.ns) +
+                    "ns " + sev + " " + ev.name + " a=" + std::to_string(ev.a) +
+                    " b=" + std::to_string(ev.b));
+  }
+  return lines;
+}
+
+void TraceRing::ResetForTest() {
+  head_.store(0, std::memory_order_relaxed);
+  for (Slot& slot : slots_) {
+    slot.ticket.store(0, std::memory_order_relaxed);
+    slot.name.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+void Trace(Severity sev, const char* name, int64_t a, int64_t b) {
+  if (!Enabled()) return;
+  TraceRing::Get().Emit(sev, name, a, b);
+}
+
+}  // namespace obs
+}  // namespace l1hh

@@ -1,0 +1,80 @@
+// Lock-free trace ring for lifecycle events.
+//
+// A fixed power-of-two ring of structured events (timestamp, severity, a
+// static-string event name, two integer payloads). Emit claims a slot with
+// one relaxed fetch_add and publishes with a release store of the slot's
+// ticket; no locks, no CAS loops. Readers snapshot slots and discard torn
+// reads by re-checking the ticket — every slot field is an atomic, so racing
+// reads are well-defined (and TSan-clean) rather than seqlock-style UB.
+//
+// Event names MUST be string literals (or otherwise immortal): only the
+// pointer is stored.
+#ifndef L1HH_OBS_TRACE_H_
+#define L1HH_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace l1hh {
+namespace obs {
+
+enum class Severity : uint32_t { kDebug = 0, kInfo = 1, kWarn = 2 };
+
+struct TraceEvent {
+  uint64_t seq = 0;       // global emission order (0-based)
+  uint64_t ns = 0;        // nanoseconds since process start
+  Severity sev = Severity::kInfo;
+  const char* name = "";  // static event name, e.g. "checkpoint.commit"
+  int64_t a = 0;          // event-specific payloads (shard id, duration, ...)
+  int64_t b = 0;
+};
+
+class TraceRing {
+ public:
+  static constexpr size_t kCapacity = 1024;  // power of two
+
+  static TraceRing& Get();
+
+  // Nanoseconds since process start (steady clock).
+  static uint64_t NowNs();
+
+  void Emit(Severity sev, const char* name, int64_t a = 0, int64_t b = 0);
+
+  // The most recent events, oldest first. Events overwritten mid-read are
+  // dropped, never returned torn.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Snapshot rendered as text lines: "<seq> <ns>ns <sev> <name> a=<a> b=<b>".
+  std::vector<std::string> DrainText() const;
+
+  uint64_t emitted() const { return head_.load(std::memory_order_relaxed); }
+
+  void ResetForTest();
+
+ private:
+  TraceRing() = default;
+
+  struct Slot {
+    // ticket == seq + 1 of the event stored here; 0 means never written.
+    std::atomic<uint64_t> ticket{0};
+    std::atomic<uint64_t> ns{0};
+    std::atomic<uint32_t> sev{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<int64_t> a{0};
+    std::atomic<int64_t> b{0};
+  };
+
+  alignas(64) std::atomic<uint64_t> head_{0};
+  Slot slots_[kCapacity];
+};
+
+// Convenience wrapper honoring the global Enabled() switch.
+void Trace(Severity sev, const char* name, int64_t a = 0, int64_t b = 0);
+
+}  // namespace obs
+}  // namespace l1hh
+
+#endif  // L1HH_OBS_TRACE_H_

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace l1hh {
 namespace {
 
@@ -109,6 +111,11 @@ void SlidingWindowSummary::Rotate() {
   buckets_.back() = MakeBucket();
   ++rotations_;
   InvalidateCache();
+  // One per bucket boundary (every bucket_width_ items) — cold enough to
+  // count unconditionally.
+  static obs::Counter* const rotations_ctr =
+      obs::GetCounter("l1hh_window_rotations_total");
+  rotations_ctr->Inc();
 }
 
 void SlidingWindowSummary::Update(uint64_t item, uint64_t weight) {

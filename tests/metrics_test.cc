@@ -1,0 +1,241 @@
+// Unit battery for the src/obs/ telemetry layer (ctest label "obs").
+//
+// Covers the contracts the instrumented hot paths rely on: striped counters
+// lose no increments under concurrency (the TSan leg runs this suite), log2
+// histogram bucket boundaries match BucketIndex/BucketBound, exposition text
+// renders stable golden lines, and the trace ring survives wraparound
+// without tearing or reordering.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace l1hh {
+namespace obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    Registry::Get().ResetForTest();
+    TraceRing::Get().ResetForTest();
+  }
+};
+
+TEST_F(ObsTest, ConcurrentIncrementsLoseNothing) {
+  Counter* c = GetCounter("obstest_concurrent_total");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c->Inc();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->Value(), kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, ConcurrentHistogramAndGauge) {
+  Histogram* h = GetHistogram("obstest_concurrent_ns");
+  Gauge* g = GetGauge("obstest_concurrent_gauge");
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, g, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h->Observe(i % 7);
+        g->Add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h->Count(), kThreads * kPerThread);
+  EXPECT_EQ(g->Value(),
+            static_cast<int64_t>(kThreads) * static_cast<int64_t>(kPerThread));
+}
+
+TEST_F(ObsTest, DisabledSwitchFreezesValues) {
+  Counter* c = GetCounter("obstest_switch_total");
+  c->Inc(3);
+  SetEnabled(false);
+  c->Inc(100);
+  GetGauge("obstest_switch_gauge")->Set(42);
+  GetHistogram("obstest_switch_ns")->Observe(9);
+  SetEnabled(true);
+  EXPECT_EQ(c->Value(), 3u);
+  EXPECT_EQ(GetGauge("obstest_switch_gauge")->Value(), 0);
+  EXPECT_EQ(GetHistogram("obstest_switch_ns")->Count(), 0u);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  // bucket 0 is exactly v == 0; bucket i >= 1 covers [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 64u);
+
+  EXPECT_EQ(Histogram::BucketBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketBound(64), UINT64_MAX);
+
+  // Every value lands in a bucket whose inclusive bound admits it and whose
+  // predecessor's bound excludes it.
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{2}, uint64_t{3},
+                     uint64_t{7}, uint64_t{8}, uint64_t{255}, uint64_t{256},
+                     uint64_t{1} << 40, UINT64_MAX}) {
+    const size_t i = Histogram::BucketIndex(v);
+    ASSERT_LT(i, Histogram::kBuckets);
+    EXPECT_LE(v, Histogram::BucketBound(i)) << "v=" << v;
+    if (i > 0) {
+      EXPECT_GT(v, Histogram::BucketBound(i - 1)) << "v=" << v;
+    }
+  }
+
+  Histogram h;
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(5);
+  h.Observe(5);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(3), 2u);  // 5 in [4, 8)
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 11u);
+}
+
+TEST_F(ObsTest, ExpositionGoldenLines) {
+  GetCounter("obstest_expo_total")->Inc(7);
+  GetCounter("obstest_expo_labeled_total", "shard=\"2\"")->Inc(3);
+  GetGauge("obstest_expo_gauge")->Set(-4);
+  Histogram* h = GetHistogram("obstest_expo_ns");
+  h->Observe(0);
+  h->Observe(3);
+  h->Observe(3);
+
+  const std::vector<std::string> lines = Registry::Get().ExpositionLines();
+  auto has = [&lines](const std::string& want) {
+    return std::find(lines.begin(), lines.end(), want) != lines.end();
+  };
+  EXPECT_TRUE(has("obstest_expo_total 7"));
+  EXPECT_TRUE(has("obstest_expo_labeled_total{shard=\"2\"} 3"));
+  EXPECT_TRUE(has("obstest_expo_gauge -4"));
+  // Cumulative buckets: le="0" admits the zero, le="1" adds nothing, le="3"
+  // admits both 3s (bucket [2,4), inclusive upper bound 3), +Inf everything.
+  EXPECT_TRUE(has("obstest_expo_ns_bucket{le=\"0\"} 1"));
+  EXPECT_TRUE(has("obstest_expo_ns_bucket{le=\"1\"} 1"));
+  EXPECT_TRUE(has("obstest_expo_ns_bucket{le=\"3\"} 3"));
+  EXPECT_TRUE(has("obstest_expo_ns_bucket{le=\"+Inf\"} 3"));
+  EXPECT_TRUE(has("obstest_expo_ns_sum 6"));
+  EXPECT_TRUE(has("obstest_expo_ns_count 3"));
+
+  // Output is sorted, hence stable across scrapes.
+  EXPECT_TRUE(std::is_sorted(lines.begin(), lines.end()));
+
+  // Exposition() is the joined form of ExpositionLines().
+  std::string joined;
+  for (const auto& l : lines) {
+    joined += l;
+    joined += '\n';
+  }
+  EXPECT_EQ(Registry::Get().Exposition(), joined);
+}
+
+TEST_F(ObsTest, RegistryReturnsStablePointers) {
+  Counter* a = GetCounter("obstest_stable_total");
+  for (int i = 0; i < 200; ++i) {
+    GetCounter("obstest_churn_total_" + std::to_string(i));
+  }
+  EXPECT_EQ(GetCounter("obstest_stable_total"), a);
+  a->Inc();
+  EXPECT_EQ(a->Value(), 1u);
+  Registry::Get().ResetForTest();
+  EXPECT_EQ(a->Value(), 0u);
+  EXPECT_EQ(GetCounter("obstest_stable_total"), a);
+}
+
+TEST_F(ObsTest, TraceRingRecordsAndRenders) {
+  Trace(Severity::kInfo, "obstest.event", 11, 22);
+  Trace(Severity::kWarn, "obstest.warn", -1);
+  const std::vector<TraceEvent> events = TraceRing::Get().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_STREQ(events[0].name, "obstest.event");
+  EXPECT_EQ(events[0].a, 11);
+  EXPECT_EQ(events[0].b, 22);
+  EXPECT_EQ(events[1].sev, Severity::kWarn);
+  EXPECT_EQ(events[1].a, -1);
+
+  const std::vector<std::string> text = TraceRing::Get().DrainText();
+  ASSERT_EQ(text.size(), 2u);
+  EXPECT_NE(text[0].find("obstest.event a=11 b=22"), std::string::npos);
+  EXPECT_NE(text[1].find("warn obstest.warn"), std::string::npos);
+
+  // Disabled switch silences the convenience wrapper too.
+  SetEnabled(false);
+  Trace(Severity::kInfo, "obstest.silenced");
+  SetEnabled(true);
+  EXPECT_EQ(TraceRing::Get().emitted(), 2u);
+}
+
+TEST_F(ObsTest, TraceRingWraparoundKeepsNewestInOrder) {
+  constexpr uint64_t kTotal = TraceRing::kCapacity + 137;
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    Trace(Severity::kDebug, "obstest.wrap", static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(TraceRing::Get().emitted(), kTotal);
+  const std::vector<TraceEvent> events = TraceRing::Get().Snapshot();
+  ASSERT_EQ(events.size(), TraceRing::kCapacity);
+  // Oldest surviving event is kTotal - kCapacity; order is strictly by seq.
+  EXPECT_EQ(events.front().seq, kTotal - TraceRing::kCapacity);
+  EXPECT_EQ(events.back().seq, kTotal - 1);
+  for (size_t i = 1; i < events.size(); ++i) {
+    ASSERT_EQ(events[i].seq, events[i - 1].seq + 1);
+    ASSERT_EQ(events[i].a, static_cast<int64_t>(events[i].seq));
+  }
+}
+
+TEST_F(ObsTest, TraceRingConcurrentEmitSnapshotIsClean) {
+  // Writers hammer the ring while a reader snapshots; the reader must never
+  // observe a torn event (name/seq mismatch). TSan validates the atomics.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&stop, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Trace(Severity::kDebug, "obstest.stress", t, static_cast<int64_t>(i++));
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    const std::vector<TraceEvent> events = TraceRing::Get().Snapshot();
+    for (size_t i = 1; i < events.size(); ++i) {
+      ASSERT_GT(events[i].seq, events[i - 1].seq);
+    }
+    for (const TraceEvent& e : events) {
+      ASSERT_STREQ(e.name, "obstest.stress");
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace l1hh

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -129,6 +130,48 @@ class Client {
   int fd_ = -1;
   std::string buffer_;
 };
+
+// Issues `metrics` and returns {exposition name -> value}, asserting every
+// line is well-formed `name{labels} value`.
+std::map<std::string, long long> Scrape(Client& client) {
+  client.SendLine("metrics");
+  const std::string head = client.ReadLine();
+  std::map<std::string, long long> out;
+  unsigned long long count = 0;
+  if (std::sscanf(head.c_str(), "metrics %llu", &count) != 1) {
+    ADD_FAILURE() << "bad metrics reply header '" << head << "'";
+    return out;
+  }
+  for (unsigned long long i = 0; i < count; ++i) {
+    const std::string line = client.ReadLine();
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      ADD_FAILURE() << "bad exposition line '" << line << "'";
+      continue;
+    }
+    const std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    // Metric names are [a-z0-9_:] with an optional {label="..."} block.
+    const size_t brace = name.find('{');
+    const std::string bare = name.substr(0, brace);
+    EXPECT_FALSE(bare.empty()) << line;
+    for (const char c : bare) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_' || c == ':')
+          << "bad metric name char '" << c << "' in '" << line << "'";
+    }
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(value.c_str(), &end, 10);
+    EXPECT_TRUE(errno == 0 && end != nullptr && *end == '\0')
+        << "bad exposition value in '" << line << "'";
+    out[name] = v;
+  }
+  return out;
+}
 
 pid_t StartServer(const std::string& socket_path, uint64_t stream_length) {
   const pid_t pid = ::fork();
@@ -252,6 +295,96 @@ TEST(ServeTest, ConcurrentWritersMatchOfflineRun) {
 
   int wstatus = 0;
   ASSERT_EQ(::waitpid(server, &wstatus, 0), server);
+  EXPECT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+}
+
+// Telemetry surface on the wire: the `metrics` verb returns well-formed
+// exposition whose ingest counter exactly matches the items sent, monotone
+// counters never decrease across scrapes, and `stats` reports per-slot
+// enqueued counts.
+TEST(ServeTest, MetricsScrapeCountsIngestExactly) {
+  const std::string socket_path =
+      testing::TempDir() + "/l1hh_serve_metrics.sock";
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const std::string socket_flag = "--socket=" + socket_path;
+    ::execl(L1HH_SERVE_BINARY, L1HH_SERVE_BINARY, socket_flag.c_str(),
+            "--algo=space_saving", "--shards=2", "--producers=4",
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ASSERT_GT(pid, 0);
+
+  Client client(socket_path);
+  constexpr uint64_t kFirst = 300;
+  for (uint64_t i = 0; i < kFirst; ++i) {
+    client.SendLine(std::to_string(i % 13));
+  }
+  client.SendLine("flush");
+  EXPECT_EQ(client.ReadLine(), "ok " + std::to_string(kFirst));
+
+  const auto before = Scrape(client);
+  {
+    const auto it = before.find("l1hh_serve_ingest_items_total");
+    ASSERT_NE(it, before.end());
+    EXPECT_EQ(it->second, static_cast<long long>(kFirst));
+  }
+  EXPECT_GE(before.count("l1hh_serve_connections_total"), 1u);
+  EXPECT_GE(before.count("l1hh_engine_items_applied_total"), 1u);
+  {
+    // The scrape publishes per-slot gauges; this connection owns slot 1
+    // (slot 0 is the merge view), so its enqueued count is the full ingest.
+    const auto it = before.find("l1hh_engine_slot_enqueued{slot=\"1\"}");
+    ASSERT_NE(it, before.end());
+    EXPECT_EQ(it->second, static_cast<long long>(kFirst));
+  }
+
+  // Second batch, then re-scrape: counters must be monotone.
+  constexpr uint64_t kSecond = 200;
+  for (uint64_t i = 0; i < kSecond; ++i) {
+    client.SendLine(std::to_string(i % 5));
+  }
+  client.SendLine("flush");
+  EXPECT_EQ(client.ReadLine(), "ok " + std::to_string(kFirst + kSecond));
+
+  const auto after = Scrape(client);
+  {
+    const auto it = after.find("l1hh_serve_ingest_items_total");
+    ASSERT_NE(it, after.end());
+    EXPECT_EQ(it->second, static_cast<long long>(kFirst + kSecond));
+  }
+  auto monotone = [](const std::string& name) {
+    auto ends_with = [&name](const char* suffix) {
+      const size_t n = std::strlen(suffix);
+      return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+    };
+    const size_t brace = name.find('{');
+    const std::string bare = name.substr(0, brace);
+    return ends_with("_total") || ends_with("_sum") || ends_with("_count") ||
+           (bare.size() > 7 &&
+            bare.compare(bare.size() - 7, 7, "_bucket") == 0);
+  };
+  for (const auto& [name, value] : before) {
+    if (!monotone(name)) continue;  // gauges may move either way
+    const auto it = after.find(name);
+    ASSERT_NE(it, after.end()) << name << " vanished between scrapes";
+    EXPECT_GE(it->second, value) << name << " decreased between scrapes";
+  }
+
+  // `stats` reports slot occupancy and per-slot enqueued counts.
+  client.SendLine("stats");
+  const std::string stats = client.ReadLine();
+  EXPECT_EQ(stats.rfind("stats items=", 0), 0u) << stats;
+  EXPECT_NE(stats.find(" slots=1/4"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" slot1=" + std::to_string(kFirst + kSecond) + "*"),
+            std::string::npos)
+      << stats;
+
+  client.SendLine("shutdown");
+  EXPECT_EQ(client.ReadLine(), "ok");
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
   EXPECT_TRUE(WIFEXITED(wstatus));
   EXPECT_EQ(WEXITSTATUS(wstatus), 0);
 }

@@ -24,6 +24,13 @@
 //   l1hh_cli run --algo=misra_gries --format=json
 //                                             # machine-readable one-line
 //                                             # JSON report (also: merge)
+//   l1hh_cli run --algo=space_saving --shards=4 --stats[=json]
+//                                             # print the telemetry registry
+//                                             # after the run (exposition
+//                                             # text or JSON; with
+//                                             # --format=json it embeds as a
+//                                             # "metrics" object — see
+//                                             # docs/OBSERVABILITY.md)
 //   l1hh_cli generate --groups=4 --m=1000000  # "group item" per line: G
 //                                             # tenants' Zipf streams,
 //                                             # clustered in runs of 64
@@ -75,6 +82,7 @@
 #include "engine/sharded_engine.h"
 #include "group/grouped_summary.h"
 #include "io/snapshot.h"
+#include "obs/metrics.h"
 #include "stream/stream_generator.h"
 #include "summary/evaluation.h"
 #include "summary/summary.h"
@@ -116,6 +124,11 @@ struct Args {
   // also makes `generate` emit two-column grouped output.
   bool group_col = false;
   uint64_t groups = 0;
+  // Telemetry printing for `run`: empty = off, "text" prints the registry
+  // as Prometheus-style exposition lines after the report, "json" prints
+  // one {"metrics":{...}} object (with --format=json either value embeds
+  // a "metrics" object in the run report instead).
+  std::string stats;
   // Snapshot paths: --out for `save`, --save for `run`, positionals for
   // `load` / `merge`.
   std::string out;
@@ -143,7 +156,7 @@ const char* const kKnownFlags[] = {
     "--kind",  "--algo", "--algorithm", "--alpha",   "--epsilon",
     "--phi",   "--delta", "--n",        "--m",       "--seed",
     "--shards", "--threads", "--out",   "--save",    "--window",
-    "--buckets", "--format", "--group-col", "--groups",
+    "--buckets", "--format", "--group-col", "--groups", "--stats",
 };
 
 size_t EditDistance(const std::string& a, const std::string& b) {
@@ -195,8 +208,18 @@ bool Parse(int argc, char** argv, Args* out) {
       continue;
     }
     if (key == "--group-col") {
-      // The one boolean flag: its presence is the value.
+      // A boolean flag: its presence is the value.
       out->group_col = true;
+      continue;
+    }
+    if (key == "--stats" || key.rfind("--stats=", 0) == 0) {
+      // Presence-only (defaults to text exposition) or --stats=json;
+      // intercepted here so bare --stats never swallows the next token.
+      out->stats = key == "--stats" ? "text" : key.substr(8);
+      if (out->stats != "text" && out->stats != "json") {
+        std::fprintf(stderr, "--stats must be text or json\n");
+        return false;
+      }
       continue;
     }
     std::string value;
@@ -273,6 +296,13 @@ bool Parse(int argc, char** argv, Args* out) {
   if (out->format == "json" && !out->command.empty() &&
       out->command != "run" && out->command != "merge") {
     std::fprintf(stderr, "--format=json is supported by run and merge\n");
+    return false;
+  }
+  // The registry only fills during an actual run; printing it after any
+  // other command would show zeros and mislead — reject.
+  if (!out->stats.empty() && !out->command.empty() &&
+      out->command != "run") {
+    std::fprintf(stderr, "--stats is supported by run\n");
     return false;
   }
   // Grouped mode only exists where a GroupedSummary can be driven; on
@@ -622,9 +652,40 @@ int CmdLoad(const Args& a) {
   return 0;
 }
 
+/// The telemetry registry as one JSON object: exposition line names
+/// (label quotes escaped) keyed to their integer values.
+std::string MetricsJsonObject() {
+  std::string out = "{";
+  bool first = true;
+  for (const std::string& line : obs::Registry::Get().ExpositionLines()) {
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    std::string key;
+    for (const char c : line.substr(0, space)) {
+      if (c == '"') key += '\\';
+      key += c;
+    }
+    out += (first ? "\"" : ",\"") + key + "\":" + line.substr(space + 1);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+/// `--stats[=json]` output when it is NOT embedded in a JSON run report:
+/// raw exposition lines, or one {"metrics":{...}} object on one line.
+void PrintStats(const std::string& mode) {
+  if (mode == "json") {
+    std::printf("{\"metrics\":%s}\n", MetricsJsonObject().c_str());
+    return;
+  }
+  std::fputs(obs::Registry::Get().Exposition().c_str(), stdout);
+}
+
 /// Machine-readable `run` report (--format=json): one JSON object on one
 /// line, so CI smokes can assert on fields instead of grepping prose.
-/// Keys are stable; `window` is null for non-windowed runs.
+/// Keys are stable; `window` is null for non-windowed runs.  With
+/// `--stats` a "metrics" object (the telemetry registry) rides along.
 void PrintJsonRunReport(const Args& a, const SummaryRunResult& r,
                         uint64_t m) {
   std::printf("{\"command\":\"run\",\"algo\":\"%s\",\"m\":%llu,"
@@ -659,7 +720,11 @@ void PrintJsonRunReport(const Args& a, const SummaryRunResult& r,
                 r.report[i].estimate,
                 static_cast<unsigned long long>(r.report_exact[i]));
   }
-  std::printf("]}\n");
+  std::printf("]");
+  if (!a.stats.empty()) {
+    std::printf(",\"metrics\":%s", MetricsJsonObject().c_str());
+  }
+  std::printf("}\n");
 }
 
 /// Coordinator end of the distributed workflow: loads every snapshot,
@@ -783,6 +848,7 @@ int CmdRunGrouped(const Args& a) {
     if (s.recalled != s.true_heavies) all_recalled = false;
   }
 
+  if (!a.stats.empty()) grouped->PublishMetrics();
   if (a.format == "json") {
     std::printf("{\"command\":\"run\",\"grouped\":true,\"algo\":\"%s\","
                 "\"tenants\":%llu,\"m_per_tenant\":%llu,\"epsilon\":%.6g,"
@@ -806,7 +872,11 @@ int CmdRunGrouped(const Args& a) {
                       : static_cast<double>(s.recalled) /
                             static_cast<double>(s.true_heavies));
     }
-    std::printf("]}\n");
+    std::printf("]");
+    if (!a.stats.empty()) {
+      std::printf(",\"metrics\":%s", MetricsJsonObject().c_str());
+    }
+    std::printf("}\n");
   } else {
     std::printf("algo=%s  grouped: %llu tenants x %llu zipf(alpha=%.2f) "
                 "items  eps=%.3f  phi=%.3f  seed=%llu  %.1f ns/item\n",
@@ -825,6 +895,7 @@ int CmdRunGrouped(const Args& a) {
     }
     std::printf("groups: %zu live   memory: %zu bytes\n",
                 grouped->group_count(), grouped->MemoryUsageBytes());
+    if (!a.stats.empty()) PrintStats(a.stats);
   }
   if (!a.save_path.empty()) {
     const Status saved = SaveGroupedToFile(*grouped, a.save_path);
@@ -856,6 +927,9 @@ int CmdRun(const Args& a) {
     std::fprintf(stderr, "%s; try `l1hh_cli list`\n", r.error.c_str());
     return 2;
   }
+  // Scrape-time gauges (per-shard applied/high-water, per-slot enqueued)
+  // are published by the engine; counters/histograms are already live.
+  if (!a.stats.empty() && engine != nullptr) engine->PublishMetrics();
   if (a.format == "json") {
     PrintJsonRunReport(a, r, m_arg);
   } else {
@@ -890,6 +964,7 @@ int CmdRun(const Args& a) {
                 "%zu   memory: %zu bytes\n",
                 r.true_heavies, r.recalled, r.report.size(),
                 r.memory_bytes);
+    if (!a.stats.empty()) PrintStats(a.stats);
   }
   if (!a.save_path.empty()) {
     // Sharded runs snapshot the merged view — one file a coordinator can

@@ -23,7 +23,12 @@
 //   estimate <item>     point estimate
 //   stats               "stats items=<primary items at last sync>
 //                       shards=<K> syncs=<completed syncs>
-//                       primary=<up|lost> algo=<name>"
+//                       primary=<up|lost> algo=<name> lag_items=<n>"
+//                       (lag_items = primary items at the last rsync
+//                       minus items applied to replica state, clamped at
+//                       0 — the warm-standby health signal)
+//   metrics             "metrics <N>" then N lines of Prometheus-style
+//                       text exposition from the telemetry registry
 //   quit                close this connection
 //   shutdown            replies "ok", stops the replica process
 #include <algorithm>
@@ -45,6 +50,8 @@
 #include <unistd.h>
 
 #include "io/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "summary/summary.h"
 #include "util/status.h"
 
@@ -208,6 +215,26 @@ void OnSignal(int) {
   }
 }
 
+// Items applied to replica state (sum over shard summaries).  Caller
+// holds state.mutex.
+uint64_t ReplicaAppliedLocked(const ReplicaState& state) {
+  uint64_t applied = 0;
+  for (const auto& shard : state.shards) {
+    if (shard != nullptr) applied += shard->ItemsProcessed();
+  }
+  return applied;
+}
+
+// The warm-standby health signal: primary items at the last completed
+// rsync minus items applied here.  Frames land BEFORE the rsync that
+// commits their round, so applied can transiently exceed items — clamp
+// at 0 rather than reporting a bogus negative lag.  Caller holds
+// state.mutex.
+uint64_t LagItemsLocked(const ReplicaState& state) {
+  const uint64_t applied = ReplicaAppliedLocked(state);
+  return state.items > applied ? state.items - applied : 0;
+}
+
 // The query view: the lone shard itself for K == 1 (supports
 // non-mergeable algorithms), otherwise an on-demand merge of all shards,
 // cached until the next completed sync.  Caller holds state.mutex.
@@ -262,6 +289,10 @@ bool DrainSyncRound(ReplicaState& state, LineReader& reader,
                             bytes.size())) {
         return false;
       }
+      obs::GetCounter("l1hh_replica_frames_total",
+                      std::strcmp(kind, "full") == 0 ? "kind=\"full\""
+                                                     : "kind=\"delta\"")
+          ->Inc();
       std::lock_guard<std::mutex> lock(state.mutex);
       if (std::strcmp(kind, "full") == 0) {
         Status status;
@@ -294,6 +325,12 @@ bool DrainSyncRound(ReplicaState& state, LineReader& reader,
       std::lock_guard<std::mutex> lock(state.mutex);
       state.items = std::strtoull(line.c_str() + 6, nullptr, 10);
       ++state.syncs;
+      obs::GetCounter("l1hh_replica_sync_rounds_total")->Inc();
+      obs::GetGauge("l1hh_replica_lag_items")
+          ->Set(static_cast<int64_t>(LagItemsLocked(state)));
+      obs::Trace(obs::Severity::kDebug, "replica.sync",
+                 static_cast<int64_t>(state.syncs),
+                 static_cast<int64_t>(state.items));
       return true;
     }
     std::fprintf(stderr, "replica: unexpected line from primary: '%s'\n",
@@ -359,6 +396,10 @@ void ReplicationLoop(ReplicaState& state, const ReplicaArgs& args) {
     return;
   }
   state.primary_up.store(true, std::memory_order_relaxed);
+  obs::GetGauge("l1hh_replica_primary_up")->Set(1);
+  obs::GetCounter("l1hh_replica_primary_transitions_total")->Inc();
+  obs::Trace(obs::Severity::kInfo, "replica.primary_up",
+             static_cast<int64_t>(shards));
   std::printf("synced %s shards=%llu\n", algo, shards);
   std::fflush(stdout);
 
@@ -371,6 +412,9 @@ void ReplicationLoop(ReplicaState& state, const ReplicaArgs& args) {
     }
   }
   state.primary_up.store(false, std::memory_order_relaxed);
+  obs::GetGauge("l1hh_replica_primary_up")->Set(0);
+  obs::GetCounter("l1hh_replica_primary_transitions_total")->Inc();
+  obs::Trace(obs::Severity::kWarn, "replica.primary_lost");
   ::close(fd);
 }
 
@@ -429,6 +473,9 @@ void HandleQueryConnection(ReplicaState* state, const ReplicaArgs* args,
     }
     if (line == "stats") {
       std::lock_guard<std::mutex> lock(state->mutex);
+      const uint64_t lag = LagItemsLocked(*state);
+      obs::GetGauge("l1hh_replica_lag_items")
+          ->Set(static_cast<int64_t>(lag));
       WriteLine(fd,
                 "stats items=" + std::to_string(state->items) +
                     " shards=" + std::to_string(state->shards.size()) +
@@ -436,7 +483,18 @@ void HandleQueryConnection(ReplicaState* state, const ReplicaArgs* args,
                     (state->primary_up.load(std::memory_order_relaxed)
                          ? "up"
                          : "lost") +
-                    " algo=" + state->algorithm);
+                    " algo=" + state->algorithm +
+                    " lag_items=" + std::to_string(lag));
+      continue;
+    }
+    if (line == "metrics") {
+      const std::vector<std::string> lines =
+          obs::Registry::Get().ExpositionLines();
+      std::string reply = "metrics " + std::to_string(lines.size());
+      for (const std::string& metric_line : lines) {
+        reply += "\n" + metric_line;
+      }
+      WriteLine(fd, reply);
       continue;
     }
     if (line == "quit") break;

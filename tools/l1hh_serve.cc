@@ -23,7 +23,15 @@
 //                       one "<item> <estimate>" line per hitter
 //   estimate <item>     point estimate; replies "est <item> <value>"
 //   stats               replies "stats items=.. shards=.. threads=..
-//                       producers=.. algo=.."
+//                       producers=.. algo=.. slots=<active>/<total>
+//                       slot<p>=<enqueued>..." (one slot<p> field per
+//                       producer slot, slot 0 being the engine's own)
+//   metrics             replies "metrics <N>" then N lines of
+//                       Prometheus-style text exposition
+//                       (name{label="v"} value) from the process-wide
+//                       telemetry registry (docs/OBSERVABILITY.md)
+//   trace               replies "trace <N>" then the N most recent
+//                       lifecycle events from the trace ring
 //   replicate           start (or restart) replication on this
 //                       connection: replies "rconf shards=<K> algo=<A>",
 //                       then one full frame per shard, then
@@ -67,6 +75,8 @@
 #include <unistd.h>
 
 #include "engine/sharded_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "summary/summary.h"
 #include "util/status.h"
 
@@ -288,6 +298,18 @@ bool ParseU64(const char* text, uint64_t* out) {
 // first ingest request, so query-only clients (dashboards) never consume
 // one, and released when the connection closes.
 void HandleConnection(Server* server, int fd) {
+  static obs::Counter* const connections_ctr =
+      obs::GetCounter("l1hh_serve_connections_total");
+  static obs::Gauge* const active_conns =
+      obs::GetGauge("l1hh_serve_active_connections");
+  static obs::Counter* const ingest_ctr =
+      obs::GetCounter("l1hh_serve_ingest_items_total");
+  static obs::Counter* const ingest_err_ctr =
+      obs::GetCounter("l1hh_serve_ingest_errors_total");
+  static obs::Counter* const queries_ctr =
+      obs::GetCounter("l1hh_serve_queries_total");
+  connections_ctr->Inc();
+  active_conns->Add(1);
   LineReader reader(fd);
   std::unique_ptr<ShardedEngine::Producer> producer;
   ShardedEngine& engine = *server->engine;
@@ -311,16 +333,22 @@ void HandleConnection(Server* server, int fd) {
     if (line[0] >= '0' && line[0] <= '9') {
       uint64_t item = 0;
       if (!ParseU64(line.c_str(), &item)) {
+        ingest_err_ctr->Inc();
         WriteLine(fd, "err malformed item id '" + line + "'");
         continue;
       }
-      if (!ensure_producer()) continue;
+      if (!ensure_producer()) {
+        ingest_err_ctr->Inc();
+        continue;
+      }
       producer->Update(item);
+      ingest_ctr->Inc();
       continue;
     }
     if (line.rfind("bin ", 0) == 0) {
       uint64_t count = 0;
       if (!ParseU64(line.c_str() + 4, &count) || count > kMaxBinaryBatch) {
+        ingest_err_ctr->Inc();
         WriteLine(fd, "err malformed binary batch header '" + line + "'");
         break;  // the payload length is unknown; the stream is desynced
       }
@@ -334,16 +362,22 @@ void HandleConnection(Server* server, int fd) {
       if constexpr (std::endian::native == std::endian::big) {
         for (uint64_t& item : batch) item = __builtin_bswap64(item);
       }
-      if (!ensure_producer()) continue;
+      if (!ensure_producer()) {
+        ingest_err_ctr->Inc();
+        continue;
+      }
       producer->UpdateBatch(batch);
+      ingest_ctr->Inc(count);
       continue;
     }
     if (line == "flush") {
+      queries_ctr->Inc();
       engine.Flush();
       WriteLine(fd, "ok " + std::to_string(engine.ItemsProcessed()));
       continue;
     }
     if (line == "heavy" || line.rfind("heavy ", 0) == 0) {
+      queries_ctr->Inc();
       double phi = server->default_phi;
       if (line.size() > 6) {
         phi = std::atof(line.c_str() + 6);
@@ -364,6 +398,7 @@ void HandleConnection(Server* server, int fd) {
       continue;
     }
     if (line.rfind("estimate ", 0) == 0) {
+      queries_ctr->Inc();
       uint64_t item = 0;
       if (!ParseU64(line.c_str() + 9, &item)) {
         WriteLine(fd, "err malformed item id in '" + line + "'");
@@ -377,12 +412,50 @@ void HandleConnection(Server* server, int fd) {
       continue;
     }
     if (line == "stats") {
-      WriteLine(fd,
-                "stats items=" + std::to_string(engine.ItemsProcessed()) +
-                    " shards=" + std::to_string(engine.num_shards()) +
-                    " threads=" + std::to_string(engine.num_threads()) +
-                    " producers=" + std::to_string(engine.active_producers()) +
-                    " algo=" + engine.algorithm());
+      queries_ctr->Inc();
+      // Per-slot enqueued counts + slot occupancy ride after the legacy
+      // fields (existing clients key on the prefix).  Slot exhaustion is
+      // visible here BEFORE ingesting connections start drawing "err".
+      const EngineMetrics m = engine.Metrics();
+      std::string reply =
+          "stats items=" + std::to_string(engine.ItemsProcessed()) +
+          " shards=" + std::to_string(engine.num_shards()) +
+          " threads=" + std::to_string(engine.num_threads()) +
+          " producers=" + std::to_string(m.active_producers) +
+          " algo=" + engine.algorithm() +
+          " slots=" + std::to_string(m.active_producers) + "/" +
+          std::to_string(m.max_producers - 1);
+      for (size_t p = 0; p < m.slot_enqueued.size(); ++p) {
+        reply += " slot" + std::to_string(p) + "=" +
+                 std::to_string(m.slot_enqueued[p]) +
+                 (m.slot_active[p] != 0 ? "*" : "");
+      }
+      WriteLine(fd, reply);
+      continue;
+    }
+    if (line == "metrics") {
+      queries_ctr->Inc();
+      // Point-in-time gauges are published at scrape time; counters and
+      // histograms are already live.
+      engine.PublishMetrics();
+      const std::vector<std::string> lines =
+          obs::Registry::Get().ExpositionLines();
+      std::string reply = "metrics " + std::to_string(lines.size());
+      for (const std::string& metric_line : lines) {
+        reply += "\n" + metric_line;
+      }
+      WriteLine(fd, reply);
+      continue;
+    }
+    if (line == "trace") {
+      queries_ctr->Inc();
+      const std::vector<std::string> lines =
+          obs::TraceRing::Get().DrainText();
+      std::string reply = "trace " + std::to_string(lines.size());
+      for (const std::string& event_line : lines) {
+        reply += "\n" + event_line;
+      }
+      WriteLine(fd, reply);
       continue;
     }
     if (line == "replicate" || line == "sync") {
@@ -439,6 +512,7 @@ void HandleConnection(Server* server, int fd) {
     }
     WriteLine(fd, "err unknown request '" + line + "'");
   }
+  active_conns->Add(-1);
   // ~Producer releases the slot for the next connection.
 }
 
