@@ -14,6 +14,7 @@
 #include "io/durable_file.h"
 #include "io/snapshot.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/random.h"
 #include "window/sliding_window_summary.h"
@@ -899,6 +900,7 @@ const Summary& ShardedEngine::RebuildMergedLocked() {
       obs::GetCounter("l1hh_engine_merge_rebuilds_total");
   static obs::Histogram* const rebuild_hist =
       obs::GetHistogram("l1hh_engine_merge_rebuild_ns");
+  obs::ScopedPhase phase("merge_rebuild");  // only the cache-miss branch
   const bool obs_on = obs::Enabled();
   const uint64_t t0 = obs_on ? obs::TraceRing::NowNs() : 0;
   merged_ = MakeSummary(options_.algorithm, options_.summary);
@@ -932,20 +934,61 @@ const Summary& ShardedEngine::MergedView() {
 }
 
 double ShardedEngine::Estimate(uint64_t item) {
+  // Inert (flattened) when a serving front end already opened a verb span
+  // on this thread; stands alone for direct embedders.
+  obs::QuerySpan span("estimate");
   std::lock_guard<std::mutex> lock(state_mutex_);
-  Flush();
-  PauseWorkers();
-  const double estimate = RebuildMergedLocked().Estimate(item);
+  {
+    obs::ScopedPhase park("park_wait");
+    Flush();
+    PauseWorkers();
+  }
+  const Summary& view = RebuildMergedLocked();
+  double estimate;
+  {
+    obs::ScopedPhase report("report");
+    estimate = view.Estimate(item);
+  }
   ResumeWorkers();
   return estimate;
 }
 
-std::vector<ItemEstimate> ShardedEngine::HeavyHitters(double phi) {
+std::vector<double> ShardedEngine::EstimateBatch(
+    const std::vector<uint64_t>& items) {
+  obs::QuerySpan span("estimate");
   std::lock_guard<std::mutex> lock(state_mutex_);
-  Flush();
-  PauseWorkers();
-  std::vector<ItemEstimate> report =
-      RebuildMergedLocked().HeavyHitters(phi);
+  {
+    obs::ScopedPhase park("park_wait");
+    Flush();
+    PauseWorkers();
+  }
+  const Summary& view = RebuildMergedLocked();
+  std::vector<double> estimates;
+  {
+    obs::ScopedPhase report("report");
+    estimates.reserve(items.size());
+    for (const uint64_t item : items) {
+      estimates.push_back(view.Estimate(item));
+    }
+  }
+  ResumeWorkers();
+  return estimates;
+}
+
+std::vector<ItemEstimate> ShardedEngine::HeavyHitters(double phi) {
+  obs::QuerySpan span("heavy");
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  {
+    obs::ScopedPhase park("park_wait");
+    Flush();
+    PauseWorkers();
+  }
+  const Summary& view = RebuildMergedLocked();
+  std::vector<ItemEstimate> report;
+  {
+    obs::ScopedPhase phase("report");
+    report = view.HeavyHitters(phi);
+  }
   ResumeWorkers();
   return report;
 }

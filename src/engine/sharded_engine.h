@@ -268,6 +268,12 @@ class ShardedEngine {
   /// with live producers (snapshot isolation — see contract above).
   double Estimate(uint64_t item);
 
+  /// Point queries for a whole key list under ONE flush/park/rebuild
+  /// cycle (an audit pass over k keys costs one pause, not k).  Returns
+  /// estimates positionally matching `items`.  Same thread-safety and
+  /// snapshot-isolation contract as Estimate.
+  std::vector<double> EstimateBatch(const std::vector<uint64_t>& items);
+
   /// Global report from the merged view.  Flushes; safe from any thread,
   /// even with live producers (snapshot isolation).
   std::vector<ItemEstimate> HeavyHitters(double phi);

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -31,9 +32,11 @@ struct Registry::Impl {
   // from Get* stay valid as the registry grows.
   std::map<std::pair<std::string, std::string>, Counter*> counters;
   std::map<std::pair<std::string, std::string>, Gauge*> gauges;
+  std::map<std::pair<std::string, std::string>, FloatGauge*> float_gauges;
   std::map<std::pair<std::string, std::string>, Histogram*> histograms;
   std::deque<Counter> counter_store;
   std::deque<Gauge> gauge_store;
+  std::deque<FloatGauge> float_gauge_store;
   std::deque<Histogram> histogram_store;
 };
 
@@ -78,6 +81,19 @@ Gauge* Registry::GetGauge(const std::string& name, const std::string& labels) {
   return g;
 }
 
+FloatGauge* Registry::GetFloatGauge(const std::string& name,
+                                    const std::string& labels) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  auto key = std::make_pair(name, labels);
+  auto it = im->float_gauges.find(key);
+  if (it != im->float_gauges.end()) return it->second;
+  im->float_gauge_store.emplace_back();
+  FloatGauge* g = &im->float_gauge_store.back();
+  im->float_gauges.emplace(std::move(key), g);
+  return g;
+}
+
 Histogram* Registry::GetHistogram(const std::string& name,
                                   const std::string& labels) {
   Impl* im = impl();
@@ -105,6 +121,14 @@ std::string RenderBucketName(const std::string& name, const std::string& labels,
   return name + "_bucket{" + inner + "le=\"" + le + "\"}";
 }
 
+// Shortest %g form that a Prometheus scraper parses back losslessly
+// enough for ratios/seconds (9 significant digits).
+std::string RenderFloat(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
 }  // namespace
 
 std::vector<std::string> Registry::ExpositionLines() const {
@@ -120,6 +144,10 @@ std::vector<std::string> Registry::ExpositionLines() const {
   for (const auto& kv : im->gauges) {
     lines.push_back(RenderName(kv.first.first, kv.first.second) + " " +
                     std::to_string(kv.second->Value()));
+  }
+  for (const auto& kv : im->float_gauges) {
+    lines.push_back(RenderName(kv.first.first, kv.first.second) + " " +
+                    RenderFloat(kv.second->Value()));
   }
   for (const auto& kv : im->histograms) {
     const std::string& name = kv.first.first;
@@ -163,6 +191,7 @@ void Registry::ResetForTest() {
   std::lock_guard<std::mutex> lock(im->mu);
   for (auto& c : im->counter_store) c.ResetForTest();
   for (auto& g : im->gauge_store) g.ResetForTest();
+  for (auto& g : im->float_gauge_store) g.ResetForTest();
   for (auto& h : im->histogram_store) h.ResetForTest();
 }
 

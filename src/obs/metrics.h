@@ -59,6 +59,23 @@ class Counter {
   detail::PaddedSlot slots_[kStripes];
 };
 
+// Point-in-time fractional value (ratios, seconds). Same relaxed-atomic
+// discipline as Gauge; exposition renders it with %g so a scraper parses
+// it as a float. Exists because the audit layer publishes numbers like
+// observed-error / (eps*m) that are meaningless when truncated to int.
+class FloatGauge {
+ public:
+  void Set(double v) {
+    if (!Enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+  void ResetForTest() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
 // Point-in-time signed value. Set/Add are relaxed; SetMax is a
 // load-compare-store intended for single-writer high-water tracking (e.g.
 // a shard's owning worker) — racing writers may lose an update, never
@@ -142,6 +159,8 @@ class Registry {
   // `labels` is the literal inside the braces, e.g. `shard="3"`, or empty.
   Counter* GetCounter(const std::string& name, const std::string& labels = "");
   Gauge* GetGauge(const std::string& name, const std::string& labels = "");
+  FloatGauge* GetFloatGauge(const std::string& name,
+                            const std::string& labels = "");
   Histogram* GetHistogram(const std::string& name,
                           const std::string& labels = "");
 
@@ -171,9 +190,26 @@ inline Gauge* GetGauge(const std::string& name,
                        const std::string& labels = "") {
   return Registry::Get().GetGauge(name, labels);
 }
+inline FloatGauge* GetFloatGauge(const std::string& name,
+                                 const std::string& labels = "") {
+  return Registry::Get().GetFloatGauge(name, labels);
+}
 inline Histogram* GetHistogram(const std::string& name,
                                const std::string& labels = "") {
   return Registry::Get().GetHistogram(name, labels);
+}
+
+// The version stamp the serving binaries export as
+// `l1hh_build_info{algo=...,component=...,version=...} 1` at startup so a
+// fleet dashboard can pivot every other series by build.
+inline constexpr const char kBuildVersion[] = "0.10.0";
+
+inline void EmitBuildInfo(const std::string& component,
+                          const std::string& algo) {
+  GetGauge("l1hh_build_info", "algo=\"" + algo + "\",component=\"" +
+                                  component + "\",version=\"" +
+                                  kBuildVersion + "\"")
+      ->Set(1);
 }
 
 }  // namespace obs

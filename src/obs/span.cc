@@ -1,0 +1,124 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace l1hh {
+namespace obs {
+
+namespace {
+std::atomic<uint64_t> g_slow_threshold_ns{0};
+thread_local QuerySpan* tls_current_span = nullptr;
+}  // namespace
+
+void SetSlowQueryThresholdNs(uint64_t ns) {
+  g_slow_threshold_ns.store(ns, std::memory_order_relaxed);
+}
+
+uint64_t SlowQueryThresholdNs() {
+  return g_slow_threshold_ns.load(std::memory_order_relaxed);
+}
+
+QuerySpan::QuerySpan(const char* verb) : verb_(verb) {
+  if (!Enabled() || tls_current_span != nullptr) return;
+  active_ = true;
+  start_ns_ = TraceRing::NowNs();
+  tls_current_span = this;
+}
+
+QuerySpan::~QuerySpan() { End(); }
+
+QuerySpan* QuerySpan::Current() { return tls_current_span; }
+
+void QuerySpan::AddPhase(const char* name, uint64_t ns) {
+  if (!active_ || ended_) return;
+  for (size_t i = 0; i < phase_count_; ++i) {
+    if (std::strcmp(phase_names_[i], name) == 0) {
+      phase_ns_[i] += ns;
+      return;
+    }
+  }
+  if (phase_count_ == kMaxPhases) return;  // breakdown saturated, total wins
+  phase_names_[phase_count_] = name;
+  phase_ns_[phase_count_] = ns;
+  ++phase_count_;
+}
+
+void QuerySpan::End() {
+  if (!active_ || ended_) return;
+  ended_ = true;
+  tls_current_span = nullptr;
+  const uint64_t total = TraceRing::NowNs() - start_ns_;
+  // Registry lookups here are map-under-mutex, fine off the ingest path.
+  const std::string verb_label = std::string("verb=\"") + verb_ + "\"";
+  GetHistogram("l1hh_query_latency_ns", verb_label)->Observe(total);
+  for (size_t i = 0; i < phase_count_; ++i) {
+    GetHistogram("l1hh_query_phase_ns", std::string("phase=\"") +
+                                            phase_names_[i] + "\"," +
+                                            verb_label)
+        ->Observe(phase_ns_[i]);
+  }
+  const uint64_t threshold = SlowQueryThresholdNs();
+  if (threshold == 0 || total < threshold) return;
+  GetCounter("l1hh_slow_queries_total")->Inc();
+  Trace(Severity::kWarn, "query.slow", static_cast<int64_t>(total),
+        static_cast<int64_t>(phase_count_));
+  SlowQuery record;
+  record.start_ns = start_ns_;
+  record.total_ns = total;
+  record.verb = verb_;
+  record.phase_count = phase_count_;
+  for (size_t i = 0; i < phase_count_; ++i) {
+    record.phase_names[i] = phase_names_[i];
+    record.phase_ns[i] = phase_ns_[i];
+  }
+  SlowQueryRing::Get().Record(record);
+}
+
+SlowQueryRing& SlowQueryRing::Get() {
+  static SlowQueryRing* ring = new SlowQueryRing();  // leaked, like the others
+  return *ring;
+}
+
+void SlowQueryRing::Record(const SlowQuery& q) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SlowQuery& slot = slots_[next_seq_ % kCapacity];
+  slot = q;
+  slot.seq = next_seq_++;
+}
+
+std::vector<SlowQuery> SlowQueryRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQuery> out;
+  const uint64_t count = std::min<uint64_t>(next_seq_, kCapacity);
+  out.reserve(static_cast<size_t>(count));
+  for (uint64_t seq = next_seq_ - count; seq < next_seq_; ++seq) {
+    out.push_back(slots_[seq % kCapacity]);
+  }
+  return out;
+}
+
+std::vector<std::string> SlowQueryRing::DrainText() const {
+  std::vector<std::string> lines;
+  for (const SlowQuery& q : Snapshot()) {
+    std::string line = std::to_string(q.seq) + " " +
+                       std::to_string(q.start_ns) + "ns " + q.verb +
+                       " total_us=" + std::to_string(q.total_ns / 1000);
+    for (size_t i = 0; i < q.phase_count; ++i) {
+      line += std::string(" ") + q.phase_names[i] +
+              "_us=" + std::to_string(q.phase_ns[i] / 1000);
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+void SlowQueryRing::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_seq_ = 0;
+}
+
+}  // namespace obs
+}  // namespace l1hh

@@ -1,0 +1,145 @@
+// Query-path spans: one span per served query verb, broken into named
+// phases, feeding the registry's histograms and the trace ring.
+//
+// A QuerySpan is opened where a verb is accepted (a serving connection
+// handler, or a ShardedEngine query method for embedders calling the
+// engine directly) and closed when the reply is written. While it is the
+// thread's CURRENT span, any ScopedPhase on the same thread attributes
+// its wall time to it — so the engine's park-wait and merge-rebuild code
+// contributes phases to whatever verb is in flight without the engine
+// and the server knowing about each other. Spans nest by flattening: if
+// a span is already current on this thread, an inner span is inert and
+// the outer one absorbs every phase (the engine's own span disappears
+// under a server verb's span instead of double-counting the query).
+//
+// On End() a span observes
+//   l1hh_query_latency_ns{verb="..."}            (total wall time)
+//   l1hh_query_phase_ns{phase="...",verb="..."}  (one series per phase)
+// and, when the total exceeds the process-wide slow-query threshold,
+// records itself into the fixed-size SlowQueryRing (dumped by the `slow`
+// wire verb) and bumps l1hh_slow_queries_total.
+//
+// Spans live on query paths, never ingest paths, so they are outside the
+// L1HH_OBS_TOLERANCE overhead gate's hot loop by construction. All names
+// (verbs and phases) MUST be string literals: only pointers are stored.
+#ifndef L1HH_OBS_SPAN_H_
+#define L1HH_OBS_SPAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace l1hh {
+namespace obs {
+
+// Process-wide slow-query threshold in nanoseconds; 0 disables slow-query
+// capture (the default — serving binaries set it from --slow-query-us).
+void SetSlowQueryThresholdNs(uint64_t ns);
+uint64_t SlowQueryThresholdNs();
+
+class QuerySpan {
+ public:
+  static constexpr size_t kMaxPhases = 8;
+
+  // `verb` must be a string literal. The span becomes the thread's
+  // current span unless one is already open (then it is inert) or the
+  // global Enabled() switch is off.
+  explicit QuerySpan(const char* verb);
+  ~QuerySpan();
+  QuerySpan(const QuerySpan&) = delete;
+  QuerySpan& operator=(const QuerySpan&) = delete;
+
+  // Adds `ns` to the named phase (same-name contributions accumulate;
+  // phases beyond kMaxPhases are dropped). Usually called via ScopedPhase.
+  void AddPhase(const char* name, uint64_t ns);
+
+  // Closes the span: observes the histograms, emits a trace event for
+  // slow queries, records into the slow ring. Idempotent; the destructor
+  // calls it.
+  void End();
+
+  // The calling thread's open span, or nullptr.
+  static QuerySpan* Current();
+
+  const char* verb() const { return verb_; }
+
+ private:
+  friend class SlowQueryRing;
+
+  const char* verb_;
+  uint64_t start_ns_ = 0;
+  bool active_ = false;
+  bool ended_ = false;
+  size_t phase_count_ = 0;
+  const char* phase_names_[kMaxPhases] = {};
+  uint64_t phase_ns_[kMaxPhases] = {};
+};
+
+// Attributes the enclosed scope's wall time to the thread's current span
+// (no-op — not even a clock read — when no span is open).
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(const char* name)
+      : name_(name),
+        t0_(QuerySpan::Current() != nullptr ? TraceRing::NowNs() : 0) {}
+  ~ScopedPhase() {
+    if (t0_ == 0) return;
+    QuerySpan* span = QuerySpan::Current();
+    if (span != nullptr) span->AddPhase(name_, TraceRing::NowNs() - t0_);
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t t0_;
+};
+
+// One captured slow query: the verb, when it started, and its per-phase
+// breakdown.
+struct SlowQuery {
+  uint64_t seq = 0;       // capture order (0-based, monotone)
+  uint64_t start_ns = 0;  // nanoseconds since process start
+  uint64_t total_ns = 0;
+  const char* verb = "";
+  size_t phase_count = 0;
+  const char* phase_names[QuerySpan::kMaxPhases] = {};
+  uint64_t phase_ns[QuerySpan::kMaxPhases] = {};
+};
+
+// Fixed-size ring of the most recent slow queries. Mutex-guarded: by
+// definition only queries already past the slowness threshold enter, so
+// this is never a hot path.
+class SlowQueryRing {
+ public:
+  static constexpr size_t kCapacity = 64;
+
+  static SlowQueryRing& Get();
+
+  void Record(const SlowQuery& q);
+
+  // The surviving records, oldest first.
+  std::vector<SlowQuery> Snapshot() const;
+
+  // Text rendering for the `slow` wire verb:
+  // "<seq> <start_ns>ns <verb> total_us=<t> <phase>_us=<p>...".
+  std::vector<std::string> DrainText() const;
+
+  void ResetForTest();
+
+ private:
+  SlowQueryRing() = default;
+
+  mutable std::mutex mu_;
+  uint64_t next_seq_ = 0;
+  SlowQuery slots_[kCapacity];
+};
+
+}  // namespace obs
+}  // namespace l1hh
+
+#endif  // L1HH_OBS_SPAN_H_

@@ -59,15 +59,24 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
   return out;
 }
 
-std::vector<std::string> TraceRing::DrainText() const {
+std::vector<std::string> TraceRing::DrainText(size_t max_events,
+                                              Severity min_sev) const {
   std::vector<std::string> lines;
   for (const TraceEvent& ev : Snapshot()) {
+    if (static_cast<uint32_t>(ev.sev) < static_cast<uint32_t>(min_sev)) {
+      continue;
+    }
     const char* sev = ev.sev == Severity::kWarn
                           ? "warn"
                           : (ev.sev == Severity::kDebug ? "debug" : "info");
     lines.push_back(std::to_string(ev.seq) + " " + std::to_string(ev.ns) +
                     "ns " + sev + " " + ev.name + " a=" + std::to_string(ev.a) +
                     " b=" + std::to_string(ev.b));
+  }
+  // Newest-N: the tail of the surviving lines, still oldest first.
+  if (max_events != 0 && lines.size() > max_events) {
+    lines.erase(lines.begin(),
+                lines.end() - static_cast<ptrdiff_t>(max_events));
   }
   return lines;
 }
@@ -83,6 +92,19 @@ void TraceRing::ResetForTest() {
 void Trace(Severity sev, const char* name, int64_t a, int64_t b) {
   if (!Enabled()) return;
   TraceRing::Get().Emit(sev, name, a, b);
+}
+
+bool ParseSeverity(const std::string& text, Severity* out) {
+  if (text == "debug") {
+    *out = Severity::kDebug;
+  } else if (text == "info") {
+    *out = Severity::kInfo;
+  } else if (text == "warn") {
+    *out = Severity::kWarn;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace obs

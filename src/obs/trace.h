@@ -48,7 +48,11 @@ class TraceRing {
   std::vector<TraceEvent> Snapshot() const;
 
   // Snapshot rendered as text lines: "<seq> <ns>ns <sev> <name> a=<a> b=<b>".
-  std::vector<std::string> DrainText() const;
+  // `max_events` keeps only the newest that many surviving lines (0 = all);
+  // `min_sev` drops events below that severity first. This is what the
+  // serving tools' `trace <N> [min_severity]` verb calls.
+  std::vector<std::string> DrainText(
+      size_t max_events = 0, Severity min_sev = Severity::kDebug) const;
 
   uint64_t emitted() const { return head_.load(std::memory_order_relaxed); }
 
@@ -73,6 +77,10 @@ class TraceRing {
 
 // Convenience wrapper honoring the global Enabled() switch.
 void Trace(Severity sev, const char* name, int64_t a = 0, int64_t b = 0);
+
+// Parses "debug"/"info"/"warn" (the wire spellings DrainText renders);
+// false on anything else.
+bool ParseSeverity(const std::string& text, Severity* out);
 
 }  // namespace obs
 }  // namespace l1hh

@@ -1,0 +1,256 @@
+// Hostile-input battery for the dependency-free telemetry listener
+// (src/obs/http_exporter.h, ctest label "obs").
+//
+// The exporter faces whatever a scraper, a load balancer health check, or
+// a port scanner throws at it, so beyond the happy GET path this pins the
+// rejection matrix (405 / 404 / 400), the oversized-header cap, torn
+// requests, query-string stripping, and that Stop() is idempotent and
+// actually frees the port.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+
+namespace l1hh {
+namespace obs {
+namespace {
+
+class HttpExporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    Registry::Get().ResetForTest();
+  }
+};
+
+int Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+// Sends `request` raw and reads the response to EOF (the exporter always
+// closes after one exchange).
+std::string Roundtrip(uint16_t port, const std::string& request) {
+  const int fd = Connect(port);
+  size_t off = 0;
+  while (off < request.size()) {
+    // MSG_NOSIGNAL: a server that rejects early may close while we are
+    // still writing; that must surface as an error, not a SIGPIPE.
+    const ssize_t n = ::send(fd, request.data() + off, request.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& target) {
+  return Roundtrip(port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+std::unique_ptr<HttpExporter> MakeExporter(
+    std::map<std::string, HttpExporter::Handler> handlers,
+    HttpExporterOptions options = {}) {
+  Status status;
+  auto exporter = HttpExporter::Create(options, std::move(handlers), &status);
+  EXPECT_TRUE(status.ok()) << status.message();
+  EXPECT_NE(exporter, nullptr);
+  EXPECT_NE(exporter->port(), 0);
+  return exporter;
+}
+
+TEST_F(HttpExporterTest, ServesHandlerBodiesWithStatusLines) {
+  auto exporter = MakeExporter(
+      {{"/metrics",
+        [] {
+          HttpResponse r;
+          r.content_type = "text/plain; version=0.0.4";
+          r.body = "l1hh_up 1\n";
+          return r;
+        }},
+       {"/healthz", [] {
+          HttpResponse r;
+          r.body = "ok\n";
+          return r;
+        }}});
+
+  const std::string metrics = Get(exporter->port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4\r\n"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("Content-Length: 10\r\n"), std::string::npos);
+  EXPECT_NE(metrics.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(metrics.find("\r\n\r\nl1hh_up 1\n"), std::string::npos);
+
+  EXPECT_NE(Get(exporter->port(), "/healthz").find("\r\n\r\nok\n"),
+            std::string::npos);
+  // Query strings are stripped before handler lookup.
+  EXPECT_NE(Get(exporter->port(), "/healthz?verbose=1").find("200 OK"),
+            std::string::npos);
+}
+
+TEST_F(HttpExporterTest, RejectionMatrix) {
+  auto exporter = MakeExporter({{"/healthz", [] {
+                                   HttpResponse r;
+                                   r.body = "ok\n";
+                                   return r;
+                                 }}});
+  const uint16_t port = exporter->port();
+
+  EXPECT_NE(Get(port, "/nope").find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(
+      Roundtrip(port, "POST /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+          .find("HTTP/1.1 405"),
+      std::string::npos);
+  EXPECT_NE(Roundtrip(port, "garbage\r\n\r\n").find("HTTP/1.1 400"),
+            std::string::npos);
+  // Request line must spell an absolute path and an HTTP version.
+  EXPECT_NE(Roundtrip(port, "GET healthz HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(Roundtrip(port, "GET /healthz FTP/1.0\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+
+  // Oversized header block: exactly max_request_bytes with no terminator,
+  // so the server rejects without leaving unread bytes behind (a close
+  // with unread data RSTs and could race away the 400).
+  auto tiny = MakeExporter({{"/healthz", [] { return HttpResponse{}; }}},
+                           HttpExporterOptions{.max_request_bytes = 2048});
+  std::string huge = "GET /healthz HTTP/1.1\r\nX-Pad: ";
+  huge += std::string(2048 - huge.size(), 'a');
+  EXPECT_NE(Roundtrip(tiny->port(), huge).find("HTTP/1.1 400"),
+            std::string::npos);
+
+  // The rejections were counted where an operator can see them.
+  EXPECT_GE(GetCounter("l1hh_http_requests_total", "code=\"400\"")->Value(),
+            4u);
+  EXPECT_GE(GetCounter("l1hh_http_requests_total", "code=\"404\"")->Value(),
+            1u);
+  EXPECT_GE(GetCounter("l1hh_http_requests_total", "code=\"405\"")->Value(),
+            1u);
+}
+
+TEST_F(HttpExporterTest, TornRequestDoesNotWedgeTheListener) {
+  auto exporter = MakeExporter({{"/healthz",
+                                 [] {
+                                   HttpResponse r;
+                                   r.body = "ok\n";
+                                   return r;
+                                 }}},
+                               HttpExporterOptions{.read_timeout_ms = 200});
+  const uint16_t port = exporter->port();
+
+  // Half a request line, then hang up.
+  const int fd = Connect(port);
+  ASSERT_GT(::write(fd, "GET /hea", 8), 0);
+  ::close(fd);
+
+  // A connection that just goes silent holds its socket until the read
+  // timeout; the listener must still answer afterwards.
+  const int silent = Connect(port);
+  EXPECT_NE(Get(port, "/healthz").find("200 OK"), std::string::npos);
+  ::close(silent);
+  EXPECT_NE(Get(port, "/healthz").find("200 OK"), std::string::npos);
+}
+
+TEST_F(HttpExporterTest, ConcurrentScrapesSeeConsistentExposition) {
+  // The /metrics handler renders the live registry while other threads
+  // hammer counters — the TSan leg of CI runs this test.
+  auto exporter = MakeExporter({{"/metrics", [] {
+                                   HttpResponse r;
+                                   std::string body;
+                                   for (const std::string& line :
+                                        Registry::Get().ExpositionLines()) {
+                                     body += line;
+                                     body += '\n';
+                                   }
+                                   r.body = body;
+                                   return r;
+                                 }}});
+  Counter* hits = GetCounter("obstest_http_hits_total");
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) hits->Inc();
+  });
+  for (int i = 0; i < 16; ++i) {
+    const std::string response = Get(exporter->port(), "/metrics");
+    EXPECT_NE(response.find("obstest_http_hits_total"), std::string::npos);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST_F(HttpExporterTest, StopIsIdempotentAndFreesThePort) {
+  HttpExporterOptions options;
+  auto exporter = MakeExporter({{"/healthz", [] {
+                                   HttpResponse r;
+                                   r.body = "ok\n";
+                                   return r;
+                                 }}});
+  const uint16_t port = exporter->port();
+  EXPECT_NE(Get(port, "/healthz").find("200 OK"), std::string::npos);
+
+  exporter->Stop();
+  exporter->Stop();  // second Stop is a no-op, not a crash
+
+  // The listener is really gone: rebinding the same fixed port succeeds.
+  options.port = port;
+  Status status;
+  auto rebound = HttpExporter::Create(
+      options,
+      {{"/healthz",
+        [] {
+          HttpResponse r;
+          r.body = "again\n";
+          return r;
+        }}},
+      &status);
+  ASSERT_TRUE(status.ok()) << status.message();
+  ASSERT_NE(rebound, nullptr);
+  EXPECT_EQ(rebound->port(), port);
+  EXPECT_NE(Get(port, "/healthz").find("again"), std::string::npos);
+}
+
+TEST_F(HttpExporterTest, FixedPortConflictReportsError) {
+  auto first = MakeExporter({{"/healthz", [] { return HttpResponse{}; }}});
+  HttpExporterOptions options;
+  options.port = first->port();
+  Status status;
+  auto second = HttpExporter::Create(
+      options, {{"/healthz", [] { return HttpResponse{}; }}}, &status);
+  EXPECT_EQ(second, nullptr);
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace l1hh

@@ -14,6 +14,7 @@
 
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace l1hh {
@@ -26,6 +27,8 @@ class ObsTest : public ::testing::Test {
     SetEnabled(true);
     Registry::Get().ResetForTest();
     TraceRing::Get().ResetForTest();
+    SlowQueryRing::Get().ResetForTest();
+    SetSlowQueryThresholdNs(0);
   }
 };
 
@@ -234,6 +237,165 @@ TEST_F(ObsTest, TraceRingConcurrentEmitSnapshotIsClean) {
   }
   stop.store(true, std::memory_order_relaxed);
   for (auto& w : writers) w.join();
+}
+
+TEST_F(ObsTest, FloatGaugeRendersAndFreezes) {
+  FloatGauge* g = GetFloatGauge("obstest_ratio");
+  EXPECT_EQ(GetFloatGauge("obstest_ratio"), g);  // stable pointer
+  g->Set(0.25);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.25);
+  const std::vector<std::string> lines = Registry::Get().ExpositionLines();
+  EXPECT_NE(std::find(lines.begin(), lines.end(), "obstest_ratio 0.25"),
+            lines.end());
+
+  SetEnabled(false);
+  g->Set(99.0);
+  SetEnabled(true);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.25);
+
+  Registry::Get().ResetForTest();
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+}
+
+TEST_F(ObsTest, DrainTextFiltersBySeverityAndCount) {
+  Trace(Severity::kDebug, "obstest.d1");
+  Trace(Severity::kInfo, "obstest.i1");
+  Trace(Severity::kWarn, "obstest.w1");
+  Trace(Severity::kInfo, "obstest.i2");
+
+  EXPECT_EQ(TraceRing::Get().DrainText().size(), 4u);
+  const auto info_up = TraceRing::Get().DrainText(0, Severity::kInfo);
+  ASSERT_EQ(info_up.size(), 3u);
+  EXPECT_NE(info_up[0].find("obstest.i1"), std::string::npos);
+  const auto warn_only = TraceRing::Get().DrainText(0, Severity::kWarn);
+  ASSERT_EQ(warn_only.size(), 1u);
+  EXPECT_NE(warn_only[0].find("obstest.w1"), std::string::npos);
+  // max_events keeps the NEWEST survivors after the severity filter.
+  const auto last_two_info = TraceRing::Get().DrainText(2, Severity::kInfo);
+  ASSERT_EQ(last_two_info.size(), 2u);
+  EXPECT_NE(last_two_info[0].find("obstest.w1"), std::string::npos);
+  EXPECT_NE(last_two_info[1].find("obstest.i2"), std::string::npos);
+
+  Severity sev = Severity::kDebug;
+  EXPECT_TRUE(ParseSeverity("warn", &sev));
+  EXPECT_EQ(sev, Severity::kWarn);
+  EXPECT_TRUE(ParseSeverity("info", &sev));
+  EXPECT_EQ(sev, Severity::kInfo);
+  EXPECT_FALSE(ParseSeverity("loud", &sev));
+}
+
+TEST_F(ObsTest, QuerySpanObservesTotalAndPhases) {
+  {
+    QuerySpan span("obstest_verb");
+    {
+      ScopedPhase phase("obstest_phase_a");
+    }
+    {
+      ScopedPhase phase("obstest_phase_a");  // same name accumulates
+    }
+    {
+      ScopedPhase phase("obstest_phase_b");
+    }
+  }
+  EXPECT_EQ(
+      GetHistogram("l1hh_query_latency_ns", "verb=\"obstest_verb\"")->Count(),
+      1u);
+  EXPECT_EQ(GetHistogram("l1hh_query_phase_ns",
+                         "phase=\"obstest_phase_a\",verb=\"obstest_verb\"")
+                ->Count(),
+            1u);  // merged, not two observations
+  EXPECT_EQ(GetHistogram("l1hh_query_phase_ns",
+                         "phase=\"obstest_phase_b\",verb=\"obstest_verb\"")
+                ->Count(),
+            1u);
+}
+
+TEST_F(ObsTest, NestedSpanIsInertAndOuterAbsorbsPhases) {
+  {
+    QuerySpan outer("obstest_outer");
+    EXPECT_EQ(QuerySpan::Current(), &outer);
+    {
+      QuerySpan inner("obstest_inner");  // flattened: inert
+      EXPECT_EQ(QuerySpan::Current(), &outer);
+      ScopedPhase phase("obstest_nested_phase");
+    }
+  }
+  EXPECT_EQ(QuerySpan::Current(), nullptr);
+  EXPECT_EQ(
+      GetHistogram("l1hh_query_latency_ns", "verb=\"obstest_outer\"")->Count(),
+      1u);
+  EXPECT_EQ(
+      GetHistogram("l1hh_query_latency_ns", "verb=\"obstest_inner\"")->Count(),
+      0u);
+  EXPECT_EQ(GetHistogram("l1hh_query_phase_ns",
+                         "phase=\"obstest_nested_phase\","
+                         "verb=\"obstest_outer\"")
+                ->Count(),
+            1u);
+}
+
+TEST_F(ObsTest, ScopedPhaseWithoutSpanIsANoop) {
+  ScopedPhase phase("obstest_orphan");  // must not crash or observe anything
+  EXPECT_EQ(QuerySpan::Current(), nullptr);
+}
+
+TEST_F(ObsTest, SlowQueryRingCapturesOverThreshold) {
+  SetSlowQueryThresholdNs(1);  // everything is slow
+  {
+    QuerySpan span("obstest_slow");
+    ScopedPhase phase("obstest_slow_phase");
+    // A span of nonzero duration: NowNs is monotonic, one clock tick is
+    // enough, but burn a little work to be safe on coarse clocks.
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<uint64_t>(i);
+  }
+  EXPECT_EQ(GetCounter("l1hh_slow_queries_total")->Value(), 1u);
+  const std::vector<SlowQuery> slow = SlowQueryRing::Get().Snapshot();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_STREQ(slow[0].verb, "obstest_slow");
+  ASSERT_EQ(slow[0].phase_count, 1u);
+  EXPECT_STREQ(slow[0].phase_names[0], "obstest_slow_phase");
+  const std::vector<std::string> text = SlowQueryRing::Get().DrainText();
+  ASSERT_EQ(text.size(), 1u);
+  EXPECT_NE(text[0].find("obstest_slow"), std::string::npos);
+  EXPECT_NE(text[0].find("total_us="), std::string::npos);
+  EXPECT_NE(text[0].find("obstest_slow_phase_us="), std::string::npos);
+
+  // Under the (disabled) threshold nothing is recorded.
+  SetSlowQueryThresholdNs(0);
+  {
+    QuerySpan span("obstest_fast");
+  }
+  EXPECT_EQ(GetCounter("l1hh_slow_queries_total")->Value(), 1u);
+  EXPECT_EQ(SlowQueryRing::Get().Snapshot().size(), 1u);
+}
+
+TEST_F(ObsTest, SlowQueryRingWraparoundKeepsNewest) {
+  SetSlowQueryThresholdNs(1);
+  constexpr uint64_t kTotal = SlowQueryRing::kCapacity + 9;
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    QuerySpan span("obstest_wrap");
+  }
+  const std::vector<SlowQuery> slow = SlowQueryRing::Get().Snapshot();
+  ASSERT_EQ(slow.size(), SlowQueryRing::kCapacity);
+  EXPECT_EQ(slow.front().seq, kTotal - SlowQueryRing::kCapacity);
+  EXPECT_EQ(slow.back().seq, kTotal - 1);
+}
+
+TEST_F(ObsTest, DisabledSwitchMakesSpansInert) {
+  SetEnabled(false);
+  SetSlowQueryThresholdNs(1);
+  {
+    QuerySpan span("obstest_disabled");
+    EXPECT_EQ(QuerySpan::Current(), nullptr);
+    ScopedPhase phase("obstest_disabled_phase");
+  }
+  SetEnabled(true);
+  EXPECT_EQ(GetHistogram("l1hh_query_latency_ns",
+                         "verb=\"obstest_disabled\"")
+                ->Count(),
+            0u);
+  EXPECT_EQ(SlowQueryRing::Get().Snapshot().size(), 0u);
 }
 
 }  // namespace

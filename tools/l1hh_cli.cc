@@ -82,6 +82,7 @@
 #include "engine/sharded_engine.h"
 #include "group/grouped_summary.h"
 #include "io/snapshot.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "stream/stream_generator.h"
 #include "summary/evaluation.h"
@@ -129,6 +130,12 @@ struct Args {
   // one {"metrics":{...}} object (with --format=json either value embeds
   // a "metrics" object in the run report instead).
   std::string stats;
+  // Accuracy audit for `run`: --audit[=RATE] replays the generated
+  // stream through an AccuracyAuditor (hash-sampled exact shadow,
+  // src/obs/audit.h) and reports the observed eps-ratio and shadow
+  // recall beside the ground-truth score.
+  bool audit = false;
+  uint64_t audit_rate = 64;
   // Snapshot paths: --out for `save`, --save for `run`, positionals for
   // `load` / `merge`.
   std::string out;
@@ -157,6 +164,7 @@ const char* const kKnownFlags[] = {
     "--phi",   "--delta", "--n",        "--m",       "--seed",
     "--shards", "--threads", "--out",   "--save",    "--window",
     "--buckets", "--format", "--group-col", "--groups", "--stats",
+    "--audit",
 };
 
 size_t EditDistance(const std::string& a, const std::string& b) {
@@ -219,6 +227,19 @@ bool Parse(int argc, char** argv, Args* out) {
       if (out->stats != "text" && out->stats != "json") {
         std::fprintf(stderr, "--stats must be text or json\n");
         return false;
+      }
+      continue;
+    }
+    if (key == "--audit" || key.rfind("--audit=", 0) == 0) {
+      // Presence-only (default sampling rate) or --audit=RATE; like
+      // --stats, intercepted so bare --audit never swallows a token.
+      out->audit = true;
+      if (key != "--audit") {
+        out->audit_rate = std::strtoull(key.c_str() + 8, nullptr, 10);
+        if (out->audit_rate == 0) {
+          std::fprintf(stderr, "--audit rate must be >= 1\n");
+          return false;
+        }
       }
       continue;
     }
@@ -304,6 +325,23 @@ bool Parse(int argc, char** argv, Args* out) {
       out->command != "run") {
     std::fprintf(stderr, "--stats is supported by run\n");
     return false;
+  }
+  // The auditor shadows the WHOLE stream; a window forgets, a grouped
+  // run has no single global summary to audit — reject both, and any
+  // command that never ingests.
+  if (out->audit) {
+    if (!out->command.empty() && out->command != "run") {
+      std::fprintf(stderr, "--audit is supported by run\n");
+      return false;
+    }
+    if (out->window != 0 || IsWindowedSummaryName(out->algorithm)) {
+      std::fprintf(stderr, "--audit cannot be combined with --window\n");
+      return false;
+    }
+    if (out->group_col) {
+      std::fprintf(stderr, "--audit cannot be combined with --group-col\n");
+      return false;
+    }
   }
   // Grouped mode only exists where a GroupedSummary can be driven; on
   // any other command the flag would be silently ignored — reject.
@@ -687,7 +725,7 @@ void PrintStats(const std::string& mode) {
 /// Keys are stable; `window` is null for non-windowed runs.  With
 /// `--stats` a "metrics" object (the telemetry registry) rides along.
 void PrintJsonRunReport(const Args& a, const SummaryRunResult& r,
-                        uint64_t m) {
+                        uint64_t m, const obs::AuditReport* audit) {
   std::printf("{\"command\":\"run\",\"algo\":\"%s\",\"m\":%llu,"
               "\"epsilon\":%.6g,\"phi\":%.6g,\"seed\":%llu,"
               "\"shards\":%llu,\"threads\":%llu,",
@@ -721,6 +759,16 @@ void PrintJsonRunReport(const Args& a, const SummaryRunResult& r,
                 static_cast<unsigned long long>(r.report_exact[i]));
   }
   std::printf("]");
+  if (audit != nullptr) {
+    std::printf(",\"audit\":{\"rate\":%llu,\"shadow_keys\":%zu,"
+                "\"audited_keys\":%zu,\"max_abs_error\":%.3f,"
+                "\"eps_ratio\":%.6f,\"shadow_heavies\":%zu,"
+                "\"recall\":%.6f}",
+                static_cast<unsigned long long>(a.audit_rate),
+                audit->shadow_keys, audit->audited_keys,
+                audit->max_abs_error, audit->eps_ratio,
+                audit->shadow_heavies, audit->recall);
+  }
   if (!a.stats.empty()) {
     std::printf(",\"metrics\":%s", MetricsJsonObject().c_str());
   }
@@ -930,8 +978,32 @@ int CmdRun(const Args& a) {
   // Scrape-time gauges (per-shard applied/high-water, per-slot enqueued)
   // are published by the engine; counters/histograms are already live.
   if (!a.stats.empty() && engine != nullptr) engine->PublishMetrics();
+  // --audit: the run already consumed the stream, and sampling is by key
+  // identity with exact per-key counts, so replaying the same generated
+  // stream into the auditor AFTER the fact builds the identical shadow an
+  // inline tap would have.
+  obs::AuditReport audit_report;
+  if (a.audit) {
+    obs::AuditorOptions audit_options;
+    audit_options.sample_rate = a.audit_rate;
+    audit_options.seed = a.seed;
+    audit_options.epsilon = a.epsilon;
+    audit_options.phi = a.phi;
+    obs::AccuracyAuditor auditor(audit_options);
+    auditor.ObserveColumn(stream.data(), stream.size());
+    if (engine != nullptr) {
+      audit_report = auditor.Audit(
+          [&engine](const std::vector<uint64_t>& keys) {
+            return engine->EstimateBatch(keys);
+          },
+          [&engine](double phi) { return engine->HeavyHitters(phi); },
+          engine->ItemsProcessed());
+    } else {
+      audit_report = auditor.AuditSummary(*summary);
+    }
+  }
   if (a.format == "json") {
-    PrintJsonRunReport(a, r, m_arg);
+    PrintJsonRunReport(a, r, m_arg, a.audit ? &audit_report : nullptr);
   } else {
     std::printf("algo=%s  zipf(alpha=%.2f)  n=%llu  m=%llu  eps=%.3f  "
                 "phi=%.3f  seed=%llu\n",
@@ -964,6 +1036,16 @@ int CmdRun(const Args& a) {
                 "%zu   memory: %zu bytes\n",
                 r.true_heavies, r.recalled, r.report.size(),
                 r.memory_bytes);
+    if (a.audit) {
+      std::printf("audit: rate=1/%llu shadow_keys=%zu audited=%zu "
+                  "max_abs_err=%.1f eps_ratio=%.4f recall=%.3f (%zu/%zu "
+                  "shadow heavies)\n",
+                  static_cast<unsigned long long>(a.audit_rate),
+                  audit_report.shadow_keys, audit_report.audited_keys,
+                  audit_report.max_abs_error, audit_report.eps_ratio,
+                  audit_report.recall, audit_report.recalled,
+                  audit_report.shadow_heavies);
+    }
     if (!a.stats.empty()) PrintStats(a.stats);
   }
   if (!a.save_path.empty()) {

@@ -15,7 +15,8 @@
 // final state, as tests/replication_test.cc and the CI smoke pin).
 //
 //   l1hh_replica --primary=/tmp/l1hh.sock --socket=/tmp/l1hh-replica.sock
-//       [--interval-ms=200]
+//       [--interval-ms=200] [--http=PORT] [--ready-lag=65536]
+//       [--slow-query-us=10000]
 //
 // Replica-side protocol (one request per line):
 //
@@ -29,20 +30,40 @@
 //                       0 — the warm-standby health signal)
 //   metrics             "metrics <N>" then N lines of Prometheus-style
 //                       text exposition from the telemetry registry
+//   trace [N [sev]]     "trace <K>" then the K most recent trace events
+//                       (N caps, sev in {debug,info,warn} filters)
+//   slow                "slow <N>" then the recent slow-query records
 //   quit                close this connection
 //   shutdown            replies "ok", stops the replica process
+//
+// Observability: query verbs run under spans with the same phase
+// taxonomy as the primary's, and the post-sync re-merge cost is exported
+// as l1hh_replica_view_rebuild_seconds (the ROADMAP's "replica rebuild
+// is invisible" residue).  When the primary runs --audit-rate, each sync
+// round ships its exact shadow truth ("audit" header + key/count pairs);
+// the replica audits ITS merged view against that shadow at every
+// /metrics scrape, so a standby serving stale or corrupt answers is an
+// alert, not a surprise at failover.  --http=PORT mounts /metrics,
+// /healthz, and /readyz; readiness means at least one completed sync AND
+// lag_items <= --ready-lag, or the primary is lost (failover mode: the
+// last synced view is by definition the best answer available).
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include <sys/socket.h>
@@ -50,7 +71,10 @@
 #include <unistd.h>
 
 #include "io/snapshot.h"
+#include "obs/audit.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "summary/summary.h"
 #include "util/status.h"
@@ -64,6 +88,10 @@ struct ReplicaArgs {
   std::string socket_path;
   uint64_t interval_ms = 200;
   double default_phi = 0.05;
+  bool http_enabled = false;  // --http given (port 0 = ephemeral)
+  uint64_t http_port = 0;
+  uint64_t ready_lag = 65536;  // /readyz red above this lag_items
+  uint64_t slow_query_us = 10000;
 };
 
 bool Parse(int argc, char** argv, ReplicaArgs* out) {
@@ -93,16 +121,27 @@ bool Parse(int argc, char** argv, ReplicaArgs* out) {
       out->interval_ms = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "--phi") {
       out->default_phi = std::atof(value.c_str());
+    } else if (key == "--http") {
+      out->http_enabled = true;
+      out->http_port = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--ready-lag") {
+      out->ready_lag = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--slow-query-us") {
+      out->slow_query_us = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "unknown flag: %s\nknown flags: --primary --socket "
-                   "--interval-ms --phi\n",
+                   "--interval-ms --phi --http --ready-lag --slow-query-us\n",
                    key.c_str());
       return false;
     }
   }
   if (out->primary_path.empty() || out->socket_path.empty()) {
     std::fprintf(stderr, "--primary=<sock> and --socket=<sock> are required\n");
+    return false;
+  }
+  if (out->http_port > 65535) {
+    std::fprintf(stderr, "--http port must be <= 65535\n");
     return false;
   }
   return true;
@@ -201,6 +240,15 @@ struct ReplicaState {
   std::unique_ptr<Summary> merged;
   uint64_t merged_epoch = ~uint64_t{0};
 
+  // Shadow truth shipped by an auditing primary ("audit" lines in the
+  // sync stream): exact per-key counts for the primary's sampled key
+  // subspace, at the stream position audit_items.  Guarded by `mutex`.
+  bool audit_valid = false;
+  double audit_epsilon = 0.0;
+  double audit_phi = 0.0;
+  uint64_t audit_items = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> audit_shadow;
+
   std::atomic<bool> stop{false};
   int listen_fd = -1;
 };
@@ -249,6 +297,18 @@ const Summary* QueryView(ReplicaState& state) {
   if (state.merged != nullptr && state.merged_epoch == state.syncs) {
     return state.merged.get();
   }
+  // Post-sync re-merge: the cost every first query after a sync round
+  // pays.  Exported per ROADMAP — an operator sizing --interval-ms needs
+  // to see it, not infer it from latency spikes.
+  static obs::Histogram* const rebuild_hist =
+      obs::GetHistogram("l1hh_replica_view_rebuild_ns");
+  static obs::FloatGauge* const rebuild_seconds =
+      obs::GetFloatGauge("l1hh_replica_view_rebuild_seconds");
+  static obs::Counter* const rebuild_ctr =
+      obs::GetCounter("l1hh_replica_view_rebuilds_total");
+  obs::ScopedPhase phase("merge_rebuild");
+  const bool obs_on = obs::Enabled();
+  const uint64_t t0 = obs_on ? obs::TraceRing::NowNs() : 0;
   Status status;
   auto merged = MakeSummary(state.shards[0]->Name(),
                             state.shards[0]->Options(), &status);
@@ -258,7 +318,64 @@ const Summary* QueryView(ReplicaState& state) {
   }
   state.merged = std::move(merged);
   state.merged_epoch = state.syncs;
+  if (obs_on) {
+    const uint64_t elapsed = obs::TraceRing::NowNs() - t0;
+    rebuild_hist->Observe(elapsed);
+    rebuild_seconds->Set(static_cast<double>(elapsed) * 1e-9);
+    rebuild_ctr->Inc();
+  }
   return state.merged.get();
+}
+
+// Audits the replica's merged view against the primary-shipped exact
+// shadow (no-op report when no auditing primary has synced).  Caller
+// holds state.mutex.  This is the failover insurance: a replica whose
+// frames decoded into a wrong view drifts its eps-ratio above 1 while
+// it is still a standby.
+obs::AuditReport AuditReplicaLocked(ReplicaState& state) {
+  obs::AuditReport report;
+  if (!state.audit_valid || state.audit_shadow.empty()) return report;
+  const Summary* view = QueryView(state);
+  if (view == nullptr) return report;
+  report.items_seen = state.audit_items;
+  report.shadow_keys = state.audit_shadow.size();
+  report.audited_keys = state.audit_shadow.size();
+  static obs::Histogram* const abs_error_hist =
+      obs::GetHistogram("l1hh_audit_observed_abs_error");
+  // The shadow is exact at audit_items; the replica's view is at
+  // ReplicaAppliedLocked() <= audit_items (frames land before the rsync
+  // that commits the shadow).  The residual lag is genuine staleness and
+  // is exactly what this audit should surface — no correction applied.
+  for (const auto& [key, count] : state.audit_shadow) {
+    const double err =
+        std::fabs(view->Estimate(key) - static_cast<double>(count));
+    report.max_abs_error = std::max(report.max_abs_error, err);
+    abs_error_hist->Observe(static_cast<uint64_t>(std::llround(err)));
+  }
+  const double denom =
+      state.audit_epsilon * static_cast<double>(state.audit_items);
+  report.eps_ratio = denom > 0 ? report.max_abs_error / denom : 0.0;
+  const double heavy_threshold =
+      state.audit_phi * static_cast<double>(state.audit_items);
+  std::vector<uint64_t> heavies;
+  for (const auto& [key, count] : state.audit_shadow) {
+    if (static_cast<double>(count) > heavy_threshold) heavies.push_back(key);
+  }
+  report.shadow_heavies = heavies.size();
+  if (!heavies.empty()) {
+    const std::vector<ItemEstimate> reported =
+        view->HeavyHitters(state.audit_phi);
+    std::unordered_set<uint64_t> reported_keys;
+    reported_keys.reserve(reported.size());
+    for (const ItemEstimate& hh : reported) reported_keys.insert(hh.item);
+    for (const uint64_t key : heavies) {
+      if (reported_keys.count(key) != 0) ++report.recalled;
+    }
+    report.recall = static_cast<double>(report.recalled) /
+                    static_cast<double>(report.shadow_heavies);
+  }
+  obs::PublishAuditReport(report);
+  return report;
 }
 
 // ---- Replication client (primary-facing) -------------------------------
@@ -319,6 +436,37 @@ bool DrainSyncRound(ReplicaState& state, LineReader& reader,
           return false;
         }
       }
+      continue;
+    }
+    if (line.rfind("audit ", 0) == 0) {
+      // Shadow truth from an auditing primary: header + nkeys pair lines
+      // (docs/OBSERVABILITY.md#the-live-accuracy-auditor).
+      unsigned long long rate = 0, m = 0, nkeys = 0;
+      double eps = 0.0, phi = 0.0;
+      if (std::sscanf(line.c_str(), "audit %llu %lg %lg %llu %llu", &rate,
+                      &eps, &phi, &m, &nkeys) != 5 ||
+          nkeys > (1u << 20)) {
+        std::fprintf(stderr, "replica: malformed audit header '%s'\n",
+                     line.c_str());
+        return false;
+      }
+      std::vector<std::pair<uint64_t, uint64_t>> shadow;
+      shadow.reserve(static_cast<size_t>(nkeys));
+      for (unsigned long long i = 0; i < nkeys; ++i) {
+        unsigned long long key = 0, count = 0;
+        if (!reader.ReadLine(&line) ||
+            std::sscanf(line.c_str(), "%llu %llu", &key, &count) != 2) {
+          std::fprintf(stderr, "replica: torn audit shadow\n");
+          return false;
+        }
+        shadow.emplace_back(key, count);
+      }
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.audit_valid = true;
+      state.audit_epsilon = eps;
+      state.audit_phi = phi;
+      state.audit_items = m;
+      state.audit_shadow = std::move(shadow);
       continue;
     }
     if (line.rfind("rsync ", 0) == 0) {
@@ -435,21 +583,33 @@ void HandleQueryConnection(ReplicaState* state, const ReplicaArgs* args,
           continue;
         }
       }
-      std::lock_guard<std::mutex> lock(state->mutex);
-      const Summary* view = QueryView(*state);
-      if (view == nullptr) {
-        WriteLine(fd, "err replica has no synced state yet");
-        continue;
+      obs::QuerySpan span("heavy");
+      std::string reply;
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        const Summary* view = QueryView(*state);
+        if (view == nullptr) {
+          WriteLine(fd, "err replica has no synced state yet");
+          continue;
+        }
+        std::vector<ItemEstimate> report;
+        {
+          obs::ScopedPhase report_phase("report");
+          report = view->HeavyHitters(phi);
+        }
+        reply = "hh " + std::to_string(report.size());
+        char entry[64];
+        for (const ItemEstimate& hh : report) {
+          std::snprintf(entry, sizeof(entry), "\n%llu %.17g",
+                        static_cast<unsigned long long>(hh.item),
+                        hh.estimate);
+          reply += entry;
+        }
       }
-      const std::vector<ItemEstimate> report = view->HeavyHitters(phi);
-      std::string reply = "hh " + std::to_string(report.size());
-      char entry[64];
-      for (const ItemEstimate& hh : report) {
-        std::snprintf(entry, sizeof(entry), "\n%llu %.17g",
-                      static_cast<unsigned long long>(hh.item), hh.estimate);
-        reply += entry;
+      {
+        obs::ScopedPhase write_phase("reply_write");
+        WriteLine(fd, reply);
       }
-      WriteLine(fd, reply);
       continue;
     }
     if (line.rfind("estimate ", 0) == 0) {
@@ -459,40 +619,104 @@ void HandleQueryConnection(ReplicaState* state, const ReplicaArgs* args,
         WriteLine(fd, "err malformed item id in '" + line + "'");
         continue;
       }
-      std::lock_guard<std::mutex> lock(state->mutex);
-      const Summary* view = QueryView(*state);
-      if (view == nullptr) {
-        WriteLine(fd, "err replica has no synced state yet");
-        continue;
-      }
+      obs::QuerySpan span("estimate");
       char reply[64];
-      std::snprintf(reply, sizeof(reply), "est %llu %.17g", item,
-                    view->Estimate(static_cast<uint64_t>(item)));
-      WriteLine(fd, reply);
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        const Summary* view = QueryView(*state);
+        if (view == nullptr) {
+          WriteLine(fd, "err replica has no synced state yet");
+          continue;
+        }
+        obs::ScopedPhase report_phase("report");
+        std::snprintf(reply, sizeof(reply), "est %llu %.17g", item,
+                      view->Estimate(static_cast<uint64_t>(item)));
+      }
+      {
+        obs::ScopedPhase write_phase("reply_write");
+        WriteLine(fd, reply);
+      }
       continue;
     }
     if (line == "stats") {
-      std::lock_guard<std::mutex> lock(state->mutex);
-      const uint64_t lag = LagItemsLocked(*state);
-      obs::GetGauge("l1hh_replica_lag_items")
-          ->Set(static_cast<int64_t>(lag));
-      WriteLine(fd,
-                "stats items=" + std::to_string(state->items) +
-                    " shards=" + std::to_string(state->shards.size()) +
-                    " syncs=" + std::to_string(state->syncs) + " primary=" +
-                    (state->primary_up.load(std::memory_order_relaxed)
-                         ? "up"
-                         : "lost") +
-                    " algo=" + state->algorithm +
-                    " lag_items=" + std::to_string(lag));
+      obs::QuerySpan span("stats");
+      std::string reply;
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        const uint64_t lag = LagItemsLocked(*state);
+        obs::GetGauge("l1hh_replica_lag_items")
+            ->Set(static_cast<int64_t>(lag));
+        reply = "stats items=" + std::to_string(state->items) +
+                " shards=" + std::to_string(state->shards.size()) +
+                " syncs=" + std::to_string(state->syncs) + " primary=" +
+                (state->primary_up.load(std::memory_order_relaxed)
+                     ? "up"
+                     : "lost") +
+                " algo=" + state->algorithm +
+                " lag_items=" + std::to_string(lag);
+      }
+      {
+        obs::ScopedPhase write_phase("reply_write");
+        WriteLine(fd, reply);
+      }
       continue;
     }
     if (line == "metrics") {
+      {
+        // Scrape-time work, same as the primary: publish point-in-time
+        // gauges, audit the view when an auditing primary shipped truth.
+        std::lock_guard<std::mutex> lock(state->mutex);
+        obs::GetGauge("l1hh_replica_lag_items")
+            ->Set(static_cast<int64_t>(LagItemsLocked(*state)));
+        AuditReplicaLocked(*state);
+      }
       const std::vector<std::string> lines =
           obs::Registry::Get().ExpositionLines();
       std::string reply = "metrics " + std::to_string(lines.size());
       for (const std::string& metric_line : lines) {
         reply += "\n" + metric_line;
+      }
+      WriteLine(fd, reply);
+      continue;
+    }
+    if (line == "trace" || line.rfind("trace ", 0) == 0) {
+      uint64_t max_events = 0;
+      obs::Severity min_sev = obs::Severity::kDebug;
+      bool args_ok = true;
+      if (line.size() > 5) {
+        std::istringstream in(line.substr(6));
+        std::string count_text, sev_text, extra;
+        in >> count_text >> sev_text >> extra;
+        if (!count_text.empty()) {
+          char* end = nullptr;
+          max_events = std::strtoull(count_text.c_str(), &end, 10);
+          if (end == count_text.c_str() || *end != '\0') args_ok = false;
+        }
+        if (args_ok && !sev_text.empty() &&
+            !obs::ParseSeverity(sev_text, &min_sev)) {
+          args_ok = false;
+        }
+        if (!extra.empty()) args_ok = false;
+      }
+      if (!args_ok) {
+        WriteLine(fd, "err usage: trace [N [debug|info|warn]]");
+        continue;
+      }
+      const std::vector<std::string> lines = obs::TraceRing::Get().DrainText(
+          static_cast<size_t>(max_events), min_sev);
+      std::string reply = "trace " + std::to_string(lines.size());
+      for (const std::string& event_line : lines) {
+        reply += "\n" + event_line;
+      }
+      WriteLine(fd, reply);
+      continue;
+    }
+    if (line == "slow") {
+      const std::vector<std::string> lines =
+          obs::SlowQueryRing::Get().DrainText();
+      std::string reply = "slow " + std::to_string(lines.size());
+      for (const std::string& slow_line : lines) {
+        reply += "\n" + slow_line;
       }
       WriteLine(fd, reply);
       continue;
@@ -541,9 +765,80 @@ int RunReplica(const ReplicaArgs& args) {
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
 
+  obs::EmitBuildInfo("l1hh_replica", "replica");
+  obs::SetSlowQueryThresholdNs(args.slow_query_us * 1000);
+
+  // HTTP telemetry surface.  Readiness is the standby-specific call:
+  // green only when this replica could take over right now — synced at
+  // least once AND within --ready-lag of the primary, or the primary is
+  // lost (the last synced view is then the best answer that exists).
+  std::unique_ptr<obs::HttpExporter> exporter;
+  if (args.http_enabled) {
+    obs::HttpExporterOptions http_options;
+    http_options.port = static_cast<uint16_t>(args.http_port);
+    std::map<std::string, obs::HttpExporter::Handler> handlers;
+    handlers["/metrics"] = [&state, &args] {
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        const uint64_t lag = LagItemsLocked(state);
+        obs::GetGauge("l1hh_replica_lag_items")
+            ->Set(static_cast<int64_t>(lag));
+        // The 0/1 readiness gauge behind /readyz, so a plain /metrics
+        // scrape can alert on readiness flapping without a prober.
+        const bool ready =
+            state.syncs > 0 &&
+            (lag <= args.ready_lag ||
+             !state.primary_up.load(std::memory_order_relaxed));
+        obs::GetGauge("l1hh_replica_ready")->Set(ready ? 1 : 0);
+        AuditReplicaLocked(state);
+      }
+      const std::vector<std::string> lines =
+          obs::Registry::Get().ExpositionLines();
+      std::string body;
+      for (const std::string& metric_line : lines) {
+        body += metric_line;
+        body += '\n';
+      }
+      return obs::HttpResponse{200, "text/plain; version=0.0.4", body};
+    };
+    handlers["/healthz"] = [] {
+      return obs::HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+    };
+    handlers["/readyz"] = [&state, &args] {
+      uint64_t syncs = 0, lag = 0;
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        syncs = state.syncs;
+        lag = LagItemsLocked(state);
+      }
+      const bool primary_up =
+          state.primary_up.load(std::memory_order_relaxed);
+      const bool ready =
+          syncs > 0 && (lag <= args.ready_lag || !primary_up);
+      obs::GetGauge("l1hh_replica_ready")->Set(ready ? 1 : 0);
+      const std::string body =
+          (ready ? "ok" : "not ready") + std::string(" syncs=") +
+          std::to_string(syncs) + " lag_items=" + std::to_string(lag) +
+          " primary=" + (primary_up ? "up" : "lost") + "\n";
+      return obs::HttpResponse{ready ? 200 : 503,
+                               "text/plain; charset=utf-8", body};
+    };
+    Status http_status;
+    exporter = obs::HttpExporter::Create(http_options, std::move(handlers),
+                                         &http_status);
+    if (exporter == nullptr) {
+      std::fprintf(stderr, "cannot start http exporter: %s\n",
+                   http_status.ToString().c_str());
+      return 2;
+    }
+  }
+
   // The readiness line tests wait for (before the first sync completes;
   // queries until then answer "err replica has no synced state yet").
   std::printf("listening %s\n", args.socket_path.c_str());
+  if (exporter != nullptr) {
+    std::printf("http %u\n", static_cast<unsigned>(exporter->port()));
+  }
   std::fflush(stdout);
 
   std::thread replication(
@@ -567,6 +862,8 @@ int RunReplica(const ReplicaArgs& args) {
   }
 
   state.stop.store(true, std::memory_order_relaxed);
+  // The exporter's handlers read `state`; stop it before teardown.
+  if (exporter != nullptr) exporter->Stop();
   replication.join();
   {
     std::lock_guard<std::mutex> lock(conn_mutex);

@@ -11,6 +11,22 @@
 //       [--epsilon=0.01 --phi=0.05 --delta=0.05 --n=16777216 --m=1048576]
 //       [--shards=4 --threads=0 --producers=8 --seed=1]
 //       [--window=W --buckets=B]
+//       [--http=PORT] [--audit-rate=R --audit-interval-ms=1000]
+//       [--slow-query-us=10000]
+//
+// Observability (docs/OBSERVABILITY.md):
+//   * Every query verb runs under a QuerySpan with park-wait /
+//     merge-rebuild / report / reply-write phases; queries slower than
+//     --slow-query-us land in the slow-query ring (`slow` verb below)
+//     and bump l1hh_slow_queries_total.
+//   * --audit-rate=R hash-samples 1/R of the key space into an exact
+//     shadow counter and audits the engine's answers against it every
+//     --audit-interval-ms (and at every /metrics scrape), publishing
+//     l1hh_audit_observed_eps_ratio et al.  Refused with --window (the
+//     shadow counts the whole stream; a window forgets).
+//   * --http=PORT (0 = ephemeral; the bound port is printed as
+//     "http <port>" after the readiness line) serves GET /metrics
+//     (Prometheus text exposition), /healthz, and /readyz on loopback.
 //
 // Wire protocol, one request per line (replies are lines too):
 //
@@ -30,8 +46,12 @@
 //                       Prometheus-style text exposition
 //                       (name{label="v"} value) from the process-wide
 //                       telemetry registry (docs/OBSERVABILITY.md)
-//   trace               replies "trace <N>" then the N most recent
-//                       lifecycle events from the trace ring
+//   trace [N [sev]]     replies "trace <K>" then the K most recent
+//                       lifecycle events from the trace ring; N caps the
+//                       count (0 = all), sev in {debug,info,warn} drops
+//                       events below that severity
+//   slow                replies "slow <N>" then the N most recent
+//                       slow-query records (per-phase breakdowns)
 //   replicate           start (or restart) replication on this
 //                       connection: replies "rconf shards=<K> algo=<A>",
 //                       then one full frame per shard, then
@@ -60,12 +80,16 @@
 #include <atomic>
 #include <bit>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -75,7 +99,10 @@
 #include <unistd.h>
 
 #include "engine/sharded_engine.h"
+#include "obs/audit.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "summary/summary.h"
 #include "util/status.h"
@@ -99,12 +126,19 @@ struct ServeArgs {
   uint64_t producers = 8;
   uint64_t window = 0;
   uint64_t buckets = 0;
+  // Observability knobs.
+  bool http_enabled = false;  // --http given (port 0 = ephemeral)
+  uint64_t http_port = 0;
+  uint64_t audit_rate = 0;  // 0 = auditor off
+  uint64_t audit_interval_ms = 1000;
+  uint64_t slow_query_us = 10000;  // 0 = slow-query capture off
 };
 
 const char* const kKnownFlags[] = {
     "--socket", "--algo",    "--algorithm", "--epsilon", "--phi",
     "--delta",  "--n",       "--m",         "--seed",    "--shards",
     "--threads", "--producers", "--window", "--buckets",
+    "--http", "--audit-rate", "--audit-interval-ms", "--slow-query-us",
 };
 
 bool Parse(int argc, char** argv, ServeArgs* out) {
@@ -152,6 +186,15 @@ bool Parse(int argc, char** argv, ServeArgs* out) {
       out->window = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "--buckets") {
       out->buckets = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--http") {
+      out->http_enabled = true;
+      out->http_port = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--audit-rate") {
+      out->audit_rate = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--audit-interval-ms") {
+      out->audit_interval_ms = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "--slow-query-us") {
+      out->slow_query_us = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\nknown flags:", key.c_str());
       for (const char* known : kKnownFlags) {
@@ -171,6 +214,16 @@ bool Parse(int argc, char** argv, ServeArgs* out) {
   }
   if (out->shards == 0 || out->producers == 0) {
     std::fprintf(stderr, "--shards and --producers must be >= 1\n");
+    return false;
+  }
+  if (out->http_port > 65535) {
+    std::fprintf(stderr, "--http port must be <= 65535\n");
+    return false;
+  }
+  if (out->audit_rate != 0 && out->window != 0) {
+    // The shadow counts the WHOLE stream; a windowed engine forgets, so
+    // every comparison would flag phantom over-estimates.
+    std::fprintf(stderr, "--audit-rate cannot be combined with --window\n");
     return false;
   }
   if (out->window != 0 && !IsWindowedSummaryName(out->algorithm)) {
@@ -264,12 +317,27 @@ constexpr uint64_t kMaxBinaryBatch = uint64_t{1} << 26;
 
 struct Server {
   ShardedEngine* engine = nullptr;
+  obs::AccuracyAuditor* auditor = nullptr;  // null = auditing off
   double default_phi = 0.05;
   std::atomic<bool> stop{false};
   int listen_fd = -1;
   std::mutex conn_mutex;
   std::vector<int> conn_fds;
 };
+
+// One audit pass against the live engine: flush so the shadow and the
+// engine agree on the stream prefix, then compare.  Caller guarantees
+// server->auditor != nullptr.
+obs::AuditReport RunAudit(Server* server) {
+  ShardedEngine& engine = *server->engine;
+  engine.Flush();
+  const uint64_t total = engine.ItemsProcessed();
+  return server->auditor->Audit(
+      [&engine](const std::vector<uint64_t>& keys) {
+        return engine.EstimateBatch(keys);
+      },
+      [&engine](double phi) { return engine.HeavyHitters(phi); }, total);
+}
 
 Server* g_server = nullptr;
 
@@ -342,6 +410,7 @@ void HandleConnection(Server* server, int fd) {
         continue;
       }
       producer->Update(item);
+      if (server->auditor != nullptr) server->auditor->Observe(item);
       ingest_ctr->Inc();
       continue;
     }
@@ -367,6 +436,9 @@ void HandleConnection(Server* server, int fd) {
         continue;
       }
       producer->UpdateBatch(batch);
+      if (server->auditor != nullptr) {
+        server->auditor->ObserveColumn(batch.data(), batch.size());
+      }
       ingest_ctr->Inc(count);
       continue;
     }
@@ -386,6 +458,9 @@ void HandleConnection(Server* server, int fd) {
           continue;
         }
       }
+      // The span owns the whole verb: the engine's park-wait /
+      // merge-rebuild / report phases land on it, reply_write is ours.
+      obs::QuerySpan span("heavy");
       const std::vector<ItemEstimate> report = engine.HeavyHitters(phi);
       std::string reply = "hh " + std::to_string(report.size());
       char entry[64];
@@ -394,7 +469,10 @@ void HandleConnection(Server* server, int fd) {
                       static_cast<unsigned long long>(hh.item), hh.estimate);
         reply += entry;
       }
-      WriteLine(fd, reply);
+      {
+        obs::ScopedPhase write_phase("reply_write");
+        WriteLine(fd, reply);
+      }
       continue;
     }
     if (line.rfind("estimate ", 0) == 0) {
@@ -404,15 +482,20 @@ void HandleConnection(Server* server, int fd) {
         WriteLine(fd, "err malformed item id in '" + line + "'");
         continue;
       }
+      obs::QuerySpan span("estimate");
       char reply[64];
       std::snprintf(reply, sizeof(reply), "est %llu %.17g",
                     static_cast<unsigned long long>(item),
                     engine.Estimate(item));
-      WriteLine(fd, reply);
+      {
+        obs::ScopedPhase write_phase("reply_write");
+        WriteLine(fd, reply);
+      }
       continue;
     }
     if (line == "stats") {
       queries_ctr->Inc();
+      obs::QuerySpan span("stats");
       // Per-slot enqueued counts + slot occupancy ride after the legacy
       // fields (existing clients key on the prefix).  Slot exhaustion is
       // visible here BEFORE ingesting connections start drawing "err".
@@ -430,14 +513,19 @@ void HandleConnection(Server* server, int fd) {
                  std::to_string(m.slot_enqueued[p]) +
                  (m.slot_active[p] != 0 ? "*" : "");
       }
-      WriteLine(fd, reply);
+      {
+        obs::ScopedPhase write_phase("reply_write");
+        WriteLine(fd, reply);
+      }
       continue;
     }
     if (line == "metrics") {
       queries_ctr->Inc();
       // Point-in-time gauges are published at scrape time; counters and
-      // histograms are already live.
+      // histograms are already live.  An enabled auditor runs a pass here
+      // too, so a scrape always reads a fresh eps-ratio.
       engine.PublishMetrics();
+      if (server->auditor != nullptr) RunAudit(server);
       const std::vector<std::string> lines =
           obs::Registry::Get().ExpositionLines();
       std::string reply = "metrics " + std::to_string(lines.size());
@@ -447,13 +535,44 @@ void HandleConnection(Server* server, int fd) {
       WriteLine(fd, reply);
       continue;
     }
-    if (line == "trace") {
+    if (line == "trace" || line.rfind("trace ", 0) == 0) {
       queries_ctr->Inc();
-      const std::vector<std::string> lines =
-          obs::TraceRing::Get().DrainText();
+      uint64_t max_events = 0;  // 0 = everything in the ring
+      obs::Severity min_sev = obs::Severity::kDebug;
+      bool args_ok = true;
+      if (line.size() > 5) {
+        std::istringstream in(line.substr(6));
+        std::string count_text, sev_text, extra;
+        in >> count_text >> sev_text >> extra;
+        if (!count_text.empty() && !ParseU64(count_text.c_str(), &max_events)) {
+          args_ok = false;
+        }
+        if (args_ok && !sev_text.empty() &&
+            !obs::ParseSeverity(sev_text, &min_sev)) {
+          args_ok = false;
+        }
+        if (!extra.empty()) args_ok = false;
+      }
+      if (!args_ok) {
+        WriteLine(fd, "err usage: trace [N [debug|info|warn]]");
+        continue;
+      }
+      const std::vector<std::string> lines = obs::TraceRing::Get().DrainText(
+          static_cast<size_t>(max_events), min_sev);
       std::string reply = "trace " + std::to_string(lines.size());
       for (const std::string& event_line : lines) {
         reply += "\n" + event_line;
+      }
+      WriteLine(fd, reply);
+      continue;
+    }
+    if (line == "slow") {
+      queries_ctr->Inc();
+      const std::vector<std::string> lines =
+          obs::SlowQueryRing::Get().DrainText();
+      std::string reply = "slow " + std::to_string(lines.size());
+      for (const std::string& slow_line : lines) {
+        reply += "\n" + slow_line;
       }
       WriteLine(fd, reply);
       continue;
@@ -499,6 +618,27 @@ void HandleConnection(Server* server, int fd) {
         baseline.applied = frame.applied;
         baseline.rotations = frame.rotations;
       }
+      if (io_ok && server->auditor != nullptr) {
+        // Ship exact shadow truth alongside the frames, so the follower
+        // can audit ITS merged view against the primary's sampled
+        // substream without ever seeing the raw stream.  `total` is the
+        // applied count the frames advance the follower to — the same m
+        // the shadow's counts were taken at (CaptureFrames flushed).
+        const obs::AuditorOptions& opts = server->auditor->options();
+        const auto shadow = server->auditor->TopShadow(opts.audit_top_k);
+        char header[160];
+        std::snprintf(header, sizeof(header),
+                      "audit %llu %.17g %.17g %llu %zu",
+                      static_cast<unsigned long long>(opts.sample_rate),
+                      opts.epsilon, opts.phi,
+                      static_cast<unsigned long long>(total), shadow.size());
+        io_ok = WriteLine(fd, header);
+        for (const auto& [key, count] : shadow) {
+          if (!io_ok) break;
+          io_ok = WriteLine(fd, std::to_string(key) + " " +
+                                    std::to_string(count));
+        }
+      }
       if (!io_ok || !WriteLine(fd, "rsync " + std::to_string(total))) break;
       continue;
     }
@@ -538,6 +678,19 @@ int Serve(const ServeArgs& args) {
     return 2;
   }
 
+  obs::EmitBuildInfo("l1hh_serve", args.algorithm);
+  obs::SetSlowQueryThresholdNs(args.slow_query_us * 1000);
+
+  std::unique_ptr<obs::AccuracyAuditor> auditor;
+  if (args.audit_rate != 0) {
+    obs::AuditorOptions audit_options;
+    audit_options.sample_rate = args.audit_rate;
+    audit_options.seed = args.seed;
+    audit_options.epsilon = args.epsilon;
+    audit_options.phi = args.phi;
+    auditor = std::make_unique<obs::AccuracyAuditor>(audit_options);
+  }
+
   const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     std::perror("socket");
@@ -565,6 +718,7 @@ int Serve(const ServeArgs& args) {
 
   Server server;
   server.engine = engine.get();
+  server.auditor = auditor.get();
   server.default_phi = args.phi;
   server.listen_fd = listen_fd;
   g_server = &server;
@@ -572,8 +726,70 @@ int Serve(const ServeArgs& args) {
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
 
+  // HTTP telemetry surface.  /metrics publishes gauges and (when on)
+  // runs an audit pass at scrape time, so every scrape is fresh;
+  // /healthz says the process is alive, /readyz that it is accepting
+  // (for the primary, alive == ready — it owns the truth).
+  std::unique_ptr<obs::HttpExporter> exporter;
+  if (args.http_enabled) {
+    obs::HttpExporterOptions http_options;
+    http_options.port = static_cast<uint16_t>(args.http_port);
+    std::map<std::string, obs::HttpExporter::Handler> handlers;
+    handlers["/metrics"] = [&server] {
+      server.engine->PublishMetrics();
+      if (server.auditor != nullptr) RunAudit(&server);
+      const std::vector<std::string> lines =
+          obs::Registry::Get().ExpositionLines();
+      std::string body;
+      for (const std::string& metric_line : lines) {
+        body += metric_line;
+        body += '\n';
+      }
+      return obs::HttpResponse{200, "text/plain; version=0.0.4", body};
+    };
+    handlers["/healthz"] = [] {
+      return obs::HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+    };
+    handlers["/readyz"] = [&server] {
+      const bool ready = !server.stop.load(std::memory_order_relaxed);
+      return obs::HttpResponse{ready ? 200 : 503,
+                               "text/plain; charset=utf-8",
+                               ready ? "ok\n" : "stopping\n"};
+    };
+    Status http_status;
+    exporter = obs::HttpExporter::Create(http_options, std::move(handlers),
+                                         &http_status);
+    if (exporter == nullptr) {
+      std::fprintf(stderr, "cannot start http exporter: %s\n",
+                   http_status.ToString().c_str());
+      return 2;
+    }
+  }
+
+  // Periodic audit thread: keeps the l1hh_audit_* gauges warm even when
+  // nobody scrapes (operators watching `metrics` over the socket).
+  std::thread audit_thread;
+  std::mutex audit_mutex;
+  std::condition_variable audit_cv;
+  bool audit_stop = false;
+  if (auditor != nullptr && args.audit_interval_ms != 0) {
+    audit_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(audit_mutex);
+      while (!audit_cv.wait_for(
+          lock, std::chrono::milliseconds(args.audit_interval_ms),
+          [&] { return audit_stop; })) {
+        lock.unlock();
+        RunAudit(&server);
+        lock.lock();
+      }
+    });
+  }
+
   // The readiness line clients (and tests/serve_test.cc) wait for.
   std::printf("listening %s\n", args.socket_path.c_str());
+  if (exporter != nullptr) {
+    std::printf("http %u\n", static_cast<unsigned>(exporter->port()));
+  }
   std::fflush(stdout);
 
   std::vector<std::thread> connections;
@@ -601,6 +817,17 @@ int Serve(const ServeArgs& args) {
   {
     std::lock_guard<std::mutex> lock(server.conn_mutex);
     for (const int fd : server.conn_fds) ::close(fd);
+  }
+  // The exporter and the audit thread reference the engine; stop both
+  // before it goes away.
+  if (exporter != nullptr) exporter->Stop();
+  if (audit_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(audit_mutex);
+      audit_stop = true;
+    }
+    audit_cv.notify_all();
+    audit_thread.join();
   }
   ::close(listen_fd);
   ::unlink(args.socket_path.c_str());
